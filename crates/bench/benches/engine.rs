@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks for the SQL engine substrate: the per-query cost
+//! model that backs the VES metric.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seed_datasets::{bird::build_bird, CorpusConfig, Split};
+use seed_sqlengine::execute;
+
+fn engine_benches(c: &mut Criterion) {
+    let bench = build_bird(&CorpusConfig::tiny());
+    let financial = bench.database("financial").unwrap();
+
+    c.bench_function("engine/simple_filter", |b| {
+        b.iter(|| {
+            execute(
+                financial,
+                "SELECT COUNT(*) FROM account WHERE `account`.`frequency` = 'POPLATEK TYDNE'",
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("engine/join_aggregate", |b| {
+        b.iter(|| {
+            execute(
+                financial,
+                "SELECT `district`.`district_name`, COUNT(*) FROM account \
+                 INNER JOIN district ON `account`.`district_id` = `district`.`district_id` \
+                 GROUP BY `district`.`district_name` ORDER BY COUNT(*) DESC",
+            )
+            .unwrap()
+        })
+    });
+
+    let dev = bench.split(Split::Dev);
+    c.bench_function("engine/gold_sql_suite", |b| {
+        b.iter(|| {
+            for q in dev.iter().take(20) {
+                let db = bench.database(&q.db_id).unwrap();
+                execute(db, &q.gold_sql).unwrap();
+            }
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = engine_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Criterion benchmarks for the SEED pipelines: end-to-end evidence generation
+//! cost per question for both architectures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use seed_core::{SeedPipeline, SeedVariant};
+use seed_datasets::{bird::build_bird, CorpusConfig, Question, Split};
+
+fn pipeline_benches(c: &mut Criterion) {
+    let bench = build_bird(&CorpusConfig::tiny());
+    let train: Vec<&Question> = bench.split(Split::Train);
+    let q = bench
+        .split(Split::Dev)
+        .into_iter()
+        .find(|q| q.db_id == "financial" && !q.atoms.is_empty())
+        .unwrap();
+    let db = bench.database(&q.db_id).unwrap();
+
+    for variant in [SeedVariant::Gpt, SeedVariant::Deepseek, SeedVariant::Revised] {
+        let pipeline = SeedPipeline::new(variant);
+        c.bench_function(&format!("seed/{}", variant.label()), |b| {
+            b.iter(|| pipeline.generate(q, db, &train, true))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = pipeline_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 2: BIRD development-set evidence error rate and error-type breakdown.
+
+use seed_bench::corpus_config;
+use seed_datasets::{bird::build_bird, Split};
+use seed_eval::{analyze_evidence_defects, Table};
+
+fn main() {
+    let bench = build_bird(&corpus_config());
+    let breakdown = analyze_evidence_defects(bench.split(Split::Dev).into_iter());
+
+    let mut rates = Table::new(
+        "Figure 2 (left): BIRD dev evidence error rate (paper: 83.51% / 9.65% / 6.84%)",
+        &["category", "count", "share"],
+    );
+    rates.row(vec![
+        "correct".into(),
+        breakdown.correct.to_string(),
+        format!("{:.2}%", breakdown.correct_rate()),
+    ]);
+    rates.row(vec![
+        "missing evidence".into(),
+        breakdown.missing.to_string(),
+        format!("{:.2}%", breakdown.missing_rate()),
+    ]);
+    rates.row(vec![
+        "erroneous evidence".into(),
+        breakdown.erroneous.to_string(),
+        format!("{:.2}%", breakdown.erroneous_rate()),
+    ]);
+    println!("{}", rates.render());
+
+    let mut types = Table::new("Figure 2 (right): erroneous evidence by error type", &["error type", "count"]);
+    for (label, count) in &breakdown.by_error_type {
+        types.row(vec![label.clone(), count.to_string()]);
+    }
+    println!("{}", types.render());
+    println!("questions audited: {}", breakdown.total);
+}

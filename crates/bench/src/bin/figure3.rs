@@ -1,0 +1,31 @@
+//! Figure 3: the SEED_gpt and SEED_deepseek architectures, shown as the actual
+//! stage trace each pipeline executes for one question.
+
+use seed_bench::corpus_config;
+use seed_core::{SeedPipeline, SeedVariant};
+use seed_datasets::{bird::build_bird, Split};
+
+fn main() {
+    let bench = build_bird(&corpus_config());
+    let train: Vec<&seed_datasets::Question> = bench.split(Split::Train);
+    let q = bench
+        .split(Split::Dev)
+        .into_iter()
+        .find(|q| q.db_id == "financial" && !q.atoms.is_empty())
+        .expect("financial dev question");
+    let db = bench.database(&q.db_id).unwrap();
+
+    println!("== Figure 3: the structure of SEED ==\n");
+    println!("question: {}\n", q.text);
+    for variant in [SeedVariant::Gpt, SeedVariant::Deepseek] {
+        let pipeline = SeedPipeline::new(variant);
+        let out = pipeline.generate(q, db, &train, true);
+        println!("--- {} ---", variant.label());
+        for (i, stage) in out.trace.stages.iter().enumerate() {
+            println!("  stage {}: {}", i + 1, stage);
+        }
+        println!("  prompt tokens (evidence generation): {}", out.trace.prompt_tokens);
+        println!("  context overflow: {}", out.trace.context_overflow);
+        println!("  evidence: {}\n", out.evidence);
+    }
+}

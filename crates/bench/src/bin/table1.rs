@@ -1,0 +1,18 @@
+//! Table I: samples of defective BIRD evidence with the corrected version.
+
+use seed_bench::corpus_config;
+use seed_datasets::{bird::build_bird, Split};
+use seed_eval::error_analysis::defect_examples;
+
+fn main() {
+    let bench = build_bird(&corpus_config());
+    let dev = bench.split(Split::Dev);
+    println!("== Table I: error samples of BIRD development-set evidence ==\n");
+    for (q, error) in defect_examples(dev.into_iter()).into_iter().take(6) {
+        println!("error type       : {}", error.label());
+        println!("question         : {}", q.text);
+        println!("evidence         : {}", if q.human_evidence.text.is_empty() { "(none)" } else { &q.human_evidence.text });
+        println!("revised evidence : {}", q.human_evidence.corrected);
+        println!();
+    }
+}

@@ -1,0 +1,33 @@
+//! Table II: CodeS performance on the erroneous-evidence pairs, before and
+//! after manual correction of the evidence.
+
+use seed_bench::{corpus_config, fmt_scores};
+use seed_datasets::{bird::build_bird, EvidenceStatus, Split};
+use seed_eval::{EvidenceSetting, ExperimentRunner, Table};
+use seed_text2sql::CodeS;
+
+fn main() {
+    let bench = build_bird(&corpus_config());
+    let runner = ExperimentRunner::new(&bench, Split::Dev);
+    let erroneous = |q: &seed_datasets::Question| matches!(q.human_evidence.status, EvidenceStatus::Erroneous(_));
+
+    let mut table = Table::new(
+        "Table II: EX% on erroneous-evidence pairs, defective vs corrected evidence (paper: 44.76 -> 54.29 for 15B)",
+        &["model", "defective evidence EX%", "corrected evidence EX%"],
+    );
+    for billions in [15u32, 7, 3, 1] {
+        let system = CodeS::new(billions);
+        let defective = runner.evaluate_filtered(&system, EvidenceSetting::BirdEvidence, erroneous);
+        let corrected = runner.evaluate_filtered(&system, EvidenceSetting::BirdCorrected, erroneous);
+        table.row(vec![
+            system_label(billions),
+            fmt_scores(&defective.scores).0,
+            fmt_scores(&corrected.scores).0,
+        ]);
+    }
+    println!("{}", table.render());
+}
+
+fn system_label(billions: u32) -> String {
+    format!("SFT CodeS-{billions}B")
+}

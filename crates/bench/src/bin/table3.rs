@@ -1,0 +1,42 @@
+//! Table III: the categories of BIRD evidence, with samples and the database
+//! information source each can be derived from.
+
+use seed_bench::corpus_config;
+use seed_datasets::{bird::build_bird, Split};
+use seed_llm::KnowledgeKind;
+
+fn main() {
+    let bench = build_bird(&corpus_config());
+    let dev = bench.split(Split::Dev);
+    println!("== Table III: evidence categories, samples, and information sources ==\n");
+    for kind in KnowledgeKind::all() {
+        let Some(q) = dev
+            .iter()
+            .find(|q| q.atoms.iter().any(|a| a.kind == kind))
+        else {
+            continue;
+        };
+        let atom = q.atoms.iter().find(|a| a.kind == kind).unwrap();
+        let db = bench.database(&q.db_id).unwrap();
+        let source = db
+            .schema()
+            .table(&atom.correct.table)
+            .and_then(|t| t.column(&atom.correct.column))
+            .map(|c| {
+                if !c.value_description.is_empty() {
+                    format!("description file: {}.csv — {}", atom.correct.table, c.value_description)
+                } else {
+                    format!(
+                        "database value: SELECT DISTINCT {} FROM {}",
+                        atom.correct.column, atom.correct.table
+                    )
+                }
+            })
+            .unwrap_or_else(|| "schema".to_string());
+        println!("knowledge type    : {}", kind.label());
+        println!("question          : {}", q.text);
+        println!("evidence          : {}", atom.evidence_sentence());
+        println!("information source: {}", source);
+        println!();
+    }
+}

@@ -1,0 +1,60 @@
+//! Table IV: BIRD dev EX% and VES% for every baseline under four evidence
+//! settings — no evidence, BIRD human evidence, SEED_gpt, SEED_deepseek.
+
+use seed_bench::{corpus_config, fmt_scores};
+use seed_core::SeedVariant;
+use seed_datasets::{bird::build_bird, Split};
+use seed_eval::{EvidenceSetting, ExperimentRunner, Table};
+use seed_text2sql::{C3, Chess, ChessConfig, CodeS, DailSql, RslSql, Text2SqlSystem};
+
+fn main() {
+    let bench = build_bird(&corpus_config());
+    let runner = ExperimentRunner::new(&bench, Split::Dev)
+        .with_seed_variants(&[SeedVariant::Gpt, SeedVariant::Deepseek]);
+
+    let systems: Vec<Box<dyn Text2SqlSystem>> = vec![
+        Box::new(Chess::new(ChessConfig::IrCgUt)),
+        Box::new(Chess::new(ChessConfig::IrSsCg)),
+        Box::new(RslSql::new()),
+        Box::new(CodeS::new(15)),
+        Box::new(CodeS::new(7)),
+        Box::new(DailSql::new()),
+        Box::new(C3::new()),
+    ];
+    let settings = [
+        EvidenceSetting::WithoutEvidence,
+        EvidenceSetting::BirdEvidence,
+        EvidenceSetting::SeedGpt,
+        EvidenceSetting::SeedDeepseek,
+    ];
+
+    let mut ex_table = Table::new(
+        "Table IV (dev EX%): no evidence vs BIRD evidence vs SEED",
+        &["system", "w/o evidence", "w/ evidence", "w/ SEED_gpt", "w/ SEED_deepseek"],
+    );
+    let mut ves_table = Table::new(
+        "Table IV (dev VES%): no evidence vs BIRD evidence vs SEED",
+        &["system", "w/o evidence", "w/ evidence", "w/ SEED_gpt", "w/ SEED_deepseek"],
+    );
+
+    for system in &systems {
+        let mut ex_row = vec![system.name()];
+        let mut ves_row = vec![system.name()];
+        for setting in settings {
+            let scores = runner.evaluate(system.as_ref(), setting);
+            let (ex, ves) = fmt_scores(&scores.scores);
+            ex_row.push(ex);
+            ves_row.push(ves);
+        }
+        ex_table.row(ex_row);
+        ves_table.row(ves_row);
+        eprintln!("finished {}", system.name());
+    }
+
+    println!("{}", ex_table.render());
+    println!("{}", ves_table.render());
+    println!(
+        "questions evaluated per cell: {}",
+        runner.questions().len()
+    );
+}

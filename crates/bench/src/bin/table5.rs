@@ -1,0 +1,48 @@
+//! Table V: Spider dev/test EX% with and without SEED_gpt evidence.
+//!
+//! Spider ships no description files, so — as in the paper (§IV-E-3) — they
+//! are synthesized before running SEED.
+
+use seed_bench::{corpus_config, fmt_scores};
+use seed_core::SeedVariant;
+use seed_datasets::{spider::build_spider, spider::synthesize_descriptions, Split};
+use seed_eval::{EvidenceSetting, ExperimentRunner, Table};
+use seed_text2sql::{C3, CodeS, Text2SqlSystem};
+
+fn main() {
+    let mut bench = build_spider(&corpus_config());
+    synthesize_descriptions(&mut bench);
+
+    let systems: Vec<Box<dyn Text2SqlSystem>> =
+        vec![Box::new(CodeS::new(15)), Box::new(CodeS::new(7)), Box::new(C3::new())];
+
+    let mut table = Table::new(
+        "Table V: Spider EX% without vs with SEED_gpt evidence",
+        &["system", "dev w/o SEED", "dev w/ SEED_gpt", "test w/o SEED", "test w/ SEED_gpt"],
+    );
+
+    let dev_runner = ExperimentRunner::new(&bench, Split::Dev).with_seed_variants(&[SeedVariant::Gpt]);
+    let test_runner = ExperimentRunner::new(&bench, Split::Test).with_seed_variants(&[SeedVariant::Gpt]);
+
+    for system in &systems {
+        let dev_plain = dev_runner.evaluate(system.as_ref(), EvidenceSetting::WithoutEvidence);
+        let dev_seed = dev_runner.evaluate(system.as_ref(), EvidenceSetting::SeedGpt);
+        let test_plain = test_runner.evaluate(system.as_ref(), EvidenceSetting::WithoutEvidence);
+        let test_seed = test_runner.evaluate(system.as_ref(), EvidenceSetting::SeedGpt);
+        table.row(vec![
+            system.name(),
+            fmt_scores(&dev_plain.scores).0,
+            fmt_scores(&dev_seed.scores).0,
+            fmt_scores(&test_plain.scores).0,
+            fmt_scores(&test_seed.scores).0,
+        ]);
+        eprintln!("finished {}", system.name());
+    }
+
+    println!("{}", table.render());
+    println!(
+        "dev questions: {}, test questions: {}",
+        dev_runner.questions().len(),
+        test_runner.questions().len()
+    );
+}

@@ -1,0 +1,26 @@
+//! Table VI: qualitative comparison of BIRD evidence, SEED_deepseek evidence,
+//! and the revised SEED evidence for a california_schools question.
+
+use seed_bench::corpus_config;
+use seed_core::{remove_join_information, SeedPipeline};
+use seed_datasets::{bird::build_bird, Split};
+
+fn main() {
+    let bench = build_bird(&corpus_config());
+    let train: Vec<&seed_datasets::Question> = bench.split(Split::Train);
+    let q = bench
+        .split(Split::Dev)
+        .into_iter()
+        .find(|q| q.db_id == "california_schools" && q.text.contains("SAT test takers"))
+        .expect("schools question with SAT test takers exists");
+    let db = bench.database(&q.db_id).unwrap();
+
+    let deepseek = SeedPipeline::deepseek().generate(q, db, &train, true);
+    let revised = remove_join_information(&deepseek.evidence);
+
+    println!("== Table VI: BIRD vs SEED_deepseek vs revised evidence ==\n");
+    println!("question        : {}\n", q.text);
+    println!("BIRD evidence   : {}\n", q.human_evidence.text);
+    println!("SEED_deepseek   : {}\n", deepseek.evidence);
+    println!("SEED_revised    : {}\n", revised);
+}

@@ -1,0 +1,51 @@
+//! Table VII: evidence-format sensitivity — CHESS and CodeS evaluated with
+//! SEED_deepseek evidence vs the revised (join-information-free) evidence.
+
+use seed_bench::{corpus_config, fmt_scores};
+use seed_core::SeedVariant;
+use seed_datasets::{bird::build_bird, Split};
+use seed_eval::{EvidenceSetting, ExperimentRunner, Table};
+use seed_text2sql::{Chess, ChessConfig, CodeS, Text2SqlSystem};
+
+fn main() {
+    let bench = build_bird(&corpus_config());
+    let runner = ExperimentRunner::new(&bench, Split::Dev)
+        .with_seed_variants(&[SeedVariant::Deepseek, SeedVariant::Revised]);
+
+    let systems: Vec<Box<dyn Text2SqlSystem>> = vec![
+        Box::new(Chess::new(ChessConfig::IrCgUt)),
+        Box::new(CodeS::new(15)),
+        Box::new(CodeS::new(7)),
+    ];
+
+    let mut ex_table = Table::new(
+        "Table VII (dev EX%): SEED_deepseek vs SEED_revised",
+        &["system", "w/o SEED", "w/ SEED_deepseek", "w/ SEED_revised"],
+    );
+    let mut ves_table = Table::new(
+        "Table VII (dev VES%): SEED_deepseek vs SEED_revised",
+        &["system", "w/o SEED", "w/ SEED_deepseek", "w/ SEED_revised"],
+    );
+
+    for system in &systems {
+        let plain = runner.evaluate(system.as_ref(), EvidenceSetting::WithoutEvidence);
+        let deepseek = runner.evaluate(system.as_ref(), EvidenceSetting::SeedDeepseek);
+        let revised = runner.evaluate(system.as_ref(), EvidenceSetting::SeedRevised);
+        ex_table.row(vec![
+            system.name(),
+            fmt_scores(&plain.scores).0,
+            fmt_scores(&deepseek.scores).0,
+            fmt_scores(&revised.scores).0,
+        ]);
+        ves_table.row(vec![
+            system.name(),
+            fmt_scores(&plain.scores).1,
+            fmt_scores(&deepseek.scores).1,
+            fmt_scores(&revised.scores).1,
+        ]);
+        eprintln!("finished {}", system.name());
+    }
+
+    println!("{}", ex_table.render());
+    println!("{}", ves_table.render());
+}

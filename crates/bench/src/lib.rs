@@ -1,0 +1,44 @@
+//! # seed-bench
+//!
+//! The benchmark harness of the SEED reproduction. Every table and figure of
+//! the paper has a dedicated binary (`cargo run --release -p seed-bench --bin
+//! tableN` / `figureN`) that regenerates it from the synthetic corpora, and
+//! the `benches/` directory contains Criterion micro-benchmarks for the
+//! engine, the SEED pipeline, and the design-choice ablations.
+
+use seed_datasets::CorpusConfig;
+
+/// Reads the corpus scale from the `SEED_SCALE` environment variable
+/// (default 1.0) so the harnesses can be run quickly during development.
+pub fn corpus_config() -> CorpusConfig {
+    let scale = std::env::var("SEED_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0 && *s <= 1.0)
+        .unwrap_or(1.0);
+    CorpusConfig { scale, ..CorpusConfig::default() }
+}
+
+/// Formats an EX/VES pair the way the paper's tables report them.
+pub fn fmt_scores(s: &seed_eval::Scores) -> (String, String) {
+    (format!("{:.2}", s.ex), format!("{:.2}", s.ves))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_config_defaults_to_full_scale() {
+        std::env::remove_var("SEED_SCALE");
+        assert_eq!(corpus_config().scale, 1.0);
+    }
+
+    #[test]
+    fn fmt_scores_two_decimals() {
+        let s = seed_eval::Scores { ex: 54.6875, ves: 56.4012, n: 10 };
+        let (ex, ves) = fmt_scores(&s);
+        assert_eq!(ex, "54.69");
+        assert_eq!(ves, "56.40");
+    }
+}

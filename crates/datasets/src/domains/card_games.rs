@@ -1,0 +1,194 @@
+//! The `card_games` domain (cards, legalities) — the source of the paper's
+//! case-sensitivity example ("restricted" vs "Restricted", Table I).
+
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, KnowledgeKind, SqlCondition};
+use seed_sqlengine::{ColumnDef, DataType, Database, DatabaseSchema, ForeignKey, TableSchema};
+
+use super::{domain_rng, DomainData};
+use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
+use crate::CorpusConfig;
+
+const FORMATS: &[&str] = &["commander", "legacy", "modern", "vintage", "pauper"];
+const STATUSES: &[&str] = &["Legal", "Banned", "Restricted"];
+
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("card_games");
+    s.add_table(TableSchema::new(
+        "cards",
+        vec![
+            ColumnDef::new("id", DataType::Integer).primary_key(),
+            ColumnDef::new("name", DataType::Text).described("card name"),
+            ColumnDef::new("isTextless", DataType::Integer)
+                .described("whether the card has no text box")
+                .with_values("0 means the card has a text box; 1 means the card is textless"),
+            ColumnDef::new("manaValue", DataType::Real).described("converted mana cost"),
+            ColumnDef::new("rarity", DataType::Text).described("card rarity"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "legalities",
+        vec![
+            ColumnDef::new("id", DataType::Integer).primary_key(),
+            ColumnDef::new("card_id", DataType::Integer),
+            ColumnDef::new("format", DataType::Text).described("play format"),
+            ColumnDef::new("status", DataType::Text)
+                .described("legality status")
+                .with_values("values are 'Legal', 'Banned', 'Restricted' (note the capitalisation)"),
+        ],
+    ))
+    .unwrap();
+    s.add_foreign_key(ForeignKey {
+        from_table: "legalities".into(),
+        from_column: "card_id".into(),
+        to_table: "cards".into(),
+        to_column: "id".into(),
+    });
+    s
+}
+
+fn populate(db: &mut Database, config: &CorpusConfig) {
+    let mut rng = domain_rng(config, 0xca4d);
+    let n_cards = config.scaled(140, 30);
+    let rarities = ["common", "uncommon", "rare", "mythic"];
+    for i in 0..n_cards {
+        let id = i as i64 + 1;
+        db.insert(
+            "cards",
+            vec![
+                id.into(),
+                format!("Card {id}").into(),
+                i64::from(rng.gen_bool(0.2)).into(),
+                (rng.gen_range(0..12) as f64).into(),
+                rarities[rng.gen_range(0..4)].into(),
+            ],
+        )
+        .unwrap();
+    }
+    let n_legal = config.scaled(220, 50);
+    for i in 0..n_legal {
+        let card = rng.gen_range(1..=n_cards as i64);
+        let format = FORMATS[rng.gen_range(0..FORMATS.len())];
+        let status = STATUSES[super::weighted_index(&mut rng, &[0.7, 0.18, 0.12])];
+        db.insert("legalities", vec![(i as i64 + 1).into(), card.into(), format.into(), status.into()]).unwrap();
+    }
+}
+
+fn restricted() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "restricted",
+        KnowledgeKind::CaseSensitivity,
+        SqlCondition::new("legalities", "status", "=", "Restricted"),
+        SqlCondition::new("legalities", "status", "=", "restricted"),
+    )
+}
+
+fn banned() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "banned",
+        KnowledgeKind::CaseSensitivity,
+        SqlCondition::new("legalities", "status", "=", "Banned"),
+        SqlCondition::new("legalities", "status", "=", "banned"),
+    )
+}
+
+fn has_text_box() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "have text boxes",
+        KnowledgeKind::Synonym,
+        SqlCondition::new("cards", "isTextless", "=", 0),
+        SqlCondition::new("cards", "isTextless", "=", 1),
+    )
+}
+
+fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
+    let mut out = Vec::new();
+    out.push(
+        QuestionBuilder::new("How many cards of legalities whose status is restricted have text boxes?")
+            .select("COUNT(*)")
+            .from("cards")
+            .join("legalities", on_eq("legalities", "card_id", "cards", "id"))
+            .filter_atom(restricted())
+            .filter_atom(has_text_box())
+            .build(),
+    );
+    for format in FORMATS.iter().take(config.scaled(5, 3)) {
+        out.push(
+            QuestionBuilder::new(format!("How many cards are banned in the {format} format?"))
+                .select("COUNT(*)")
+                .from("legalities")
+                .filter(cond("legalities", "format", "=", *format))
+                .filter_atom(banned())
+                .build(),
+        );
+        out.push(
+            QuestionBuilder::new(format!("How many cards are restricted in the {format} format?"))
+                .select("COUNT(*)")
+                .from("legalities")
+                .filter(cond("legalities", "format", "=", *format))
+                .filter_atom(restricted())
+                .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new("What is the average mana value of cards that are banned somewhere?")
+            .select(format!("AVG({})", col("cards", "manaValue")))
+            .from("cards")
+            .join("legalities", on_eq("legalities", "card_id", "cards", "id"))
+            .filter_atom(banned())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("List the distinct names of rare cards that are restricted.")
+            .select(col("cards", "name"))
+            .distinct()
+            .from("cards")
+            .join("legalities", on_eq("legalities", "card_id", "cards", "id"))
+            .filter(cond("cards", "rarity", "=", "rare"))
+            .filter_atom(restricted())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("Which format has the most banned cards?")
+            .select(col("legalities", "format"))
+            .from("legalities")
+            .filter_atom(banned())
+            .group_by(col("legalities", "format"))
+            .order_by("COUNT(*) DESC")
+            .limit(1)
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many mythic cards have text boxes?")
+            .select("COUNT(*)")
+            .from("cards")
+            .filter(cond("cards", "rarity", "=", "mythic"))
+            .filter_atom(has_text_box())
+            .build(),
+    );
+    out
+}
+
+/// Builds the card_games domain.
+pub fn build(config: &CorpusConfig) -> DomainData {
+    let mut db = Database::from_schema(schema());
+    populate(&mut db, config);
+    DomainData { database: db, questions: questions(config) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_sqlengine::{execute, Value};
+
+    #[test]
+    fn status_casing_matters() {
+        let data = build(&CorpusConfig::tiny());
+        let exact = execute(&data.database, "SELECT COUNT(*) FROM legalities WHERE `legalities`.`status` = 'Restricted'").unwrap();
+        let lower = execute(&data.database, "SELECT COUNT(*) FROM legalities WHERE `legalities`.`status` = 'restricted'").unwrap();
+        assert!(matches!(exact.rows[0][0], Value::Integer(n) if n > 0));
+        assert_eq!(lower.rows[0][0], Value::Integer(0));
+    }
+}

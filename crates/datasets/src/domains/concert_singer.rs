@@ -1,0 +1,272 @@
+//! The `concert_singer` domain, modelled on Spider's concert_singer database.
+//! Spider-style: no description files; questions are mostly structural, with a
+//! minority requiring value knowledge (nationalities, capitalised stadium
+//! locations) that SEED's grounding can recover.
+
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, KnowledgeKind, SqlCondition};
+use seed_sqlengine::{ColumnDef, DataType, Database, DatabaseSchema, ForeignKey, TableSchema};
+
+use super::{domain_rng, DomainData};
+use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
+use crate::CorpusConfig;
+
+const COUNTRIES: &[(&str, &str)] = &[
+    ("France", "French"),
+    ("United States", "American"),
+    ("Netherlands", "Dutch"),
+    ("Japan", "Japanese"),
+    ("Brazil", "Brazilian"),
+];
+const LOCATIONS: &[&str] = &["Glasgow", "Aberdeen", "Dundee", "Inverness", "Stirling"];
+
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("concert_singer");
+    s.add_table(TableSchema::new(
+        "stadium",
+        vec![
+            ColumnDef::new("stadium_id", DataType::Integer).primary_key(),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("location", DataType::Text),
+            ColumnDef::new("capacity", DataType::Integer),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "singer",
+        vec![
+            ColumnDef::new("singer_id", DataType::Integer).primary_key(),
+            ColumnDef::new("name", DataType::Text),
+            ColumnDef::new("country", DataType::Text),
+            ColumnDef::new("age", DataType::Integer),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "concert",
+        vec![
+            ColumnDef::new("concert_id", DataType::Integer).primary_key(),
+            ColumnDef::new("concert_name", DataType::Text),
+            ColumnDef::new("stadium_id", DataType::Integer),
+            ColumnDef::new("year", DataType::Integer),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "singer_in_concert",
+        vec![
+            ColumnDef::new("concert_id", DataType::Integer),
+            ColumnDef::new("singer_id", DataType::Integer),
+        ],
+    ))
+    .unwrap();
+    s.add_foreign_key(ForeignKey {
+        from_table: "concert".into(),
+        from_column: "stadium_id".into(),
+        to_table: "stadium".into(),
+        to_column: "stadium_id".into(),
+    });
+    s.add_foreign_key(ForeignKey {
+        from_table: "singer_in_concert".into(),
+        from_column: "concert_id".into(),
+        to_table: "concert".into(),
+        to_column: "concert_id".into(),
+    });
+    s.add_foreign_key(ForeignKey {
+        from_table: "singer_in_concert".into(),
+        from_column: "singer_id".into(),
+        to_table: "singer".into(),
+        to_column: "singer_id".into(),
+    });
+    s
+}
+
+fn populate(db: &mut Database, config: &CorpusConfig) {
+    let mut rng = domain_rng(config, 0xc095);
+    let n_stadium = config.scaled(20, 6);
+    for i in 0..n_stadium {
+        let id = i as i64 + 1;
+        db.insert(
+            "stadium",
+            vec![
+                id.into(),
+                format!("Stadium {id}").into(),
+                LOCATIONS[rng.gen_range(0..LOCATIONS.len())].into(),
+                (rng.gen_range(2..60) * 1000i64).into(),
+            ],
+        )
+        .unwrap();
+    }
+    let n_singer = config.scaled(60, 15);
+    for i in 0..n_singer {
+        let id = i as i64 + 1;
+        db.insert(
+            "singer",
+            vec![
+                id.into(),
+                format!("Singer {id}").into(),
+                COUNTRIES[rng.gen_range(0..COUNTRIES.len())].0.into(),
+                rng.gen_range(18..70i64).into(),
+            ],
+        )
+        .unwrap();
+    }
+    let n_concert = config.scaled(50, 12);
+    for i in 0..n_concert {
+        let id = i as i64 + 1;
+        db.insert(
+            "concert",
+            vec![
+                id.into(),
+                format!("Concert {id}").into(),
+                rng.gen_range(1..=n_stadium as i64).into(),
+                rng.gen_range(2010..2023i64).into(),
+            ],
+        )
+        .unwrap();
+        for _ in 0..rng.gen_range(1..4) {
+            db.insert(
+                "singer_in_concert",
+                vec![id.into(), rng.gen_range(1..=n_singer as i64).into()],
+            )
+            .unwrap();
+        }
+    }
+}
+
+fn nationality(country: &str, adjective: &str) -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        &adjective.to_lowercase(),
+        KnowledgeKind::Synonym,
+        SqlCondition::new("singer", "country", "=", country),
+        SqlCondition::new("singer", "country", "=", adjective),
+    )
+}
+
+fn location(city: &str) -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        &city.to_lowercase(),
+        KnowledgeKind::CaseSensitivity,
+        SqlCondition::new("stadium", "location", "=", city),
+        SqlCondition::new("stadium", "location", "=", city.to_lowercase()),
+    )
+}
+
+fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
+    let mut out = Vec::new();
+    // Structural Spider-style questions (no external knowledge needed).
+    out.push(
+        QuestionBuilder::new("How many singers do we have?")
+            .select("COUNT(*)")
+            .from("singer")
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the average capacity of stadiums?")
+            .select(format!("AVG({})", col("stadium", "capacity")))
+            .from("stadium")
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the maximum capacity of all stadiums?")
+            .select(format!("MAX({})", col("stadium", "capacity")))
+            .from("stadium")
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many concerts were held after 2015?")
+            .select("COUNT(*)")
+            .from("concert")
+            .filter(cond("concert", "year", ">", 2015))
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many concerts are there in each stadium name?")
+            .select(format!("{}, COUNT(*)", col("stadium", "name")))
+            .from("concert")
+            .join("stadium", on_eq("concert", "stadium_id", "stadium", "stadium_id"))
+            .group_by(col("stadium", "name"))
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("Which stadium name held the most concerts?")
+            .select(col("stadium", "name"))
+            .from("concert")
+            .join("stadium", on_eq("concert", "stadium_id", "stadium", "stadium_id"))
+            .group_by(col("stadium", "name"))
+            .order_by("COUNT(*) DESC")
+            .limit(1)
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the average age of singers who performed in a concert after 2018?")
+            .select(format!("AVG({})", col("singer", "age")))
+            .from("singer")
+            .join("singer_in_concert", on_eq("singer_in_concert", "singer_id", "singer", "singer_id"))
+            .join("concert", on_eq("singer_in_concert", "concert_id", "concert", "concert_id"))
+            .filter(cond("concert", "year", ">", 2018))
+            .difficulty(0.45)
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many stadiums have a capacity of more than 30000?")
+            .select("COUNT(*)")
+            .from("stadium")
+            .filter(cond("stadium", "capacity", ">", 30000))
+            .build(),
+    );
+    // Knowledge-flavoured questions (benefit from SEED grounding).
+    for (country, adj) in COUNTRIES.iter().take(config.scaled(4, 2)) {
+        out.push(
+            QuestionBuilder::new(format!("How many {} singers are there?", adj.to_lowercase()))
+                .select("COUNT(*)")
+                .from("singer")
+                .filter_atom(nationality(country, adj))
+                .build(),
+        );
+    }
+    for city in LOCATIONS.iter().take(config.scaled(3, 2)) {
+        out.push(
+            QuestionBuilder::new(format!(
+                "How many concerts took place in a stadium located in {}?",
+                city.to_lowercase()
+            ))
+            .select("COUNT(*)")
+            .from("concert")
+            .join("stadium", on_eq("concert", "stadium_id", "stadium", "stadium_id"))
+            .filter_atom(location(city))
+            .build(),
+        );
+    }
+    out
+}
+
+/// Builds the concert_singer domain.
+pub fn build(config: &CorpusConfig) -> DomainData {
+    let mut db = Database::from_schema(schema());
+    populate(&mut db, config);
+    DomainData { database: db, questions: questions(config) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spider_domain_has_no_descriptions() {
+        let data = build(&CorpusConfig::tiny());
+        for t in &data.database.schema().tables {
+            for c in &t.columns {
+                assert!(c.value_description.is_empty(), "Spider tables ship no value descriptions");
+            }
+        }
+    }
+
+    #[test]
+    fn majority_of_questions_need_no_knowledge() {
+        let data = build(&CorpusConfig::default());
+        let with_atoms = data.questions.iter().filter(|q| !q.atoms.is_empty()).count();
+        assert!(with_atoms * 2 < data.questions.len() + with_atoms, "most Spider questions are structural");
+    }
+}

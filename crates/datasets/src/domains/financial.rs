@@ -1,0 +1,425 @@
+//! The `financial` domain: Czech bank accounts, clients, loans (modelled on
+//! BIRD's `financial` database, the source of the POPLATEK issuance codes the
+//! paper uses as its running example of value-illustration knowledge).
+
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, KnowledgeKind, SqlCondition};
+use seed_sqlengine::{ColumnDef, DataType, Database, DatabaseSchema, ForeignKey, TableSchema};
+
+use super::{domain_rng, weighted_index, DomainData};
+use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
+use crate::CorpusConfig;
+
+const DISTRICTS: &[(&str, &str)] = &[
+    ("Jesenik", "north Moravia"),
+    ("Pisek", "south Bohemia"),
+    ("Prague", "Prague"),
+    ("Brno", "south Moravia"),
+    ("Olomouc", "north Moravia"),
+    ("Liberec", "north Bohemia"),
+    ("Plzen", "west Bohemia"),
+    ("Ostrava", "north Moravia"),
+];
+
+const FREQUENCIES: &[&str] = &["POPLATEK MESICNE", "POPLATEK TYDNE", "POPLATEK PO OBRATU"];
+const STATUSES: &[&str] = &["A", "B", "C", "D"];
+
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("financial");
+    s.add_table(TableSchema::new(
+        "district",
+        vec![
+            ColumnDef::new("district_id", DataType::Integer).primary_key(),
+            ColumnDef::new("district_name", DataType::Text).described("name of the branch district"),
+            ColumnDef::new("region", DataType::Text).described("geographic region"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "account",
+        vec![
+            ColumnDef::new("account_id", DataType::Integer).primary_key(),
+            ColumnDef::new("district_id", DataType::Integer).described("branch location"),
+            ColumnDef::new("frequency", DataType::Text)
+                .described("frequency of statement issuance")
+                .with_values(
+                    "\"POPLATEK MESICNE\" stands for monthly issuance, \
+                     \"POPLATEK TYDNE\" stands for weekly issuance, \
+                     \"POPLATEK PO OBRATU\" stands for issuance after transaction",
+                ),
+            ColumnDef::new("open_date", DataType::Date).described("account opening date"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "client",
+        vec![
+            ColumnDef::new("client_id", DataType::Integer).primary_key(),
+            ColumnDef::new("gender", DataType::Text)
+                .described("client gender")
+                .with_values("\"F\" stands for female, \"M\" stands for male"),
+            ColumnDef::new("birth_date", DataType::Date).described("client birth date"),
+            ColumnDef::new("district_id", DataType::Integer).described("branch where the account was opened"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "loan",
+        vec![
+            ColumnDef::new("loan_id", DataType::Integer).primary_key(),
+            ColumnDef::new("account_id", DataType::Integer),
+            ColumnDef::new("amount", DataType::Real).described("approved loan amount in CZK"),
+            ColumnDef::new("duration", DataType::Integer).described("loan duration in months"),
+            ColumnDef::new("status", DataType::Text)
+                .described("repayment status")
+                .with_values(
+                    "\"A\" stands for contract finished, no problems; \"B\" stands for contract finished, loan not paid; \
+                     \"C\" stands for running contract, OK so far; \"D\" stands for running contract, client in debt",
+                ),
+        ],
+    ))
+    .unwrap();
+    for (from_t, from_c, to_t, to_c) in [
+        ("account", "district_id", "district", "district_id"),
+        ("client", "district_id", "district", "district_id"),
+        ("loan", "account_id", "account", "account_id"),
+    ] {
+        s.add_foreign_key(ForeignKey {
+            from_table: from_t.into(),
+            from_column: from_c.into(),
+            to_table: to_t.into(),
+            to_column: to_c.into(),
+        });
+    }
+    s
+}
+
+fn populate(db: &mut Database, config: &CorpusConfig) {
+    let mut rng = domain_rng(config, 0xf1a);
+    for (i, (name, region)) in DISTRICTS.iter().enumerate() {
+        db.insert("district", vec![(i as i64 + 1).into(), (*name).into(), (*region).into()]).unwrap();
+    }
+    let n_accounts = config.scaled(150, 30);
+    for i in 0..n_accounts {
+        let district = rng.gen_range(1..=DISTRICTS.len() as i64);
+        let freq = FREQUENCIES[weighted_index(&mut rng, &[0.55, 0.3, 0.15])];
+        let year = 1993 + rng.gen_range(0..6);
+        let month = rng.gen_range(1..=12);
+        db.insert(
+            "account",
+            vec![
+                (i as i64 + 1).into(),
+                district.into(),
+                freq.into(),
+                format!("{year}-{month:02}-15").into(),
+            ],
+        )
+        .unwrap();
+    }
+    let n_clients = config.scaled(150, 30);
+    for i in 0..n_clients {
+        let district = rng.gen_range(1..=DISTRICTS.len() as i64);
+        let gender = if rng.gen_bool(0.5) { "F" } else { "M" };
+        let year = 1940 + rng.gen_range(0..55);
+        db.insert(
+            "client",
+            vec![
+                (i as i64 + 1).into(),
+                gender.into(),
+                format!("{year}-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28)).into(),
+                district.into(),
+            ],
+        )
+        .unwrap();
+    }
+    let n_loans = config.scaled(120, 25);
+    for i in 0..n_loans {
+        let account = rng.gen_range(1..=n_accounts as i64);
+        let amount = (rng.gen_range(20..500) * 1000) as f64;
+        let duration = [12i64, 24, 36, 48, 60][rng.gen_range(0..5)];
+        let status = STATUSES[weighted_index(&mut rng, &[0.35, 0.1, 0.4, 0.15])];
+        db.insert(
+            "loan",
+            vec![(i as i64 + 1).into(), account.into(), amount.into(), duration.into(), status.into()],
+        )
+        .unwrap();
+    }
+}
+
+// --- knowledge atoms -------------------------------------------------------
+
+fn weekly() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "weekly issuance",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("account", "frequency", "=", "POPLATEK TYDNE"),
+        SqlCondition::new("account", "frequency", "=", "weekly"),
+    )
+}
+
+fn monthly() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "monthly issuance",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("account", "frequency", "=", "POPLATEK MESICNE"),
+        SqlCondition::new("account", "frequency", "=", "monthly"),
+    )
+}
+
+fn after_transaction() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "issuance after transaction",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("account", "frequency", "=", "POPLATEK PO OBRATU"),
+        SqlCondition::new("account", "frequency", "=", "after transaction"),
+    )
+}
+
+fn female() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "women",
+        KnowledgeKind::Synonym,
+        SqlCondition::new("client", "gender", "=", "F"),
+        SqlCondition::new("client", "gender", "=", "female"),
+    )
+}
+
+fn male() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "male clients",
+        KnowledgeKind::Synonym,
+        SqlCondition::new("client", "gender", "=", "M"),
+        SqlCondition::new("client", "gender", "=", "male"),
+    )
+}
+
+fn in_debt() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "client in debt",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("loan", "status", "=", "D"),
+        SqlCondition::new("loan", "status", "=", "in debt"),
+    )
+}
+
+fn finished_ok() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "finished with no problems",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("loan", "status", "=", "A"),
+        SqlCondition::new("loan", "status", "=", "finished"),
+    )
+}
+
+fn running_ok() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "running contract that is OK so far",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("loan", "status", "=", "C"),
+        SqlCondition::new("loan", "status", "=", "running"),
+    )
+}
+
+// --- questions -------------------------------------------------------------
+
+fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
+    let mut out = Vec::new();
+    let districts: Vec<&str> = DISTRICTS
+        .iter()
+        .take(config.scaled(6, 3))
+        .map(|(n, _)| *n)
+        .collect();
+
+    for d in &districts {
+        out.push(
+            QuestionBuilder::new(format!(
+                "How many clients who opened their accounts in the {d} branch were women?"
+            ))
+            .select("COUNT(*)")
+            .from("client")
+            .join("district", on_eq("client", "district_id", "district", "district_id"))
+            .filter(cond("district", "district_name", "=", *d))
+            .filter_atom(female())
+            .build(),
+        );
+        out.push(
+            QuestionBuilder::new(format!(
+                "List the account ids of weekly issuance accounts located in the {d} branch."
+            ))
+            .select(col("account", "account_id"))
+            .from("account")
+            .join("district", on_eq("account", "district_id", "district", "district_id"))
+            .filter(cond("district", "district_name", "=", *d))
+            .filter_atom(weekly())
+            .build(),
+        );
+        out.push(
+            QuestionBuilder::new(format!("How many male clients are registered in the {d} branch?"))
+                .select("COUNT(*)")
+                .from("client")
+                .join("district", on_eq("client", "district_id", "district", "district_id"))
+                .filter(cond("district", "district_name", "=", *d))
+                .filter_atom(male())
+                .build(),
+        );
+    }
+
+    for amount in [200_000i64, 300_000] {
+        out.push(
+            QuestionBuilder::new(format!(
+                "Among the weekly issuance accounts, how many have a loan of under {amount}?"
+            ))
+            .select("COUNT(*)")
+            .from("account")
+            .join("loan", on_eq("loan", "account_id", "account", "account_id"))
+            .filter_atom(weekly())
+            .filter(cond("loan", "amount", "<", amount))
+            .build(),
+        );
+        out.push(
+            QuestionBuilder::new(format!(
+                "What is the average loan amount of monthly issuance accounts with loans above {amount}?"
+            ))
+            .select(format!("AVG({})", col("loan", "amount")))
+            .from("account")
+            .join("loan", on_eq("loan", "account_id", "account", "account_id"))
+            .filter_atom(monthly())
+            .filter(cond("loan", "amount", ">", amount))
+            .build(),
+        );
+    }
+
+    out.push(
+        QuestionBuilder::new("How many accounts receive a statement with issuance after transaction?")
+            .select("COUNT(*)")
+            .from("account")
+            .filter_atom(after_transaction())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the largest loan amount among weekly issuance accounts?")
+            .select(format!("MAX({})", col("loan", "amount")))
+            .from("account")
+            .join("loan", on_eq("loan", "account_id", "account", "account_id"))
+            .filter_atom(weekly())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many loans belong to a running contract where the client in debt?")
+            .select("COUNT(*)")
+            .from("loan")
+            .filter_atom(in_debt())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the total amount of loans that are finished with no problems?")
+            .select(format!("SUM({})", col("loan", "amount")))
+            .from("loan")
+            .filter_atom(finished_ok())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the average duration of loans on a running contract that is OK so far?")
+            .select(format!("AVG({})", col("loan", "duration")))
+            .from("loan")
+            .filter_atom(running_ok())
+            .build(),
+    );
+    for year in [1960i64, 1975] {
+        out.push(
+            QuestionBuilder::new(format!("How many women clients were born after {year}?"))
+                .select("COUNT(*)")
+                .from("client")
+                .filter_atom(female())
+                .filter(cond("client", "birth_date", ">", format!("{year}-12-31")))
+                .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new(
+            "For each district name, how many weekly issuance accounts does it host? \
+             Report districts with at least 2 such accounts.",
+        )
+        .select(format!("{}, COUNT(*)", col("district", "district_name")))
+        .from("account")
+        .join("district", on_eq("account", "district_id", "district", "district_id"))
+        .filter_atom(weekly())
+        .group_by(col("district", "district_name"))
+        .having("COUNT(*) >= 2")
+        .build(),
+    );
+    out.push(
+        QuestionBuilder::new("Which district name has the most monthly issuance accounts?")
+            .select(col("district", "district_name"))
+            .from("account")
+            .join("district", on_eq("account", "district_id", "district", "district_id"))
+            .filter_atom(monthly())
+            .group_by(col("district", "district_name"))
+            .order_by("COUNT(*) DESC")
+            .limit(1)
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("List the distinct loan durations of accounts with issuance after transaction.")
+            .select(col("loan", "duration"))
+            .distinct()
+            .from("account")
+            .join("loan", on_eq("loan", "account_id", "account", "account_id"))
+            .filter_atom(after_transaction())
+            .order_by(col("loan", "duration"))
+            .build(),
+    );
+    out
+}
+
+/// Builds the financial domain.
+pub fn build(config: &CorpusConfig) -> DomainData {
+    let mut db = Database::from_schema(schema());
+    populate(&mut db, config);
+    DomainData { database: db, questions: questions(config) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_sqlengine::{execute, Value};
+
+    #[test]
+    fn weekly_accounts_exist_and_answer_is_nonzero() {
+        let data = build(&CorpusConfig::default());
+        let rs = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM account WHERE `account`.`frequency` = 'POPLATEK TYDNE'",
+        )
+        .unwrap();
+        assert!(matches!(rs.rows[0][0], Value::Integer(n) if n > 5));
+    }
+
+    #[test]
+    fn naive_weekly_condition_returns_zero_rows() {
+        let data = build(&CorpusConfig::default());
+        let rs = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM account WHERE `account`.`frequency` = 'weekly'",
+        )
+        .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(0), "the naive guess must be wrong");
+    }
+
+    #[test]
+    fn question_count_scales_with_config() {
+        let full = build(&CorpusConfig::default()).questions.len();
+        let tiny = build(&CorpusConfig::tiny()).questions.len();
+        assert!(full > tiny);
+        assert!(full >= 25);
+    }
+
+    #[test]
+    fn descriptions_contain_the_issuance_codes() {
+        let data = build(&CorpusConfig::tiny());
+        let freq = data.database.schema().table("account").unwrap().column("frequency").unwrap();
+        assert!(freq.value_description.contains("POPLATEK TYDNE"));
+        assert!(freq.value_description.contains("weekly"));
+    }
+}

@@ -1,0 +1,207 @@
+//! The `pets_1` domain, modelled on Spider's pets_1 database.
+
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, KnowledgeKind, SqlCondition};
+use seed_sqlengine::{ColumnDef, DataType, Database, DatabaseSchema, ForeignKey, TableSchema};
+
+use super::{domain_rng, DomainData};
+use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
+use crate::CorpusConfig;
+
+const MAJORS: &[&str] = &["CS", "Math", "Physics", "History", "Biology"];
+const PET_TYPES: &[&str] = &["Dog", "Cat", "Bird", "Hamster"];
+
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("pets_1");
+    s.add_table(TableSchema::new(
+        "student",
+        vec![
+            ColumnDef::new("stuid", DataType::Integer).primary_key(),
+            ColumnDef::new("lname", DataType::Text),
+            ColumnDef::new("fname", DataType::Text),
+            ColumnDef::new("age", DataType::Integer),
+            ColumnDef::new("sex", DataType::Text),
+            ColumnDef::new("major", DataType::Text),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "pets",
+        vec![
+            ColumnDef::new("petid", DataType::Integer).primary_key(),
+            ColumnDef::new("pettype", DataType::Text),
+            ColumnDef::new("pet_age", DataType::Integer),
+            ColumnDef::new("weight", DataType::Real),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "has_pet",
+        vec![
+            ColumnDef::new("stuid", DataType::Integer),
+            ColumnDef::new("petid", DataType::Integer),
+        ],
+    ))
+    .unwrap();
+    s.add_foreign_key(ForeignKey {
+        from_table: "has_pet".into(),
+        from_column: "stuid".into(),
+        to_table: "student".into(),
+        to_column: "stuid".into(),
+    });
+    s.add_foreign_key(ForeignKey {
+        from_table: "has_pet".into(),
+        from_column: "petid".into(),
+        to_table: "pets".into(),
+        to_column: "petid".into(),
+    });
+    s
+}
+
+fn populate(db: &mut Database, config: &CorpusConfig) {
+    let mut rng = domain_rng(config, 0x9e75);
+    let n_students = config.scaled(80, 20);
+    for i in 0..n_students {
+        let id = i as i64 + 1;
+        db.insert(
+            "student",
+            vec![
+                id.into(),
+                format!("Last{id}").into(),
+                format!("First{id}").into(),
+                rng.gen_range(17..30i64).into(),
+                if rng.gen_bool(0.5) { "F" } else { "M" }.into(),
+                MAJORS[rng.gen_range(0..MAJORS.len())].into(),
+            ],
+        )
+        .unwrap();
+    }
+    let n_pets = config.scaled(60, 15);
+    for i in 0..n_pets {
+        let id = i as i64 + 1;
+        db.insert(
+            "pets",
+            vec![
+                id.into(),
+                PET_TYPES[rng.gen_range(0..PET_TYPES.len())].into(),
+                rng.gen_range(1..15i64).into(),
+                rng.gen_range(1.0..40.0f64).into(),
+            ],
+        )
+        .unwrap();
+        db.insert("has_pet", vec![rng.gen_range(1..=n_students as i64).into(), id.into()]).unwrap();
+    }
+}
+
+fn pet_type(kind: &str) -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        &format!("{} owners", kind.to_lowercase()),
+        KnowledgeKind::CaseSensitivity,
+        SqlCondition::new("pets", "pettype", "=", kind),
+        SqlCondition::new("pets", "pettype", "=", kind.to_lowercase()),
+    )
+}
+
+fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
+    let mut out = Vec::new();
+    out.push(
+        QuestionBuilder::new("How many students are there?")
+            .select("COUNT(*)")
+            .from("student")
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the average age of all students?")
+            .select(format!("AVG({})", col("student", "age")))
+            .from("student")
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many pets are older than 5 years?")
+            .select("COUNT(*)")
+            .from("pets")
+            .filter(cond("pets", "pet_age", ">", 5))
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the maximum weight of any pet?")
+            .select(format!("MAX({})", col("pets", "weight")))
+            .from("pets")
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many students own at least one pet?")
+            .select(format!("COUNT(DISTINCT {})", col("has_pet", "stuid")))
+            .from("has_pet")
+            .build(),
+    );
+    for major in MAJORS.iter().take(config.scaled(4, 2)) {
+        out.push(
+            QuestionBuilder::new(format!("How many students major in {major}?"))
+                .select("COUNT(*)")
+                .from("student")
+                .filter(cond("student", "major", "=", *major))
+                .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new("How many students younger than 22 own a pet?")
+            .select(format!("COUNT(DISTINCT {})", col("student", "stuid")))
+            .from("student")
+            .join("has_pet", on_eq("has_pet", "stuid", "student", "stuid"))
+            .filter(cond("student", "age", "<", 22))
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("For each major, how many students does it have?")
+            .select(format!("{}, COUNT(*)", col("student", "major")))
+            .from("student")
+            .group_by(col("student", "major"))
+            .build(),
+    );
+    for kind in PET_TYPES.iter().take(config.scaled(3, 2)) {
+        out.push(
+            QuestionBuilder::new(format!(
+                "How many students are {} owners?",
+                kind.to_lowercase()
+            ))
+            .select(format!("COUNT(DISTINCT {})", col("has_pet", "stuid")))
+            .from("has_pet")
+            .join("pets", on_eq("has_pet", "petid", "pets", "petid"))
+            .filter_atom(pet_type(kind))
+            .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new("What is the average weight of pets owned by students older than 24?")
+            .select(format!("AVG({})", col("pets", "weight")))
+            .from("pets")
+            .join("has_pet", on_eq("has_pet", "petid", "pets", "petid"))
+            .join("student", on_eq("has_pet", "stuid", "student", "stuid"))
+            .filter(cond("student", "age", ">", 24))
+            .difficulty(0.4)
+            .build(),
+    );
+    out
+}
+
+/// Builds the pets_1 domain.
+pub fn build(config: &CorpusConfig) -> DomainData {
+    let mut db = Database::from_schema(schema());
+    populate(&mut db, config);
+    DomainData { database: db, questions: questions(config) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_pet_has_an_owner_row() {
+        let data = build(&CorpusConfig::tiny());
+        let pets = data.database.table("pets").unwrap().len();
+        let owners = data.database.table("has_pet").unwrap().len();
+        assert_eq!(pets, owners);
+    }
+}

@@ -1,0 +1,244 @@
+//! The `california_schools` domain (schools, frpm, satscores) — the source of
+//! the magnet-school and SAT-test-taker examples in the paper's Table VI.
+
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, KnowledgeKind, SqlCondition};
+use seed_sqlengine::{ColumnDef, DataType, Database, DatabaseSchema, ForeignKey, TableSchema};
+
+use super::{domain_rng, DomainData};
+use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
+use crate::CorpusConfig;
+
+const COUNTIES: &[&str] = &["Alameda", "Fresno", "Los Angeles", "San Diego", "Santa Clara", "Sacramento"];
+const CITIES: &[&str] = &["Fremont", "Oakland", "Fresno", "San Jose", "Riverside", "Hayward"];
+
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("california_schools");
+    s.add_table(TableSchema::new(
+        "schools",
+        vec![
+            ColumnDef::new("CDSCode", DataType::Integer).primary_key(),
+            ColumnDef::new("School", DataType::Text).described("school name"),
+            ColumnDef::new("County", DataType::Text).described("county name"),
+            ColumnDef::new("City", DataType::Text).described("city name"),
+            ColumnDef::new("Magnet", DataType::Integer)
+                .described("whether the school is a magnet school or offers a magnet program")
+                .with_values("0: N, 1: Y; Magnet = 1 means the school is a magnet school or offers a magnet program"),
+            ColumnDef::new("Charter", DataType::Integer)
+                .described("whether the school is a charter school")
+                .with_values("0: N, 1: Y"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "satscores",
+        vec![
+            ColumnDef::new("cds", DataType::Integer).primary_key(),
+            ColumnDef::new("NumTstTakr", DataType::Integer).described("number of SAT test takers"),
+            ColumnDef::new("NumGE1500", DataType::Integer)
+                .described("number of test takers whose total SAT score is greater or equal to 1500"),
+            ColumnDef::new("AvgScrMath", DataType::Integer).described("average SAT math score"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "frpm",
+        vec![
+            ColumnDef::new("CDSCode", DataType::Integer).primary_key(),
+            ColumnDef::new("FreeMealCount", DataType::Integer).described("free meal count (K-12)"),
+            ColumnDef::new("Enrollment", DataType::Integer).described("enrollment (K-12)"),
+        ],
+    ))
+    .unwrap();
+    for (ft, fc) in [("satscores", "cds"), ("frpm", "CDSCode")] {
+        s.add_foreign_key(ForeignKey {
+            from_table: ft.into(),
+            from_column: fc.into(),
+            to_table: "schools".into(),
+            to_column: "CDSCode".into(),
+        });
+    }
+    s
+}
+
+fn populate(db: &mut Database, config: &CorpusConfig) {
+    let mut rng = domain_rng(config, 0x5c00);
+    let n = config.scaled(140, 30);
+    for i in 0..n {
+        let id = i as i64 + 1;
+        let county = COUNTIES[rng.gen_range(0..COUNTIES.len())];
+        let city = CITIES[rng.gen_range(0..CITIES.len())];
+        let magnet = i64::from(rng.gen_bool(0.3));
+        let charter = i64::from(rng.gen_bool(0.25));
+        db.insert(
+            "schools",
+            vec![
+                id.into(),
+                format!("{city} {} School {id}", if charter == 1 { "Charter" } else { "High" }).into(),
+                county.into(),
+                city.into(),
+                magnet.into(),
+                charter.into(),
+            ],
+        )
+        .unwrap();
+        let takers = rng.gen_range(40..1200i64);
+        let ge1500 = (takers as f64 * rng.gen_range(0.05..0.6)) as i64;
+        db.insert(
+            "satscores",
+            vec![id.into(), takers.into(), ge1500.into(), rng.gen_range(380..720i64).into()],
+        )
+        .unwrap();
+        let enrollment = rng.gen_range(200..3000i64);
+        let free = (enrollment as f64 * rng.gen_range(0.1..0.9)) as i64;
+        db.insert("frpm", vec![id.into(), free.into(), enrollment.into()]).unwrap();
+    }
+}
+
+fn magnet() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "magnet schools or offer a magnet program",
+        KnowledgeKind::Synonym,
+        SqlCondition::new("schools", "Magnet", "=", 1),
+        SqlCondition::new("schools", "Magnet", "=", "Yes"),
+    )
+}
+
+fn charter() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "charter schools",
+        KnowledgeKind::Synonym,
+        SqlCondition::new("schools", "Charter", "=", 1),
+        SqlCondition::new("schools", "Charter", "=", "Y"),
+    )
+}
+
+fn excellence() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "excellent SAT performance",
+        KnowledgeKind::NumericFormula,
+        SqlCondition::new("satscores", "NumGE1500", ">=", 200),
+        SqlCondition::new("satscores", "AvgScrMath", ">=", 200),
+    )
+}
+
+fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
+    let mut out = Vec::new();
+    let counties: Vec<&str> = COUNTIES.iter().take(config.scaled(5, 3)).copied().collect();
+    for county in &counties {
+        out.push(
+            QuestionBuilder::new(format!("How many schools in {county} county are magnet schools or offer a magnet program?"))
+                .select("COUNT(*)")
+                .from("schools")
+                .filter(cond("schools", "County", "=", *county))
+                .filter_atom(magnet())
+                .build(),
+        );
+        out.push(
+            QuestionBuilder::new(format!("How many charter schools are located in {county} county?"))
+                .select("COUNT(*)")
+                .from("schools")
+                .filter(cond("schools", "County", "=", *county))
+                .filter_atom(charter())
+                .build(),
+        );
+    }
+    for takers in [500i64, 800] {
+        out.push(
+            QuestionBuilder::new(format!(
+                "Among schools with SAT test takers of over {takers}, how many are magnet schools or offer a magnet program?"
+            ))
+            .select("COUNT(*)")
+            .from("schools")
+            .join("satscores", on_eq("satscores", "cds", "schools", "CDSCode"))
+            .filter(cond("satscores", "NumTstTakr", ">", takers))
+            .filter_atom(magnet())
+            .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new("What is the highest average SAT math score among charter schools?")
+            .select(format!("MAX({})", col("satscores", "AvgScrMath")))
+            .from("schools")
+            .join("satscores", on_eq("satscores", "cds", "schools", "CDSCode"))
+            .filter_atom(charter())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("List the names of schools with excellent SAT performance in Fremont.")
+            .select(col("schools", "School"))
+            .from("schools")
+            .join("satscores", on_eq("satscores", "cds", "schools", "CDSCode"))
+            .filter(cond("schools", "City", "=", "Fremont"))
+            .filter_atom(excellence())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many magnet schools or offer a magnet program have an enrollment above 1500 students?")
+            .select("COUNT(*)")
+            .from("schools")
+            .join("frpm", on_eq("frpm", "CDSCode", "schools", "CDSCode"))
+            .filter_atom(magnet())
+            .filter(cond("frpm", "Enrollment", ">", 1500))
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("For each county, how many charter schools does it have? Only report counties with at least 3.")
+            .select(format!("{}, COUNT(*)", col("schools", "County")))
+            .from("schools")
+            .filter_atom(charter())
+            .group_by(col("schools", "County"))
+            .having("COUNT(*) >= 3")
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("Which city hosts the most magnet schools or offer a magnet program?")
+            .select(col("schools", "City"))
+            .from("schools")
+            .filter_atom(magnet())
+            .group_by(col("schools", "City"))
+            .order_by("COUNT(*) DESC")
+            .limit(1)
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("What is the average free meal count of charter schools?")
+            .select(format!("AVG({})", col("frpm", "FreeMealCount")))
+            .from("schools")
+            .join("frpm", on_eq("frpm", "CDSCode", "schools", "CDSCode"))
+            .filter_atom(charter())
+            .build(),
+    );
+    out
+}
+
+/// Builds the california_schools domain.
+pub fn build(config: &CorpusConfig) -> DomainData {
+    let mut db = Database::from_schema(schema());
+    populate(&mut db, config);
+    DomainData { database: db, questions: questions(config) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_sqlengine::{execute, Value};
+
+    #[test]
+    fn magnet_flag_is_integer_coded() {
+        let data = build(&CorpusConfig::tiny());
+        let rs = execute(&data.database, "SELECT COUNT(*) FROM schools WHERE `schools`.`Magnet` = 1").unwrap();
+        assert!(matches!(rs.rows[0][0], Value::Integer(n) if n > 0));
+        let naive = execute(&data.database, "SELECT COUNT(*) FROM schools WHERE `schools`.`Magnet` = 'Yes'").unwrap();
+        assert_eq!(naive.rows[0][0], Value::Integer(0));
+    }
+
+    #[test]
+    fn all_questions_have_expected_structure() {
+        let data = build(&CorpusConfig::default());
+        assert!(data.questions.len() >= 15);
+        assert!(data.questions.iter().any(|q| q.gold_sql.contains("INNER JOIN")));
+        assert!(data.questions.iter().any(|q| q.gold_sql.contains("GROUP BY")));
+    }
+}

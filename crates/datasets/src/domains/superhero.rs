@@ -1,0 +1,221 @@
+//! The `superhero` domain — the source of the paper's incorrect-schema-selection
+//! example (full_name vs superhero_name, Table I).
+
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, KnowledgeKind, SqlCondition};
+use seed_sqlengine::{ColumnDef, DataType, Database, DatabaseSchema, ForeignKey, TableSchema};
+
+use super::{domain_rng, DomainData};
+use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
+use crate::CorpusConfig;
+
+const COLOURS: &[&str] = &["Blue", "Brown", "Green", "Red", "Black", "Yellow", "White", "Amber"];
+const PUBLISHERS: &[&str] = &["Marvel Comics", "DC Comics", "Dark Horse Comics", "Image Comics"];
+const FIRST: &[&str] = &["Peter", "Diana", "Bruce", "Clark", "Natasha", "Tony", "Steve", "Wanda", "Barry", "Hal"];
+const LAST: &[&str] = &["Parker", "Prince", "Wayne", "Kent", "Romanoff", "Stark", "Rogers", "Maximoff", "Allen", "Jordan"];
+
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("superhero");
+    s.add_table(TableSchema::new(
+        "colour",
+        vec![
+            ColumnDef::new("id", DataType::Integer).primary_key(),
+            ColumnDef::new("colour", DataType::Text).described("colour name, capitalised (e.g. 'Blue')"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "publisher",
+        vec![
+            ColumnDef::new("id", DataType::Integer).primary_key(),
+            ColumnDef::new("publisher_name", DataType::Text).described("publisher name"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "superhero",
+        vec![
+            ColumnDef::new("id", DataType::Integer).primary_key(),
+            ColumnDef::new("superhero_name", DataType::Text).described("the hero's alias (e.g. 'Spider-Man')"),
+            ColumnDef::new("full_name", DataType::Text).described("the hero's civilian full name"),
+            ColumnDef::new("eye_colour_id", DataType::Integer).described("foreign key to colour"),
+            ColumnDef::new("hair_colour_id", DataType::Integer).described("foreign key to colour"),
+            ColumnDef::new("publisher_id", DataType::Integer).described("foreign key to publisher"),
+            ColumnDef::new("height_cm", DataType::Integer).described("height in centimetres"),
+        ],
+    ))
+    .unwrap();
+    for c in ["eye_colour_id", "hair_colour_id"] {
+        s.add_foreign_key(ForeignKey {
+            from_table: "superhero".into(),
+            from_column: c.into(),
+            to_table: "colour".into(),
+            to_column: "id".into(),
+        });
+    }
+    s.add_foreign_key(ForeignKey {
+        from_table: "superhero".into(),
+        from_column: "publisher_id".into(),
+        to_table: "publisher".into(),
+        to_column: "id".into(),
+    });
+    s
+}
+
+fn populate(db: &mut Database, config: &CorpusConfig) {
+    let mut rng = domain_rng(config, 0x5e40);
+    for (i, c) in COLOURS.iter().enumerate() {
+        db.insert("colour", vec![(i as i64 + 1).into(), (*c).into()]).unwrap();
+    }
+    for (i, p) in PUBLISHERS.iter().enumerate() {
+        db.insert("publisher", vec![(i as i64 + 1).into(), (*p).into()]).unwrap();
+    }
+    let n = config.scaled(130, 30);
+    for i in 0..n {
+        let id = i as i64 + 1;
+        let first = FIRST[rng.gen_range(0..FIRST.len())];
+        let last = LAST[rng.gen_range(0..LAST.len())];
+        db.insert(
+            "superhero",
+            vec![
+                id.into(),
+                format!("Hero-{id}").into(),
+                format!("{first} {last}").into(),
+                rng.gen_range(1..=COLOURS.len() as i64).into(),
+                rng.gen_range(1..=COLOURS.len() as i64).into(),
+                rng.gen_range(1..=PUBLISHERS.len() as i64).into(),
+                rng.gen_range(150..210i64).into(),
+            ],
+        )
+        .unwrap();
+    }
+}
+
+fn blue_eyes() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "blue eyes",
+        KnowledgeKind::CaseSensitivity,
+        SqlCondition::new("colour", "colour", "=", "Blue"),
+        SqlCondition::new("colour", "colour", "=", "blue"),
+    )
+}
+
+fn eye_colour(name: &str) -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        &format!("{} eyes", name.to_lowercase()),
+        KnowledgeKind::CaseSensitivity,
+        SqlCondition::new("colour", "colour", "=", name),
+        SqlCondition::new("colour", "colour", "=", name.to_lowercase()),
+    )
+}
+
+/// "full names of superheroes" — the schema-selection trap: the right column is
+/// `full_name`, the tempting one is `superhero_name`.
+fn full_name_choice() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "full names",
+        KnowledgeKind::SchemaChoice,
+        SqlCondition::new("superhero", "full_name", "!=", ""),
+        SqlCondition::new("superhero", "superhero_name", "!=", ""),
+    )
+}
+
+fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
+    let mut out = Vec::new();
+    out.push(
+        QuestionBuilder::new("List down at least five full names of superheroes with blue eyes.")
+            .select(col("superhero", "full_name"))
+            .from("superhero")
+            .join("colour", on_eq("superhero", "eye_colour_id", "colour", "id"))
+            .filter_atom(blue_eyes())
+            .filter_atom(full_name_choice())
+            .limit(5)
+            .build(),
+    );
+    for c in COLOURS.iter().take(config.scaled(6, 3)) {
+        out.push(
+            QuestionBuilder::new(format!("How many superheroes have {} eyes?", c.to_lowercase()))
+                .select("COUNT(*)")
+                .from("superhero")
+                .join("colour", on_eq("superhero", "eye_colour_id", "colour", "id"))
+                .filter_atom(eye_colour(c))
+                .build(),
+        );
+    }
+    for p in PUBLISHERS.iter().take(config.scaled(4, 2)) {
+        out.push(
+            QuestionBuilder::new(format!("How many superheroes published by {p} have blue eyes?"))
+                .select("COUNT(*)")
+                .from("superhero")
+                .join("colour", on_eq("superhero", "eye_colour_id", "colour", "id"))
+                .join("publisher", on_eq("superhero", "publisher_id", "publisher", "id"))
+                .filter(cond("publisher", "publisher_name", "=", *p))
+                .filter_atom(blue_eyes())
+                .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new("What is the average height of superheroes with green eyes?")
+            .select(format!("AVG({})", col("superhero", "height_cm")))
+            .from("superhero")
+            .join("colour", on_eq("superhero", "eye_colour_id", "colour", "id"))
+            .filter_atom(eye_colour("Green"))
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("Which publisher name has the most superheroes with black eyes?")
+            .select(col("publisher", "publisher_name"))
+            .from("superhero")
+            .join("colour", on_eq("superhero", "eye_colour_id", "colour", "id"))
+            .join("publisher", on_eq("superhero", "publisher_id", "publisher", "id"))
+            .filter_atom(eye_colour("Black"))
+            .group_by(col("publisher", "publisher_name"))
+            .order_by("COUNT(*) DESC")
+            .limit(1)
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many superheroes taller than 190 cm have red eyes?")
+            .select("COUNT(*)")
+            .from("superhero")
+            .join("colour", on_eq("superhero", "eye_colour_id", "colour", "id"))
+            .filter(cond("superhero", "height_cm", ">", 190))
+            .filter_atom(eye_colour("Red"))
+            .build(),
+    );
+    out
+}
+
+/// Builds the superhero domain.
+pub fn build(config: &CorpusConfig) -> DomainData {
+    let mut db = Database::from_schema(schema());
+    populate(&mut db, config);
+    DomainData { database: db, questions: questions(config) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_sqlengine::{execute, Value};
+
+    #[test]
+    fn colour_casing_is_capitalised() {
+        let data = build(&CorpusConfig::tiny());
+        let rs = execute(&data.database, "SELECT COUNT(*) FROM colour WHERE `colour`.`colour` = 'Blue'").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(1));
+        let rs = execute(&data.database, "SELECT COUNT(*) FROM colour WHERE `colour`.`colour` = 'blue'").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(0));
+    }
+
+    #[test]
+    fn full_name_differs_from_alias() {
+        let data = build(&CorpusConfig::tiny());
+        let rs = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM superhero WHERE `superhero`.`full_name` = `superhero`.`superhero_name`",
+        )
+        .unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(0));
+    }
+}

@@ -1,0 +1,253 @@
+//! The `thrombosis_prediction` domain (patient, laboratory) — the source of the
+//! paper's domain-knowledge example (hematocrit normal range, Table III).
+
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, KnowledgeKind, SqlCondition};
+use seed_sqlengine::{ColumnDef, DataType, Database, DatabaseSchema, ForeignKey, TableSchema};
+
+use super::{domain_rng, DomainData};
+use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
+use crate::CorpusConfig;
+
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("thrombosis_prediction");
+    s.add_table(TableSchema::new(
+        "patient",
+        vec![
+            ColumnDef::new("ID", DataType::Integer).primary_key(),
+            ColumnDef::new("SEX", DataType::Text)
+                .described("patient sex")
+                .with_values("'F' stands for female, 'M' stands for male"),
+            ColumnDef::new("Birthday", DataType::Date).described("patient birth date"),
+            ColumnDef::new("Admission", DataType::Text)
+                .described("admission status")
+                .with_values("'+' means the patient was admitted to the hospital, '-' means followed as an outpatient"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "laboratory",
+        vec![
+            ColumnDef::new("lab_id", DataType::Integer).primary_key(),
+            ColumnDef::new("ID", DataType::Integer).described("patient ID"),
+            ColumnDef::new("Date", DataType::Date).described("examination date"),
+            ColumnDef::new("HCT", DataType::Real)
+                .described("hematocrit level")
+                .with_values("Normal range: 29 < N < 52"),
+            ColumnDef::new("GLU", DataType::Real)
+                .described("blood glucose")
+                .with_values("Normal range: N < 180"),
+            ColumnDef::new("WBC", DataType::Real)
+                .described("white blood cell count")
+                .with_values("Normal range: 3.5 < N < 9.0"),
+        ],
+    ))
+    .unwrap();
+    s.add_foreign_key(ForeignKey {
+        from_table: "laboratory".into(),
+        from_column: "ID".into(),
+        to_table: "patient".into(),
+        to_column: "ID".into(),
+    });
+    s
+}
+
+fn populate(db: &mut Database, config: &CorpusConfig) {
+    let mut rng = domain_rng(config, 0x7b05);
+    let n_patients = config.scaled(90, 20);
+    let mut lab_id = 0i64;
+    for i in 0..n_patients {
+        let id = i as i64 + 1;
+        let sex = if rng.gen_bool(0.55) { "F" } else { "M" };
+        let year = 1930 + rng.gen_range(0..60);
+        let admission = if rng.gen_bool(0.4) { "+" } else { "-" };
+        db.insert(
+            "patient",
+            vec![
+                id.into(),
+                sex.into(),
+                format!("{year}-{:02}-{:02}", rng.gen_range(1..=12), rng.gen_range(1..=28)).into(),
+                admission.into(),
+            ],
+        )
+        .unwrap();
+        for _ in 0..rng.gen_range(1..5) {
+            lab_id += 1;
+            let hct = rng.gen_range(25.0..60.0f64);
+            let glu = rng.gen_range(70.0..260.0f64);
+            let wbc = rng.gen_range(2.0..14.0f64);
+            db.insert(
+                "laboratory",
+                vec![
+                    lab_id.into(),
+                    id.into(),
+                    format!("199{}-{:02}-10", rng.gen_range(0..10), rng.gen_range(1..=12)).into(),
+                    hct.into(),
+                    glu.into(),
+                    wbc.into(),
+                ],
+            )
+            .unwrap();
+        }
+    }
+}
+
+fn hct_high() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "hematocrit level exceeded the normal range",
+        KnowledgeKind::DomainThreshold,
+        SqlCondition::new("laboratory", "HCT", ">=", 52),
+        SqlCondition::new("laboratory", "HCT", ">", 100),
+    )
+}
+
+fn glu_high() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "blood glucose above the normal range",
+        KnowledgeKind::DomainThreshold,
+        SqlCondition::new("laboratory", "GLU", ">=", 180),
+        SqlCondition::new("laboratory", "GLU", ">", 500),
+    )
+}
+
+fn wbc_low() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "white blood cell count below the normal range",
+        KnowledgeKind::DomainThreshold,
+        SqlCondition::new("laboratory", "WBC", "<", 3.5),
+        SqlCondition::new("laboratory", "WBC", "<", 1.0),
+    )
+}
+
+fn female() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "female patients",
+        KnowledgeKind::Synonym,
+        SqlCondition::new("patient", "SEX", "=", "F"),
+        SqlCondition::new("patient", "SEX", "=", "female"),
+    )
+}
+
+fn admitted() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "admitted to the hospital",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("patient", "Admission", "=", "+"),
+        SqlCondition::new("patient", "Admission", "=", "yes"),
+    )
+}
+
+fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
+    let mut out = Vec::new();
+    out.push(
+        QuestionBuilder::new(
+            "Name the IDs of patients with two or more laboratory examinations whose hematocrit level exceeded the normal range.",
+        )
+        .select(col("patient", "ID"))
+        .from("patient")
+        .join("laboratory", on_eq("laboratory", "ID", "patient", "ID"))
+        .filter_atom(hct_high())
+        .group_by(col("patient", "ID"))
+        .having("COUNT(*) >= 2")
+        .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many laboratory examinations show a hematocrit level exceeded the normal range?")
+            .select("COUNT(*)")
+            .from("laboratory")
+            .filter_atom(hct_high())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many laboratory examinations report blood glucose above the normal range?")
+            .select("COUNT(*)")
+            .from("laboratory")
+            .filter_atom(glu_high())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many laboratory tests show a white blood cell count below the normal range?")
+            .select("COUNT(*)")
+            .from("laboratory")
+            .filter_atom(wbc_low())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many female patients were admitted to the hospital?")
+            .select("COUNT(*)")
+            .from("patient")
+            .filter_atom(female())
+            .filter_atom(admitted())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new(
+            "How many distinct female patients have a laboratory test with blood glucose above the normal range?",
+        )
+        .select(format!("COUNT(DISTINCT {})", col("patient", "ID")))
+        .from("patient")
+        .join("laboratory", on_eq("laboratory", "ID", "patient", "ID"))
+        .filter_atom(female())
+        .filter_atom(glu_high())
+        .build(),
+    );
+    for year in [1950i64, 1965] {
+        out.push(
+            QuestionBuilder::new(format!(
+                "How many patients born after {year} were admitted to the hospital?"
+            ))
+            .select("COUNT(*)")
+            .from("patient")
+            .filter(cond("patient", "Birthday", ">", format!("{year}-12-31")))
+            .filter_atom(admitted())
+            .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new("What is the average blood glucose of patients admitted to the hospital?")
+            .select(format!("AVG({})", col("laboratory", "GLU")))
+            .from("patient")
+            .join("laboratory", on_eq("laboratory", "ID", "patient", "ID"))
+            .filter_atom(admitted())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new(
+            "List the IDs of patients whose hematocrit level exceeded the normal range, ordered by ID.",
+        )
+        .select(col("laboratory", "ID"))
+        .distinct()
+        .from("laboratory")
+        .filter_atom(hct_high())
+        .order_by(col("laboratory", "ID"))
+        .build(),
+    );
+    let _ = config;
+    out
+}
+
+/// Builds the thrombosis_prediction domain.
+pub fn build(config: &CorpusConfig) -> DomainData {
+    let mut db = Database::from_schema(schema());
+    populate(&mut db, config);
+    DomainData { database: db, questions: questions(config) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_sqlengine::{execute, Value};
+
+    #[test]
+    fn normal_range_threshold_separates_results() {
+        let data = build(&CorpusConfig::tiny());
+        let correct = execute(&data.database, "SELECT COUNT(*) FROM laboratory WHERE `laboratory`.`HCT` >= 52").unwrap();
+        let naive = execute(&data.database, "SELECT COUNT(*) FROM laboratory WHERE `laboratory`.`HCT` > 100").unwrap();
+        let c = correct.rows[0][0].as_i64().unwrap();
+        let n = naive.rows[0][0].as_i64().unwrap();
+        assert!(c > 0);
+        assert_eq!(n, 0);
+        let _ = Value::Integer(0);
+    }
+}

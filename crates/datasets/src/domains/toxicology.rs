@@ -1,0 +1,219 @@
+//! The `toxicology` domain (molecule, atom, bond) — the source of the paper's
+//! double-bond / element-code examples (Tables I and III).
+
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, KnowledgeKind, SqlCondition};
+use seed_sqlengine::{ColumnDef, DataType, Database, DatabaseSchema, ForeignKey, TableSchema};
+
+use super::{domain_rng, weighted_index, DomainData};
+use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
+use crate::CorpusConfig;
+
+const ELEMENTS: &[(&str, &str)] = &[
+    ("c", "Carbon"),
+    ("h", "Hydrogen"),
+    ("o", "Oxygen"),
+    ("n", "Nitrogen"),
+    ("cl", "Chlorine"),
+    ("s", "Sulfur"),
+    ("p", "Phosphorus"),
+    ("br", "Bromine"),
+];
+const BOND_TYPES: &[&str] = &["-", "=", "#"];
+
+fn schema() -> DatabaseSchema {
+    let mut s = DatabaseSchema::new("toxicology");
+    s.add_table(TableSchema::new(
+        "molecule",
+        vec![
+            ColumnDef::new("molecule_id", DataType::Text).primary_key(),
+            ColumnDef::new("label", DataType::Text)
+                .described("whether the molecule is carcinogenic")
+                .with_values("'+' means the molecule is carcinogenic, '-' means it is not"),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "atom",
+        vec![
+            ColumnDef::new("atom_id", DataType::Integer).primary_key(),
+            ColumnDef::new("molecule_id", DataType::Text),
+            ColumnDef::new("element", DataType::Text)
+                .described("chemical element of the atom")
+                .with_values(
+                    "element = 'cl' means Chlorine; 'c' means Carbon; 'h' means Hydrogen; 'o' means Oxygen; \
+                     's' means Sulfur; 'n' means Nitrogen; 'p' means Phosphorus; 'br' means Bromine",
+                ),
+        ],
+    ))
+    .unwrap();
+    s.add_table(TableSchema::new(
+        "bond",
+        vec![
+            ColumnDef::new("bond_id", DataType::Integer).primary_key(),
+            ColumnDef::new("molecule_id", DataType::Text),
+            ColumnDef::new("bond_type", DataType::Text)
+                .described("type of the chemical bond")
+                .with_values("'-' means single bond, '=' means double bond, '#' means triple bond"),
+        ],
+    ))
+    .unwrap();
+    for t in ["atom", "bond"] {
+        s.add_foreign_key(ForeignKey {
+            from_table: t.into(),
+            from_column: "molecule_id".into(),
+            to_table: "molecule".into(),
+            to_column: "molecule_id".into(),
+        });
+    }
+    s
+}
+
+fn populate(db: &mut Database, config: &CorpusConfig) {
+    let mut rng = domain_rng(config, 0x70c);
+    let n_mol = config.scaled(60, 15);
+    let mut atom_id = 0i64;
+    let mut bond_id = 0i64;
+    for i in 0..n_mol {
+        let mid = format!("TR{:03}", i + 1);
+        let label = if rng.gen_bool(0.45) { "+" } else { "-" };
+        db.insert("molecule", vec![mid.clone().into(), label.into()]).unwrap();
+        for _ in 0..rng.gen_range(3..8) {
+            atom_id += 1;
+            let el = ELEMENTS[weighted_index(&mut rng, &[0.3, 0.3, 0.12, 0.1, 0.06, 0.05, 0.04, 0.03])].0;
+            db.insert("atom", vec![atom_id.into(), mid.clone().into(), el.into()]).unwrap();
+        }
+        for _ in 0..rng.gen_range(2..7) {
+            bond_id += 1;
+            let bt = BOND_TYPES[weighted_index(&mut rng, &[0.6, 0.3, 0.1])];
+            db.insert("bond", vec![bond_id.into(), mid.clone().into(), bt.into()]).unwrap();
+        }
+    }
+}
+
+fn double_bond() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "double bond",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("bond", "bond_type", "=", "="),
+        SqlCondition::new("bond", "bond_type", "=", "double"),
+    )
+}
+
+fn triple_bond() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "triple bond",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("bond", "bond_type", "=", "#"),
+        SqlCondition::new("bond", "bond_type", "=", "triple"),
+    )
+}
+
+fn carcinogenic() -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        "carcinogenic",
+        KnowledgeKind::ValueIllustration,
+        SqlCondition::new("molecule", "label", "=", "+"),
+        SqlCondition::new("molecule", "label", "=", "yes"),
+    )
+}
+
+fn element(code: &str, name: &str) -> KnowledgeAtom {
+    KnowledgeAtom::new(
+        &name.to_lowercase(),
+        KnowledgeKind::Synonym,
+        SqlCondition::new("atom", "element", "=", code),
+        SqlCondition::new("atom", "element", "=", name.to_lowercase()),
+    )
+}
+
+fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
+    let mut out = Vec::new();
+    for mid in ["TR001", "TR005", "TR010"] {
+        out.push(
+            QuestionBuilder::new(format!("List all the elements of atoms in molecule {mid} whose molecule has a double bond."))
+                .select(col("atom", "element"))
+                .distinct()
+                .from("atom")
+                .join("bond", on_eq("bond", "molecule_id", "atom", "molecule_id"))
+                .filter(cond("atom", "molecule_id", "=", mid))
+                .filter_atom(double_bond())
+                .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new("How many molecules are carcinogenic?")
+            .select("COUNT(*)")
+            .from("molecule")
+            .filter_atom(carcinogenic())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many bonds in carcinogenic molecules are a double bond?")
+            .select("COUNT(*)")
+            .from("bond")
+            .join("molecule", on_eq("bond", "molecule_id", "molecule", "molecule_id"))
+            .filter_atom(carcinogenic())
+            .filter_atom(double_bond())
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("How many bonds are a triple bond?")
+            .select("COUNT(*)")
+            .from("bond")
+            .filter_atom(triple_bond())
+            .build(),
+    );
+    for (code, name) in ELEMENTS.iter().take(config.scaled(6, 4)) {
+        out.push(
+            QuestionBuilder::new(format!("How many atoms are {}?", name.to_lowercase()))
+                .select("COUNT(*)")
+                .from("atom")
+                .filter_atom(element(code, name))
+                .build(),
+        );
+    }
+    out.push(
+        QuestionBuilder::new("How many carcinogenic molecules contain chlorine?")
+            .select(format!("COUNT(DISTINCT {})", col("molecule", "molecule_id")))
+            .from("molecule")
+            .join("atom", on_eq("atom", "molecule_id", "molecule", "molecule_id"))
+            .filter_atom(carcinogenic())
+            .filter_atom(element("cl", "Chlorine"))
+            .build(),
+    );
+    out.push(
+        QuestionBuilder::new("Which molecule id has the most atoms of carbon?")
+            .select(col("atom", "molecule_id"))
+            .from("atom")
+            .filter_atom(element("c", "Carbon"))
+            .group_by(col("atom", "molecule_id"))
+            .order_by("COUNT(*) DESC")
+            .limit(1)
+            .build(),
+    );
+    out
+}
+
+/// Builds the toxicology domain.
+pub fn build(config: &CorpusConfig) -> DomainData {
+    let mut db = Database::from_schema(schema());
+    populate(&mut db, config);
+    DomainData { database: db, questions: questions(config) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_sqlengine::{execute, Value};
+
+    #[test]
+    fn bond_type_codes_are_symbols() {
+        let data = build(&CorpusConfig::tiny());
+        let eq = execute(&data.database, "SELECT COUNT(*) FROM bond WHERE `bond`.`bond_type` = '='").unwrap();
+        assert!(matches!(eq.rows[0][0], Value::Integer(n) if n > 0));
+        let word = execute(&data.database, "SELECT COUNT(*) FROM bond WHERE `bond`.`bond_type` = 'double'").unwrap();
+        assert_eq!(word.rows[0][0], Value::Integer(0));
+    }
+}

@@ -1,0 +1,330 @@
+//! Human-evidence records and the defect injection that reproduces the
+//! paper's audit of the BIRD development set (Figure 2, Tables I and II).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use seed_llm::{KnowledgeAtom, SqlCondition};
+use seed_sqlengine::Value;
+
+/// The defect categories the paper's audit found in BIRD evidence (§I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvidenceErrorType {
+    IncorrectCalculation,
+    Typo,
+    UnnecessaryInformation,
+    CaseSensitivity,
+    InvalidDateFormat,
+    IncorrectSchemaSelection,
+    InvalidValueMapping,
+    ComparisonOperatorMisuse,
+}
+
+impl EvidenceErrorType {
+    /// All error types in a stable order.
+    pub fn all() -> [EvidenceErrorType; 8] {
+        [
+            EvidenceErrorType::IncorrectCalculation,
+            EvidenceErrorType::Typo,
+            EvidenceErrorType::UnnecessaryInformation,
+            EvidenceErrorType::CaseSensitivity,
+            EvidenceErrorType::InvalidDateFormat,
+            EvidenceErrorType::IncorrectSchemaSelection,
+            EvidenceErrorType::InvalidValueMapping,
+            EvidenceErrorType::ComparisonOperatorMisuse,
+        ]
+    }
+
+    /// Human-readable label used in reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EvidenceErrorType::IncorrectCalculation => "incorrect calculation",
+            EvidenceErrorType::Typo => "typo",
+            EvidenceErrorType::UnnecessaryInformation => "unnecessary information",
+            EvidenceErrorType::CaseSensitivity => "case-sensitivity issue",
+            EvidenceErrorType::InvalidDateFormat => "invalid date format",
+            EvidenceErrorType::IncorrectSchemaSelection => "incorrect schema selection",
+            EvidenceErrorType::InvalidValueMapping => "invalid value mapping",
+            EvidenceErrorType::ComparisonOperatorMisuse => "comparison operator misuse",
+        }
+    }
+}
+
+/// Whether an evidence record is sound.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvidenceStatus {
+    /// Correct and complete.
+    Correct,
+    /// The question shipped with no evidence at all (9.65 % of BIRD dev).
+    Missing,
+    /// The evidence is present but defective (6.84 % of BIRD dev).
+    Erroneous(EvidenceErrorType),
+}
+
+/// The evidence attached to a question by the benchmark, plus the corrected
+/// version used by the Table II before/after experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceRecord {
+    /// Evidence as shipped (possibly empty or defective).
+    pub text: String,
+    /// Soundness status.
+    pub status: EvidenceStatus,
+    /// Manually corrected evidence (equals `text` when already correct).
+    pub corrected: String,
+}
+
+impl EvidenceRecord {
+    /// A correct record.
+    pub fn correct(text: impl Into<String>) -> Self {
+        let text = text.into();
+        EvidenceRecord { corrected: text.clone(), text, status: EvidenceStatus::Correct }
+    }
+
+    /// The empty record used for Spider questions (no evidence concept at all).
+    pub fn none() -> Self {
+        EvidenceRecord { text: String::new(), corrected: String::new(), status: EvidenceStatus::Missing }
+    }
+
+    /// True if the record ships usable (non-empty) evidence text.
+    pub fn is_present(&self) -> bool {
+        !self.text.trim().is_empty()
+    }
+}
+
+/// Paper-measured rates on the BIRD development set.
+pub const MISSING_RATE: f64 = 0.0965;
+/// Paper-measured rate of erroneous evidence on the BIRD development set.
+pub const ERRONEOUS_RATE: f64 = 0.0684;
+
+/// Builds the human evidence for a question given its atoms, injecting the
+/// BIRD defect distribution.
+///
+/// * With probability [`MISSING_RATE`] the record is missing.
+/// * With probability [`ERRONEOUS_RATE`] one atom's sentence is corrupted with
+///   a randomly chosen [`EvidenceErrorType`].
+/// * Otherwise the record is the canonical, correct evidence.
+pub fn make_human_evidence(atoms: &[KnowledgeAtom], rng: &mut StdRng) -> EvidenceRecord {
+    let correct_text = atoms
+        .iter()
+        .map(|a| a.evidence_sentence())
+        .collect::<Vec<_>>()
+        .join("; ");
+    if atoms.is_empty() {
+        return EvidenceRecord::correct(correct_text);
+    }
+    let roll: f64 = rng.gen();
+    if roll < MISSING_RATE {
+        return EvidenceRecord {
+            text: String::new(),
+            status: EvidenceStatus::Missing,
+            corrected: correct_text,
+        };
+    }
+    if roll < MISSING_RATE + ERRONEOUS_RATE {
+        let error = EvidenceErrorType::all()[rng.gen_range(0..8)];
+        let corrupted = corrupt_evidence(atoms, error, rng);
+        return EvidenceRecord { text: corrupted, status: EvidenceStatus::Erroneous(error), corrected: correct_text };
+    }
+    EvidenceRecord::correct(correct_text)
+}
+
+/// Produces a defective rendering of the evidence for `atoms` with the given
+/// error type (used both by the corpus builder and by the Table I generator).
+pub fn corrupt_evidence(atoms: &[KnowledgeAtom], error: EvidenceErrorType, rng: &mut StdRng) -> String {
+    let victim_idx = rng.gen_range(0..atoms.len());
+    let mut sentences: Vec<String> = Vec::new();
+    for (i, atom) in atoms.iter().enumerate() {
+        if i != victim_idx {
+            sentences.push(atom.evidence_sentence());
+            continue;
+        }
+        sentences.push(corrupt_atom_sentence(atom, error, rng));
+    }
+    if error == EvidenceErrorType::UnnecessaryInformation {
+        // The Table I sample: a correct clause drowned in irrelevant mappings.
+        for i in 0..10 {
+            sentences.push(format!("element = 'x{i}' means Element{i}"));
+        }
+    }
+    sentences.join("; ")
+}
+
+fn corrupt_atom_sentence(atom: &KnowledgeAtom, error: EvidenceErrorType, _rng: &mut StdRng) -> String {
+    let c = &atom.correct;
+    let wrong = match error {
+        EvidenceErrorType::UnnecessaryInformation => c.clone(),
+        EvidenceErrorType::CaseSensitivity => SqlCondition {
+            value: match &c.value {
+                Value::Text(s) => Value::Text(flip_case(s)),
+                other => other.clone(),
+            },
+            ..c.clone()
+        },
+        EvidenceErrorType::Typo => SqlCondition {
+            value: match &c.value {
+                Value::Text(s) => Value::Text(introduce_typo(s)),
+                Value::Integer(i) => Value::Integer(i + 1),
+                Value::Real(r) => Value::Real(r + 1.0),
+                Value::Null => Value::Null,
+            },
+            ..c.clone()
+        },
+        EvidenceErrorType::IncorrectCalculation => SqlCondition {
+            value: match &c.value {
+                Value::Integer(i) => Value::Integer(i * 10),
+                Value::Real(r) => Value::Real(r * 10.0),
+                other => other.clone(),
+            },
+            ..c.clone()
+        },
+        EvidenceErrorType::InvalidDateFormat => SqlCondition {
+            value: match &c.value {
+                Value::Text(s) if s.contains('-') => Value::Text(s.replace('-', "/")),
+                Value::Text(s) => Value::Text(format!("{s}/01/01")),
+                other => other.clone(),
+            },
+            ..c.clone()
+        },
+        EvidenceErrorType::IncorrectSchemaSelection => atom.naive.clone(),
+        EvidenceErrorType::InvalidValueMapping => SqlCondition {
+            value: match &c.value {
+                Value::Text(s) => Value::Text(format!("{s}_X")),
+                Value::Integer(i) => Value::Integer(i.wrapping_neg()),
+                Value::Real(r) => Value::Real(-r),
+                Value::Null => Value::Null,
+            },
+            ..c.clone()
+        },
+        EvidenceErrorType::ComparisonOperatorMisuse => SqlCondition {
+            op: match c.op.as_str() {
+                ">" => "<".to_string(),
+                ">=" => "<=".to_string(),
+                "<" => ">".to_string(),
+                "<=" => ">=".to_string(),
+                "=" => "!=".to_string(),
+                other => other.to_string(),
+            },
+            ..c.clone()
+        },
+    };
+    format!("{} refers to {}", atom.phrase, wrong.to_short_sql())
+}
+
+fn flip_case(s: &str) -> String {
+    if s.chars().next().is_some_and(|c| c.is_uppercase()) {
+        s.to_lowercase()
+    } else {
+        let mut chars = s.chars();
+        match chars.next() {
+            Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+            None => String::new(),
+        }
+    }
+}
+
+fn introduce_typo(s: &str) -> String {
+    if s.len() < 2 {
+        return format!("{s}x");
+    }
+    // Drop the second character.
+    let mut out = String::new();
+    for (i, ch) in s.chars().enumerate() {
+        if i != 1 {
+            out.push(ch);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use seed_llm::KnowledgeKind;
+
+    fn atom() -> KnowledgeAtom {
+        KnowledgeAtom::new(
+            "restricted",
+            KnowledgeKind::CaseSensitivity,
+            SqlCondition::new("legalities", "status", "=", "Restricted"),
+            SqlCondition::new("legalities", "status", "=", "restricted"),
+        )
+    }
+
+    #[test]
+    fn defect_rates_match_paper_within_tolerance() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let atoms = vec![atom()];
+        let n = 5_000;
+        let mut missing = 0;
+        let mut erroneous = 0;
+        for _ in 0..n {
+            match make_human_evidence(&atoms, &mut rng).status {
+                EvidenceStatus::Missing => missing += 1,
+                EvidenceStatus::Erroneous(_) => erroneous += 1,
+                EvidenceStatus::Correct => {}
+            }
+        }
+        let missing_rate = missing as f64 / n as f64;
+        let erroneous_rate = erroneous as f64 / n as f64;
+        assert!((missing_rate - MISSING_RATE).abs() < 0.02, "missing {missing_rate}");
+        assert!((erroneous_rate - ERRONEOUS_RATE).abs() < 0.02, "erroneous {erroneous_rate}");
+    }
+
+    #[test]
+    fn case_sensitivity_corruption_flips_case() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = corrupt_evidence(&[atom()], EvidenceErrorType::CaseSensitivity, &mut rng);
+        assert!(text.contains("'restricted'"), "{text}");
+    }
+
+    #[test]
+    fn operator_corruption_flips_comparison() {
+        use seed_llm::KnowledgeKind;
+        let a = KnowledgeAtom::new(
+            "exceeded the normal range",
+            KnowledgeKind::DomainThreshold,
+            SqlCondition::new("laboratory", "HCT", ">=", 52),
+            SqlCondition::new("laboratory", "HCT", ">", 100),
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = corrupt_evidence(&[a], EvidenceErrorType::ComparisonOperatorMisuse, &mut rng);
+        assert!(text.contains("HCT <= 52"), "{text}");
+    }
+
+    #[test]
+    fn unnecessary_information_keeps_correct_clause() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let text = corrupt_evidence(&[atom()], EvidenceErrorType::UnnecessaryInformation, &mut rng);
+        assert!(text.contains("'Restricted'"));
+        assert!(text.matches("means Element").count() >= 10);
+    }
+
+    #[test]
+    fn corrected_always_holds_canonical_text() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            let rec = make_human_evidence(&[atom()], &mut rng);
+            assert_eq!(rec.corrected, "restricted refers to status = 'Restricted'");
+            if rec.status == EvidenceStatus::Correct {
+                assert_eq!(rec.text, rec.corrected);
+            }
+        }
+    }
+
+    #[test]
+    fn no_atoms_means_trivially_correct_and_empty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let rec = make_human_evidence(&[], &mut rng);
+        assert_eq!(rec.status, EvidenceStatus::Correct);
+        assert!(!rec.is_present());
+        assert!(EvidenceRecord::none().text.is_empty());
+    }
+
+    #[test]
+    fn error_labels_are_unique() {
+        let labels: std::collections::HashSet<_> =
+            EvidenceErrorType::all().iter().map(|e| e.label()).collect();
+        assert_eq!(labels.len(), 8);
+    }
+}

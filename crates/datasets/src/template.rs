@@ -1,0 +1,241 @@
+//! Question-template machinery: a small builder that assembles gold SQL in the
+//! canonical form the simulated models rewrite (conditions rendered exactly as
+//! [`seed_llm::SqlCondition::to_sql`] renders them).
+
+use seed_llm::{KnowledgeAtom, SqlCondition};
+use seed_sqlengine::Value;
+
+/// A question produced by a domain module, before split assignment and
+/// evidence-defect injection.
+#[derive(Debug, Clone)]
+pub struct RawQuestion {
+    pub text: String,
+    pub gold_sql: String,
+    pub atoms: Vec<KnowledgeAtom>,
+    pub difficulty: f64,
+}
+
+/// Builder for a single question's gold SQL.
+#[derive(Debug, Clone)]
+pub struct QuestionBuilder {
+    text: String,
+    select: String,
+    distinct: bool,
+    from: String,
+    joins: Vec<(String, String)>,
+    conditions: Vec<String>,
+    group_by: Option<String>,
+    having: Option<String>,
+    order_by: Option<String>,
+    limit: Option<u64>,
+    atoms: Vec<KnowledgeAtom>,
+    difficulty: f64,
+}
+
+impl QuestionBuilder {
+    /// Starts a question with its natural-language text.
+    pub fn new(text: impl Into<String>) -> Self {
+        QuestionBuilder {
+            text: text.into(),
+            select: "*".to_string(),
+            distinct: false,
+            from: String::new(),
+            joins: Vec::new(),
+            conditions: Vec::new(),
+            group_by: None,
+            having: None,
+            order_by: None,
+            limit: None,
+            atoms: Vec::new(),
+            difficulty: 0.15,
+        }
+    }
+
+    /// Sets the projection list.
+    pub fn select(mut self, select: impl Into<String>) -> Self {
+        self.select = select.into();
+        self
+    }
+
+    /// Marks the projection as DISTINCT.
+    pub fn distinct(mut self) -> Self {
+        self.distinct = true;
+        self
+    }
+
+    /// Sets the FROM table.
+    pub fn from(mut self, table: impl Into<String>) -> Self {
+        self.from = table.into();
+        self
+    }
+
+    /// Adds an inner join (`table`, `on` condition SQL). Raises difficulty.
+    pub fn join(mut self, table: impl Into<String>, on: impl Into<String>) -> Self {
+        self.joins.push((table.into(), on.into()));
+        self.difficulty += 0.12;
+        self
+    }
+
+    /// Adds a plain WHERE condition (already-rendered SQL).
+    pub fn filter(mut self, condition: impl Into<String>) -> Self {
+        self.conditions.push(condition.into());
+        self
+    }
+
+    /// Adds a WHERE condition pinned by a knowledge atom: the atom's *correct*
+    /// condition is rendered into the gold SQL verbatim, and the atom is
+    /// attached to the question's requirements.
+    pub fn filter_atom(mut self, atom: KnowledgeAtom) -> Self {
+        self.conditions.push(atom.correct.to_sql());
+        self.atoms.push(atom);
+        self
+    }
+
+    /// Adds GROUP BY. Raises difficulty.
+    pub fn group_by(mut self, expr: impl Into<String>) -> Self {
+        self.group_by = Some(expr.into());
+        self.difficulty += 0.1;
+        self
+    }
+
+    /// Adds HAVING. Raises difficulty.
+    pub fn having(mut self, expr: impl Into<String>) -> Self {
+        self.having = Some(expr.into());
+        self.difficulty += 0.12;
+        self
+    }
+
+    /// Adds ORDER BY.
+    pub fn order_by(mut self, expr: impl Into<String>) -> Self {
+        self.order_by = Some(expr.into());
+        self
+    }
+
+    /// Adds LIMIT.
+    pub fn limit(mut self, n: u64) -> Self {
+        self.limit = Some(n);
+        self
+    }
+
+    /// Overrides the computed difficulty.
+    pub fn difficulty(mut self, d: f64) -> Self {
+        self.difficulty = d;
+        self
+    }
+
+    /// Renders the gold SQL.
+    pub fn gold_sql(&self) -> String {
+        let mut sql = String::from("SELECT ");
+        if self.distinct {
+            sql.push_str("DISTINCT ");
+        }
+        sql.push_str(&self.select);
+        sql.push_str(" FROM ");
+        sql.push_str(&self.from);
+        for (table, on) in &self.joins {
+            sql.push_str(&format!(" INNER JOIN {table} ON {on}"));
+        }
+        if !self.conditions.is_empty() {
+            sql.push_str(" WHERE ");
+            sql.push_str(&self.conditions.join(" AND "));
+        }
+        if let Some(g) = &self.group_by {
+            sql.push_str(&format!(" GROUP BY {g}"));
+        }
+        if let Some(h) = &self.having {
+            sql.push_str(&format!(" HAVING {h}"));
+        }
+        if let Some(o) = &self.order_by {
+            sql.push_str(&format!(" ORDER BY {o}"));
+        }
+        if let Some(l) = self.limit {
+            sql.push_str(&format!(" LIMIT {l}"));
+        }
+        sql
+    }
+
+    /// Finalizes the question.
+    pub fn build(self) -> RawQuestion {
+        let gold_sql = self.gold_sql();
+        RawQuestion {
+            text: self.text,
+            gold_sql,
+            atoms: self.atoms,
+            difficulty: self.difficulty.clamp(0.05, 0.9),
+        }
+    }
+}
+
+/// Shorthand for a rendered, qualified condition: `` `table`.`column` op value ``.
+pub fn cond(table: &str, column: &str, op: &str, value: impl Into<Value>) -> String {
+    SqlCondition::new(table, column, op, value).to_sql()
+}
+
+/// Shorthand for a qualified column reference `` `table`.`column` ``.
+pub fn col(table: &str, column: &str) -> String {
+    format!("`{table}`.`{column}`")
+}
+
+/// Shorthand for an equi-join predicate between two qualified columns.
+pub fn on_eq(t1: &str, c1: &str, t2: &str, c2: &str) -> String {
+    format!("{} = {}", col(t1, c1), col(t2, c2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_llm::KnowledgeKind;
+
+    #[test]
+    fn builder_renders_full_query() {
+        let atom = KnowledgeAtom::new(
+            "weekly issuance",
+            KnowledgeKind::ValueIllustration,
+            SqlCondition::new("account", "frequency", "=", "POPLATEK TYDNE"),
+            SqlCondition::new("account", "frequency", "=", "weekly"),
+        );
+        let q = QuestionBuilder::new("Among the weekly issuance accounts, how many have a loan under 200000?")
+            .select("COUNT(*)")
+            .from("account")
+            .join("loan", on_eq("loan", "account_id", "account", "account_id"))
+            .filter_atom(atom.clone())
+            .filter(cond("loan", "amount", "<", 200_000))
+            .build();
+        assert!(q.gold_sql.contains("INNER JOIN loan"));
+        assert!(q.gold_sql.contains(&atom.correct.to_sql()), "gold SQL embeds the canonical condition");
+        assert!(q.gold_sql.contains("`loan`.`amount` < 200000"));
+        assert_eq!(q.atoms.len(), 1);
+        assert!(q.difficulty > 0.2);
+    }
+
+    #[test]
+    fn helpers_render_expected_sql() {
+        assert_eq!(cond("client", "gender", "=", "F"), "`client`.`gender` = 'F'");
+        assert_eq!(col("schools", "Magnet"), "`schools`.`Magnet`");
+        assert_eq!(
+            on_eq("satscores", "cds", "schools", "CDSCode"),
+            "`satscores`.`cds` = `schools`.`CDSCode`"
+        );
+    }
+
+    #[test]
+    fn group_having_order_limit_render() {
+        let q = QuestionBuilder::new("q")
+            .select("`loan`.`account_id`, COUNT(*)")
+            .from("loan")
+            .group_by("`loan`.`account_id`")
+            .having("COUNT(*) >= 2")
+            .order_by("COUNT(*) DESC")
+            .limit(3)
+            .build();
+        assert!(q.gold_sql.ends_with("GROUP BY `loan`.`account_id` HAVING COUNT(*) >= 2 ORDER BY COUNT(*) DESC LIMIT 3"));
+    }
+
+    #[test]
+    fn difficulty_is_clamped() {
+        let q = QuestionBuilder::new("q").from("t").difficulty(5.0).build();
+        assert!(q.difficulty <= 0.9);
+        let q = QuestionBuilder::new("q").from("t").difficulty(-1.0).build();
+        assert!(q.difficulty >= 0.05);
+    }
+}

@@ -1,0 +1,107 @@
+//! # seed-embedding
+//!
+//! A deterministic sentence-embedding substitute for `all-mpnet-base-v2`,
+//! which the SEED paper uses to pick few-shot examples by cosine similarity.
+//!
+//! The embedding is a hashed bag of word unigrams, word bigrams, and character
+//! trigrams, L2-normalized. It is *not* a neural sentence encoder; what the
+//! pipeline needs from it is a similarity ranking in which questions that
+//! share schema terms, phrasing, and values land close together, and that is
+//! exactly what lexical hashing provides — deterministically and offline.
+//!
+//! ```
+//! use seed_embedding::EmbeddingModel;
+//! let model = seed_embedding::HashedEmbedder::default();
+//! let a = model.embed("How many clients opened accounts in the Jesenik branch?");
+//! let b = model.embed("How many clients opened their accounts in Pisek?");
+//! let c = model.embed("List the atoms of molecule TR024 with double bonds");
+//! assert!(seed_embedding::cosine_similarity(&a, &b) > seed_embedding::cosine_similarity(&a, &c));
+//! ```
+
+mod hashed;
+
+pub use hashed::HashedEmbedder;
+
+/// A dense embedding vector.
+pub type Embedding = Vec<f32>;
+
+/// Anything that can embed a sentence into a fixed-size vector.
+pub trait EmbeddingModel {
+    /// Dimensionality of produced embeddings.
+    fn dimension(&self) -> usize;
+
+    /// Embeds a sentence. The result must be L2-normalized (or zero).
+    fn embed(&self, text: &str) -> Embedding;
+
+    /// Embeds a batch of sentences (default: map over [`EmbeddingModel::embed`]).
+    fn embed_batch(&self, texts: &[&str]) -> Vec<Embedding> {
+        texts.iter().map(|t| self.embed(t)).collect()
+    }
+}
+
+/// Cosine similarity between two embeddings (0 for mismatched/zero vectors).
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    if a.len() != b.len() || a.is_empty() {
+        return 0.0;
+    }
+    let dot: f32 = a.iter().zip(b).map(|(x, y)| x * y).sum();
+    let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    dot / (na * nb)
+}
+
+/// Ranks `candidates` by cosine similarity to `query`, most similar first.
+/// Returns `(index, similarity)` pairs.
+pub fn rank_by_similarity<M: EmbeddingModel>(
+    model: &M,
+    query: &str,
+    candidates: &[&str],
+) -> Vec<(usize, f32)> {
+    let q = model.embed(query);
+    let mut scored: Vec<(usize, f32)> = candidates
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (i, cosine_similarity(&q, &model.embed(c))))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cosine_of_identical_vectors_is_one() {
+        let v = vec![0.5f32, 0.5, 0.0];
+        assert!((cosine_similarity(&v, &v) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_orthogonal_vectors_is_zero() {
+        assert_eq!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn cosine_handles_mismatched_and_zero() {
+        assert_eq!(cosine_similarity(&[1.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn rank_by_similarity_puts_paraphrase_first() {
+        let model = HashedEmbedder::default();
+        let query = "How many accounts have a loan under 200000?";
+        let candidates = [
+            "Among the weekly issuance accounts, how many have a loan of under 200000?",
+            "List the superheroes with blue eyes",
+            "What is the highest eligible free rate for K-12 students?",
+        ];
+        let ranked = rank_by_similarity(&model, query, &candidates);
+        assert_eq!(ranked[0].0, 0);
+        assert!(ranked[0].1 > ranked[1].1);
+    }
+}

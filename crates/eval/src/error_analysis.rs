@@ -1,0 +1,114 @@
+//! Evidence defect analysis (paper Figure 2 and Table I).
+
+use std::collections::BTreeMap;
+
+use seed_datasets::{EvidenceErrorType, EvidenceStatus, Question};
+
+/// Breakdown of evidence soundness over a question set.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DefectBreakdown {
+    pub total: usize,
+    pub correct: usize,
+    pub missing: usize,
+    pub erroneous: usize,
+    /// Erroneous count per error type, keyed by label.
+    pub by_error_type: BTreeMap<String, usize>,
+}
+
+impl DefectBreakdown {
+    pub fn correct_rate(&self) -> f64 {
+        percentage(self.correct, self.total)
+    }
+    pub fn missing_rate(&self) -> f64 {
+        percentage(self.missing, self.total)
+    }
+    pub fn erroneous_rate(&self) -> f64 {
+        percentage(self.erroneous, self.total)
+    }
+}
+
+fn percentage(part: usize, total: usize) -> f64 {
+    if total == 0 {
+        0.0
+    } else {
+        part as f64 / total as f64 * 100.0
+    }
+}
+
+/// Computes the defect breakdown for a set of questions (normally the BIRD dev
+/// split), considering only questions that actually require knowledge.
+pub fn analyze_evidence_defects<'a>(questions: impl IntoIterator<Item = &'a Question>) -> DefectBreakdown {
+    let mut out = DefectBreakdown::default();
+    for q in questions {
+        if q.atoms.is_empty() {
+            continue;
+        }
+        out.total += 1;
+        match q.human_evidence.status {
+            EvidenceStatus::Correct => out.correct += 1,
+            EvidenceStatus::Missing => out.missing += 1,
+            EvidenceStatus::Erroneous(e) => {
+                out.erroneous += 1;
+                *out.by_error_type.entry(e.label().to_string()).or_insert(0) += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Picks sample defective questions, one per error type, for the Table I harness.
+pub fn defect_examples<'a>(
+    questions: impl IntoIterator<Item = &'a Question>,
+) -> Vec<(&'a Question, EvidenceErrorType)> {
+    let mut seen: Vec<EvidenceErrorType> = Vec::new();
+    let mut out = Vec::new();
+    for q in questions {
+        if let EvidenceStatus::Erroneous(e) = q.human_evidence.status {
+            if !seen.contains(&e) {
+                seen.push(e);
+                out.push((q, e));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_datasets::{bird::build_bird, CorpusConfig, Split};
+
+    #[test]
+    fn breakdown_rates_sum_to_one_hundred() {
+        let bench = build_bird(&CorpusConfig::default());
+        let b = analyze_evidence_defects(bench.split(Split::Dev).into_iter());
+        assert!(b.total > 60);
+        let sum = b.correct_rate() + b.missing_rate() + b.erroneous_rate();
+        assert!((sum - 100.0).abs() < 1e-6);
+        assert_eq!(b.erroneous, b.by_error_type.values().sum::<usize>());
+    }
+
+    #[test]
+    fn rates_are_near_the_paper_measurements() {
+        let bench = build_bird(&CorpusConfig::default());
+        let b = analyze_evidence_defects(bench.split(Split::Dev).into_iter());
+        // Paper: 9.65 % missing, 6.84 % erroneous. A synthetic corpus of a few
+        // hundred questions lands within a few points of that.
+        assert!((b.missing_rate() - 9.65).abs() < 2.0, "missing {:.2}%", b.missing_rate());
+        assert!((b.erroneous_rate() - 6.84).abs() < 2.0, "erroneous {:.2}%", b.erroneous_rate());
+    }
+
+    #[test]
+    fn defect_examples_cover_multiple_types() {
+        let bench = build_bird(&CorpusConfig::default());
+        let examples = defect_examples(bench.split(Split::Dev).into_iter());
+        assert!(examples.len() >= 3);
+    }
+
+    #[test]
+    fn empty_set_is_all_zero() {
+        let b = analyze_evidence_defects(std::iter::empty());
+        assert_eq!(b, DefectBreakdown::default());
+        assert_eq!(b.correct_rate(), 0.0);
+    }
+}

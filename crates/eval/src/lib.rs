@@ -1,0 +1,16 @@
+//! # seed-eval
+//!
+//! Evaluation harness for the SEED reproduction: the execution-accuracy (EX)
+//! and valid-efficiency-score (VES) metrics used by BIRD/Spider, the evidence
+//! error analysis behind the paper's Figure 2, and the experiment runners that
+//! regenerate every results table.
+
+pub mod error_analysis;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+
+pub use error_analysis::{analyze_evidence_defects, DefectBreakdown};
+pub use metrics::{evaluate_pair, score_set, PairEval, Scores};
+pub use report::Table;
+pub use runner::{EvidenceSetting, ExperimentRunner, SeedEvidenceCache, SystemScores};

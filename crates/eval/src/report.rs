@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the experiment harnesses.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Table {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as aligned plain text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let render_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        out.push_str(&render_row(&self.headers));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavoured markdown.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {}\n\n", self.title));
+        out.push_str(&format!("| {} |\n", self.headers.join(" | ")));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.headers.len())));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        out
+    }
+}
+
+/// Formats a metric with the paper's `value (Δ)` convention.
+pub fn delta(value: f64, baseline: f64) -> String {
+    let diff = value - baseline;
+    let arrow = if diff >= 0.0 { "↑" } else { "↓" };
+    format!("{value:.2} ({arrow}{:.2})", diff.abs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["model", "EX%"]);
+        t.row(vec!["SFT CodeS-15B".into(), "44.39".into()]);
+        t.row(vec!["C3".into(), "82.0".into()]);
+        let text = t.render();
+        assert!(text.contains("== Demo =="));
+        assert!(text.lines().count() >= 5);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn markdown_has_header_separator() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let md = t.render_markdown();
+        assert!(md.contains("|---|---|"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        Table::new("x", &["a", "b"]).row(vec!["only one".into()]);
+    }
+
+    #[test]
+    fn delta_formats_both_directions() {
+        assert_eq!(delta(56.26, 54.69), "56.26 (↑1.57)");
+        assert_eq!(delta(54.11, 54.69), "54.11 (↓0.58)");
+    }
+}

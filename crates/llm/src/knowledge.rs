@@ -1,0 +1,340 @@
+//! Knowledge atoms and evidence clauses.
+//!
+//! A *knowledge atom* is the unit of domain knowledge a question needs to be
+//! translated correctly: a mapping from a surface phrase ("weekly issuance",
+//! "female", "exceeded the normal range") to a concrete SQL condition
+//! (`frequency = 'POPLATEK TYDNE'`, `gender = 'F'`, `HCT >= 52`). The BIRD
+//! benchmark ships these mappings as human-written *evidence*; SEED generates
+//! them automatically; and a model that lacks them falls back to a naive guess
+//! that executes against the wrong rows.
+//!
+//! Evidence strings — whether human-written, defective, or SEED-generated —
+//! are rendered from and parsed back into [`EvidenceClause`]s so the simulated
+//! models follow whatever the evidence *says*, right or wrong.
+
+use seed_sqlengine::Value;
+
+/// A single SQL comparison that evidence can pin down.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlCondition {
+    /// Table owning the column.
+    pub table: String,
+    /// Column name.
+    pub column: String,
+    /// Comparison operator (`=`, `!=`, `>`, `>=`, `<`, `<=`, `LIKE`).
+    pub op: String,
+    /// Right-hand-side literal.
+    pub value: Value,
+}
+
+impl SqlCondition {
+    pub fn new(table: &str, column: &str, op: &str, value: impl Into<Value>) -> Self {
+        SqlCondition {
+            table: table.to_string(),
+            column: column.to_string(),
+            op: op.to_string(),
+            value: value.into(),
+        }
+    }
+
+    /// Renders the condition as it appears inside gold SQL, qualified with the
+    /// table name: `` `account`.`frequency` = 'POPLATEK TYDNE' ``.
+    pub fn to_sql(&self) -> String {
+        format!("`{}`.`{}` {} {}", self.table, self.column, self.op, render_literal(&self.value))
+    }
+
+    /// Renders the condition without table qualification, the way most BIRD
+    /// evidence writes it: `frequency = 'POPLATEK TYDNE'`.
+    pub fn to_short_sql(&self) -> String {
+        format!("{} {} {}", self.column, self.op, render_literal(&self.value))
+    }
+}
+
+/// Renders a literal the way it appears in SQL text.
+pub fn render_literal(v: &Value) -> String {
+    match v {
+        Value::Text(s) => format!("'{}'", s.replace('\'', "''")),
+        other => other.render(),
+    }
+}
+
+/// The BIRD taxonomy of external knowledge (paper §II-A), plus the defect
+/// categories the audit in §I surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KnowledgeKind {
+    /// "female refers to gender = 'F'" — synonym knowledge.
+    Synonym,
+    /// "'POPLATEK TYDNE' stands for weekly issuance" — value illustration.
+    ValueIllustration,
+    /// "HCT >= 52 exceeds the normal range" — domain knowledge thresholds.
+    DomainThreshold,
+    /// Arithmetic recipes ("eligible free rate = Free Meal Count / Enrollment").
+    NumericFormula,
+    /// Choosing the right column among lookalikes (full_name vs superhero_name).
+    SchemaChoice,
+    /// Exact value casing ('Restricted' vs 'restricted').
+    CaseSensitivity,
+}
+
+impl KnowledgeKind {
+    /// All kinds, in a stable order (used by reports and defect injection).
+    pub fn all() -> [KnowledgeKind; 6] {
+        [
+            KnowledgeKind::Synonym,
+            KnowledgeKind::ValueIllustration,
+            KnowledgeKind::DomainThreshold,
+            KnowledgeKind::NumericFormula,
+            KnowledgeKind::SchemaChoice,
+            KnowledgeKind::CaseSensitivity,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KnowledgeKind::Synonym => "synonym knowledge",
+            KnowledgeKind::ValueIllustration => "value illustration",
+            KnowledgeKind::DomainThreshold => "domain knowledge",
+            KnowledgeKind::NumericFormula => "numeric reasoning",
+            KnowledgeKind::SchemaChoice => "schema selection",
+            KnowledgeKind::CaseSensitivity => "value casing",
+        }
+    }
+
+    /// Probability that a competent model guesses the mapping correctly with
+    /// *no* supporting information in the prompt. Synonyms like F/female are
+    /// often guessable; database-specific codes essentially never are.
+    pub fn unaided_guess_rate(&self) -> f64 {
+        match self {
+            KnowledgeKind::Synonym => 0.55,
+            KnowledgeKind::ValueIllustration => 0.05,
+            KnowledgeKind::DomainThreshold => 0.10,
+            KnowledgeKind::NumericFormula => 0.35,
+            KnowledgeKind::SchemaChoice => 0.45,
+            KnowledgeKind::CaseSensitivity => 0.40,
+        }
+    }
+}
+
+/// One unit of knowledge a question requires.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnowledgeAtom {
+    /// The surface phrase in the question ("weekly issuance accounts").
+    pub phrase: String,
+    /// Knowledge category.
+    pub kind: KnowledgeKind,
+    /// The correct grounding.
+    pub correct: SqlCondition,
+    /// What a model produces when it has to guess.
+    pub naive: SqlCondition,
+}
+
+impl KnowledgeAtom {
+    pub fn new(phrase: &str, kind: KnowledgeKind, correct: SqlCondition, naive: SqlCondition) -> Self {
+        KnowledgeAtom { phrase: phrase.to_string(), kind, correct, naive }
+    }
+
+    /// Canonical BIRD-style evidence sentence for this atom.
+    pub fn evidence_sentence(&self) -> String {
+        format!("{} refers to {}", self.phrase, self.correct.to_short_sql())
+    }
+
+    /// SEED_deepseek-style evidence sentence: fully qualified with backticks.
+    pub fn qualified_evidence_sentence(&self) -> String {
+        format!("{} refers to {}", self.phrase, self.correct.to_sql())
+    }
+}
+
+/// A parsed evidence clause: a phrase plus the condition the evidence asserts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceClause {
+    pub phrase: String,
+    pub condition: SqlCondition,
+}
+
+/// Parses evidence text into clauses.
+///
+/// Accepted shapes (both BIRD's and SEED's renderings):
+/// * `<phrase> refers to <column> <op> <literal>`
+/// * `<phrase> refers to <table>.<column> <op> <literal>` (with or without backticks)
+/// * `<phrase> means that <column> <op> <literal>`
+/// * `<literal> stands for <phrase>` → recorded with an empty column (pure value illustration)
+///
+/// Clauses are separated by `;` or newlines. Anything unparseable is skipped,
+/// which mirrors how a model simply ignores evidence it cannot use.
+pub fn parse_evidence_clauses(text: &str) -> Vec<EvidenceClause> {
+    let mut out = Vec::new();
+    for raw in text.split(|c| c == ';' || c == '\n') {
+        let sentence = raw.trim();
+        if sentence.is_empty() {
+            continue;
+        }
+        let lowered = sentence.to_lowercase();
+        let (phrase, rest) = if let Some(pos) = lowered.find(" refers to ") {
+            (&sentence[..pos], &sentence[pos + " refers to ".len()..])
+        } else if let Some(pos) = lowered.find(" means that ") {
+            (&sentence[..pos], &sentence[pos + " means that ".len()..])
+        } else if let Some(pos) = lowered.find(" means ") {
+            (&sentence[..pos], &sentence[pos + " means ".len()..])
+        } else if let Some(pos) = lowered.find(" stands for ") {
+            // "'POPLATEK TYDNE' stands for weekly issuance"
+            let value_part = sentence[..pos].trim().trim_matches(|c| c == '"' || c == '\'');
+            let phrase_part = sentence[pos + " stands for ".len()..].trim();
+            out.push(EvidenceClause {
+                phrase: phrase_part.to_string(),
+                condition: SqlCondition::new("", "", "=", value_part),
+            });
+            continue;
+        } else {
+            continue;
+        };
+        if let Some(cond) = parse_condition(rest.trim()) {
+            out.push(EvidenceClause { phrase: phrase.trim().to_string(), condition: cond });
+        }
+    }
+    out
+}
+
+/// Parses a `<ref> <op> <literal>` fragment where `<ref>` may be
+/// `` `table`.`column` ``, `table.column`, or `column`.
+fn parse_condition(text: &str) -> Option<SqlCondition> {
+    // Find the operator (longest first).
+    let ops = [">=", "<=", "!=", "<>", "> =", "< =", "=", ">", "<", " LIKE ", " like "];
+    let mut found: Option<(usize, &str)> = None;
+    for op in ops {
+        if let Some(pos) = text.find(op) {
+            match found {
+                Some((p, _)) if p <= pos => {}
+                _ => found = Some((pos, op)),
+            }
+        }
+    }
+    let (pos, op_raw) = found?;
+    let lhs = text[..pos].trim();
+    let rhs = text[pos + op_raw.len()..].trim();
+    if lhs.is_empty() || rhs.is_empty() {
+        return None;
+    }
+    let op = match op_raw.trim() {
+        "> =" => ">=".to_string(),
+        "< =" => "<=".to_string(),
+        "<>" => "!=".to_string(),
+        other => other.to_ascii_uppercase(),
+    };
+    // Split table.column if present.
+    let cleaned = lhs.replace('`', "");
+    let (table, column) = match cleaned.rsplit_once('.') {
+        Some((t, c)) => (t.trim().to_string(), c.trim().to_string()),
+        None => (String::new(), cleaned.trim().to_string()),
+    };
+    // Literal: quoted string or number; ignore trailing commentary.
+    let value = parse_literal(rhs)?;
+    Some(SqlCondition { table, column, op, value })
+}
+
+fn parse_literal(text: &str) -> Option<Value> {
+    let t = text.trim();
+    if let Some(stripped) = t.strip_prefix('\'') {
+        let end = stripped.find('\'')?;
+        return Some(Value::Text(stripped[..end].to_string()));
+    }
+    if let Some(stripped) = t.strip_prefix('"') {
+        let end = stripped.find('"')?;
+        return Some(Value::Text(stripped[..end].to_string()));
+    }
+    // numeric prefix
+    let num: String = t
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    if num.is_empty() {
+        // bare word literal (e.g. frequency = POPLATEK) — take the first word
+        let word = t.split_whitespace().next()?;
+        return Some(Value::Text(word.trim_matches(|c| c == ',' || c == '.').to_string()));
+    }
+    if num.contains('.') {
+        num.parse::<f64>().ok().map(Value::Real)
+    } else {
+        num.parse::<i64>().ok().map(Value::Integer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn atom() -> KnowledgeAtom {
+        KnowledgeAtom::new(
+            "weekly issuance",
+            KnowledgeKind::ValueIllustration,
+            SqlCondition::new("account", "frequency", "=", "POPLATEK TYDNE"),
+            SqlCondition::new("account", "frequency", "=", "weekly"),
+        )
+    }
+
+    #[test]
+    fn condition_rendering() {
+        let c = SqlCondition::new("satscores", "NumTstTakr", ">", 500);
+        assert_eq!(c.to_sql(), "`satscores`.`NumTstTakr` > 500");
+        assert_eq!(c.to_short_sql(), "NumTstTakr > 500");
+        let c = SqlCondition::new("client", "gender", "=", "F");
+        assert_eq!(c.to_short_sql(), "gender = 'F'");
+    }
+
+    #[test]
+    fn evidence_sentence_round_trips_through_parser() {
+        let a = atom();
+        let clauses = parse_evidence_clauses(&a.evidence_sentence());
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].phrase, "weekly issuance");
+        assert_eq!(clauses[0].condition.column, "frequency");
+        assert_eq!(clauses[0].condition.value, Value::text("POPLATEK TYDNE"));
+
+        let clauses = parse_evidence_clauses(&a.qualified_evidence_sentence());
+        assert_eq!(clauses[0].condition.table, "account");
+    }
+
+    #[test]
+    fn parses_multiple_clauses_and_skips_noise() {
+        let text = "restricted refers to status = 'Restricted'; have text boxes refers to isTextless = 0; \
+                    this sentence has no mapping";
+        let clauses = parse_evidence_clauses(text);
+        assert_eq!(clauses.len(), 2);
+        assert_eq!(clauses[1].condition.value, Value::Integer(0));
+    }
+
+    #[test]
+    fn parses_bird_spacing_quirk() {
+        // BIRD evidence sometimes writes "> =" with a space (Table I example).
+        let clauses = parse_evidence_clauses("hematoclit level exceeded the normal range refers to HCT > = 52");
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].condition.op, ">=");
+        assert_eq!(clauses[0].condition.value, Value::Integer(52));
+    }
+
+    #[test]
+    fn parses_stands_for_form() {
+        let clauses = parse_evidence_clauses("\"POPLATEK TYDNE\" stands for weekly issuance");
+        assert_eq!(clauses.len(), 1);
+        assert_eq!(clauses[0].phrase, "weekly issuance");
+        assert_eq!(clauses[0].condition.value, Value::text("POPLATEK TYDNE"));
+    }
+
+    #[test]
+    fn unparseable_text_yields_nothing() {
+        assert!(parse_evidence_clauses("completely free-form domain commentary").is_empty());
+        assert!(parse_evidence_clauses("").is_empty());
+    }
+
+    #[test]
+    fn guess_rates_ordered_sensibly() {
+        assert!(
+            KnowledgeKind::Synonym.unaided_guess_rate()
+                > KnowledgeKind::ValueIllustration.unaided_guess_rate()
+        );
+        for k in KnowledgeKind::all() {
+            assert!((0.0..=1.0).contains(&k.unaided_guess_rate()));
+            assert!(!k.label().is_empty());
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # seed-llm
+//!
+//! The simulated language-model substrate of the SEED reproduction.
+//!
+//! The original SEED system and its baselines call hosted LLMs (GPT-4o,
+//! GPT-4o-mini, GPT-4, ChatGPT, DeepSeek-R1, DeepSeek-V3) over HTTP. This
+//! crate replaces those calls with a deterministic simulator that keeps the
+//! mechanisms the paper's claims rest on:
+//!
+//! * **Prompt assembly and token budgets** ([`prompt`], [`token`]) — prompts
+//!   are really built and counted, so DeepSeek-R1's 8,192-token limit forces
+//!   schema summarization exactly as in the paper.
+//! * **Capability profiles** ([`profile`]) — each named model has a context
+//!   window, skill, schema-linking strength, and value-grounding strength.
+//! * **Knowledge atoms and evidence clauses** ([`knowledge`]) — the units of
+//!   domain knowledge that evidence pins down, with a parser for the evidence
+//!   formats used by BIRD and SEED.
+//! * **Mechanistic task execution** ([`sim`]) — SQL generation, evidence
+//!   generation, schema summarization, and keyword extraction whose quality
+//!   depends on what information is actually present in the prompt.
+
+pub mod knowledge;
+pub mod profile;
+pub mod prompt;
+pub mod sim;
+pub mod tasks;
+pub mod token;
+
+pub use knowledge::{
+    parse_evidence_clauses, render_literal, EvidenceClause, KnowledgeAtom, KnowledgeKind,
+    SqlCondition,
+};
+pub use profile::ModelProfile;
+pub use prompt::{FewShotExample, GroundedColumn, PromptBuilder};
+pub use sim::{LanguageModel, SimLlm, UsageStats};
+pub use tasks::{
+    EvidenceGenOutput, EvidenceGenTask, ExtractedKeyword, KeywordExtractionTask, SchemaSummaryOutput,
+    SchemaSummaryTask, SqlGenOutput, SqlGenTask,
+};
+pub use token::{count_tokens, truncate_to_tokens};

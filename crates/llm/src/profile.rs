@@ -1,0 +1,166 @@
+//! Capability profiles for the simulated language models.
+//!
+//! The SEED paper runs its pipelines on GPT-4o, GPT-4o-mini, GPT-4, ChatGPT,
+//! DeepSeek-R1, and DeepSeek-V3, and its baselines on those plus the fine-tuned
+//! CodeS family. The reproduction replaces the HTTP APIs with a deterministic
+//! simulator whose behaviour is parameterized by these profiles: context
+//! window (drives the SEED_gpt vs SEED_deepseek architecture split), overall
+//! skill (structural SQL correctness), schema-linking strength, and
+//! value-grounding strength (how well the model exploits grounded values,
+//! descriptions, and evidence in the prompt).
+
+/// Capability profile of a (simulated) language model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelProfile {
+    /// Human-readable model name, e.g. `"gpt-4o"`.
+    pub name: String,
+    /// Maximum prompt tokens the model accepts.
+    pub context_window: usize,
+    /// Overall reasoning/SQL-writing skill in `[0, 1]`; higher means fewer
+    /// structural errors.
+    pub skill: f64,
+    /// How reliably the model picks the right tables/columns.
+    pub schema_linking: f64,
+    /// How reliably the model exploits evidence, descriptions, and sample
+    /// values present in the prompt.
+    pub value_grounding: f64,
+    /// Base RNG seed so every profile has an independent but reproducible
+    /// error pattern.
+    pub seed: u64,
+}
+
+impl ModelProfile {
+    fn new(
+        name: &str,
+        context_window: usize,
+        skill: f64,
+        schema_linking: f64,
+        value_grounding: f64,
+        seed: u64,
+    ) -> Self {
+        ModelProfile {
+            name: name.to_string(),
+            context_window,
+            skill,
+            schema_linking,
+            value_grounding,
+            seed,
+        }
+    }
+
+    /// GPT-4o: large context, strongest all-round profile.
+    pub fn gpt_4o() -> Self {
+        Self::new("gpt-4o", 128_000, 0.90, 0.92, 0.94, 0x6f40)
+    }
+
+    /// GPT-4o-mini: large context, noticeably weaker reasoning.
+    pub fn gpt_4o_mini() -> Self {
+        Self::new("gpt-4o-mini", 128_000, 0.80, 0.84, 0.88, 0x6f41)
+    }
+
+    /// GPT-4 (the DAIL-SQL base model in the paper).
+    pub fn gpt_4() -> Self {
+        Self::new("gpt-4", 32_000, 0.86, 0.88, 0.90, 0x0400)
+    }
+
+    /// ChatGPT (gpt-3.5-turbo), the C3 base model.
+    pub fn chatgpt() -> Self {
+        Self::new("chatgpt", 16_000, 0.74, 0.78, 0.80, 0x0350)
+    }
+
+    /// DeepSeek-R1: strong reasoning but an 8,192-token API limit, which is
+    /// what forces SEED_deepseek to summarize schemas (paper §III).
+    pub fn deepseek_r1() -> Self {
+        Self::new("deepseek-r1", 8_192, 0.87, 0.88, 0.90, 0xd512)
+    }
+
+    /// DeepSeek-V3: used by the paper to revise evidence and to write Spider
+    /// description files.
+    pub fn deepseek_v3() -> Self {
+        Self::new("deepseek-v3", 64_000, 0.84, 0.86, 0.88, 0xd503)
+    }
+
+    /// SFT CodeS models: fine-tuned StarCoder variants. Smaller context, skill
+    /// scales with parameter count; fine-tuning makes them *very* good at
+    /// exploiting evidence concatenated into their prompt.
+    pub fn codes(billions: u32) -> Self {
+        let (skill, linking, seed) = match billions {
+            15 => (0.78, 0.84, 0xc015),
+            7 => (0.74, 0.80, 0xc007),
+            3 => (0.68, 0.74, 0xc003),
+            _ => (0.62, 0.68, 0xc001),
+        };
+        Self::new(&format!("sft-codes-{billions}b"), 8_192, skill, linking, 0.93, seed)
+    }
+
+    /// Looks a profile up by name (used by experiment configuration files).
+    pub fn by_name(name: &str) -> Option<ModelProfile> {
+        match name.to_ascii_lowercase().as_str() {
+            "gpt-4o" => Some(Self::gpt_4o()),
+            "gpt-4o-mini" => Some(Self::gpt_4o_mini()),
+            "gpt-4" => Some(Self::gpt_4()),
+            "chatgpt" | "gpt-3.5-turbo" => Some(Self::chatgpt()),
+            "deepseek-r1" => Some(Self::deepseek_r1()),
+            "deepseek-v3" => Some(Self::deepseek_v3()),
+            "sft-codes-15b" => Some(Self::codes(15)),
+            "sft-codes-7b" => Some(Self::codes(7)),
+            "sft-codes-3b" => Some(Self::codes(3)),
+            "sft-codes-1b" => Some(Self::codes(1)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deepseek_r1_has_small_context() {
+        assert_eq!(ModelProfile::deepseek_r1().context_window, 8_192);
+        assert!(ModelProfile::gpt_4o().context_window > 100_000);
+    }
+
+    #[test]
+    fn codes_skill_scales_with_size() {
+        assert!(ModelProfile::codes(15).skill > ModelProfile::codes(7).skill);
+        assert!(ModelProfile::codes(7).skill > ModelProfile::codes(3).skill);
+        assert!(ModelProfile::codes(3).skill > ModelProfile::codes(1).skill);
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for name in [
+            "gpt-4o",
+            "gpt-4o-mini",
+            "gpt-4",
+            "chatgpt",
+            "deepseek-r1",
+            "deepseek-v3",
+            "sft-codes-15b",
+            "sft-codes-1b",
+        ] {
+            let p = ModelProfile::by_name(name).unwrap();
+            assert_eq!(p.name, name.replace("gpt-3.5-turbo", "chatgpt"));
+        }
+        assert!(ModelProfile::by_name("claude").is_none());
+    }
+
+    #[test]
+    fn all_probabilities_in_unit_interval() {
+        for p in [
+            ModelProfile::gpt_4o(),
+            ModelProfile::gpt_4o_mini(),
+            ModelProfile::gpt_4(),
+            ModelProfile::chatgpt(),
+            ModelProfile::deepseek_r1(),
+            ModelProfile::deepseek_v3(),
+            ModelProfile::codes(15),
+            ModelProfile::codes(1),
+        ] {
+            assert!((0.0..=1.0).contains(&p.skill));
+            assert!((0.0..=1.0).contains(&p.schema_linking));
+            assert!((0.0..=1.0).contains(&p.value_grounding));
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Prompt assembly.
+//!
+//! Every simulated LLM call builds an actual textual prompt (instruction,
+//! schema DDL, description lines, few-shot examples, sample-SQL results,
+//! evidence, question) so that token budgeting — the mechanism that forces
+//! SEED_deepseek to summarize schemas — is exercised for real.
+
+use seed_sqlengine::DatabaseSchema;
+
+use crate::token::count_tokens;
+
+/// One few-shot example embedded in a prompt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FewShotExample {
+    pub question: String,
+    pub evidence: String,
+    pub sql: String,
+}
+
+/// Values retrieved for a (table, column) pair and embedded in the prompt,
+/// either by a baseline's value retriever or by SEED's sample-SQL stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundedColumn {
+    pub table: String,
+    pub column: String,
+    pub values: Vec<String>,
+}
+
+impl GroundedColumn {
+    pub fn new(table: &str, column: &str, values: Vec<String>) -> Self {
+        GroundedColumn { table: table.to_string(), column: column.to_string(), values }
+    }
+}
+
+/// Incrementally builds a prompt and tracks its token count.
+#[derive(Debug, Default, Clone)]
+pub struct PromptBuilder {
+    sections: Vec<(String, String)>,
+}
+
+impl PromptBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a named section with free-form body text.
+    pub fn section(mut self, title: &str, body: impl Into<String>) -> Self {
+        self.sections.push((title.to_string(), body.into()));
+        self
+    }
+
+    /// Adds the schema DDL, optionally restricted to a subset of tables and
+    /// optionally including the BIRD-style column/value descriptions.
+    pub fn schema(
+        mut self,
+        schema: &DatabaseSchema,
+        keep_tables: Option<&[String]>,
+        include_descriptions: bool,
+    ) -> Self {
+        let mut body = String::new();
+        for table in &schema.tables {
+            if let Some(keep) = keep_tables {
+                if !keep.iter().any(|k| k.eq_ignore_ascii_case(&table.name)) {
+                    continue;
+                }
+            }
+            body.push_str(&table.to_create_sql());
+            body.push_str(";\n");
+            if include_descriptions {
+                for col in &table.columns {
+                    if !col.description.is_empty() || !col.value_description.is_empty() {
+                        body.push_str(&format!(
+                            "-- {}.{}: {} {}\n",
+                            table.name, col.name, col.description, col.value_description
+                        ));
+                    }
+                }
+            }
+        }
+        for fk in &schema.foreign_keys {
+            let keep = keep_tables.map_or(true, |k| {
+                k.iter().any(|t| t.eq_ignore_ascii_case(&fk.from_table))
+                    && k.iter().any(|t| t.eq_ignore_ascii_case(&fk.to_table))
+            });
+            if keep {
+                body.push_str(&format!(
+                    "-- {}.{} references {}.{}\n",
+                    fk.from_table, fk.from_column, fk.to_table, fk.to_column
+                ));
+            }
+        }
+        self.sections.push(("Database schema".to_string(), body));
+        self
+    }
+
+    /// Adds few-shot examples.
+    pub fn examples(mut self, examples: &[FewShotExample]) -> Self {
+        if examples.is_empty() {
+            return self;
+        }
+        let mut body = String::new();
+        for ex in examples {
+            body.push_str(&format!(
+                "Question: {}\nEvidence: {}\nSQL: {}\n\n",
+                ex.question, ex.evidence, ex.sql
+            ));
+        }
+        self.sections.push(("Examples".to_string(), body));
+        self
+    }
+
+    /// Adds sample-SQL execution results / retrieved values.
+    pub fn grounded_values(mut self, grounded: &[GroundedColumn]) -> Self {
+        if grounded.is_empty() {
+            return self;
+        }
+        let mut body = String::new();
+        for g in grounded {
+            body.push_str(&format!(
+                "SELECT DISTINCT `{}` FROM `{}` -> [{}]\n",
+                g.column,
+                g.table,
+                g.values.join(", ")
+            ));
+        }
+        self.sections.push(("Sample values".to_string(), body));
+        self
+    }
+
+    /// Adds the evidence section if any evidence is supplied.
+    pub fn evidence(mut self, evidence: Option<&str>) -> Self {
+        if let Some(e) = evidence {
+            if !e.trim().is_empty() {
+                self.sections.push(("Evidence".to_string(), e.to_string()));
+            }
+        }
+        self
+    }
+
+    /// Adds the user question.
+    pub fn question(mut self, question: &str) -> Self {
+        self.sections.push(("Question".to_string(), question.to_string()));
+        self
+    }
+
+    /// Renders the prompt text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (title, body) in &self.sections {
+            out.push_str("### ");
+            out.push_str(title);
+            out.push('\n');
+            out.push_str(body);
+            out.push_str("\n\n");
+        }
+        out
+    }
+
+    /// Token count of the rendered prompt.
+    pub fn token_count(&self) -> usize {
+        count_tokens(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_sqlengine::{ColumnDef, DataType, TableSchema};
+
+    fn schema() -> DatabaseSchema {
+        let mut s = DatabaseSchema::new("financial");
+        s.add_table(TableSchema::new(
+            "account",
+            vec![
+                ColumnDef::new("account_id", DataType::Integer).primary_key(),
+                ColumnDef::new("frequency", DataType::Text)
+                    .described("frequency of issuance")
+                    .with_values("\"POPLATEK TYDNE\" stands for weekly issuance"),
+            ],
+        ))
+        .unwrap();
+        s.add_table(TableSchema::new(
+            "loan",
+            vec![ColumnDef::new("loan_id", DataType::Integer).primary_key()],
+        ))
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn renders_all_sections_in_order() {
+        let p = PromptBuilder::new()
+            .section("Instruction", "Generate evidence.")
+            .schema(&schema(), None, true)
+            .evidence(Some("weekly refers to frequency = 'POPLATEK TYDNE'"))
+            .question("How many weekly issuance accounts are there?");
+        let text = p.render();
+        let i_pos = text.find("Instruction").unwrap();
+        let s_pos = text.find("Database schema").unwrap();
+        let e_pos = text.find("Evidence").unwrap();
+        let q_pos = text.find("Question").unwrap();
+        assert!(i_pos < s_pos && s_pos < e_pos && e_pos < q_pos);
+        assert!(text.contains("POPLATEK TYDNE"));
+    }
+
+    #[test]
+    fn table_filtering_excludes_pruned_tables() {
+        let keep = vec!["account".to_string()];
+        let p = PromptBuilder::new().schema(&schema(), Some(&keep), false);
+        let text = p.render();
+        assert!(text.contains("CREATE TABLE `account`"));
+        assert!(!text.contains("CREATE TABLE `loan`"));
+    }
+
+    #[test]
+    fn descriptions_toggle_changes_token_count() {
+        let with = PromptBuilder::new().schema(&schema(), None, true).token_count();
+        let without = PromptBuilder::new().schema(&schema(), None, false).token_count();
+        assert!(with > without);
+    }
+
+    #[test]
+    fn empty_evidence_and_examples_add_nothing() {
+        let base = PromptBuilder::new().question("q").render();
+        let same = PromptBuilder::new().evidence(None).examples(&[]).grounded_values(&[]).question("q").render();
+        assert_eq!(base, same);
+    }
+
+    #[test]
+    fn grounded_values_render_as_probe_results() {
+        let p = PromptBuilder::new().grounded_values(&[GroundedColumn::new(
+            "account",
+            "frequency",
+            vec!["POPLATEK MESICNE".into(), "POPLATEK TYDNE".into()],
+        )]);
+        assert!(p.render().contains("SELECT DISTINCT `frequency` FROM `account`"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Structured task descriptions exchanged with the simulated language model.
+//!
+//! The original SEED system sends free-form prompts to hosted LLMs. The
+//! reproduction keeps every prompt-assembly code path (see [`crate::prompt`])
+//! but gives the simulator structured access to the same information so its
+//! behaviour can be made deterministic and mechanistic: what the simulated
+//! model can resolve is gated on what is *textually present* in the prompt
+//! (evidence, grounded values, description lines), and the question's latent
+//! [`crate::knowledge::KnowledgeAtom`]s act as the intent oracle it is judged
+//! against. See DESIGN.md §2 for the substitution argument.
+
+use seed_sqlengine::DatabaseSchema;
+
+use crate::knowledge::KnowledgeAtom;
+use crate::prompt::{FewShotExample, GroundedColumn};
+
+/// A request to translate a question into SQL.
+#[derive(Debug, Clone)]
+pub struct SqlGenTask<'a> {
+    /// Stable question identifier (seeds the per-question RNG stream).
+    pub question_id: &'a str,
+    /// The natural-language question.
+    pub question: &'a str,
+    /// Full database schema.
+    pub schema: &'a DatabaseSchema,
+    /// If schema linking/pruning was applied, the tables kept in the prompt.
+    pub schema_subset: Option<&'a [String]>,
+    /// Evidence text included in the prompt (BIRD, SEED, or none).
+    pub evidence: Option<&'a str>,
+    /// Whether BIRD-style column/value description lines are in the prompt.
+    pub descriptions_in_prompt: bool,
+    /// Values retrieved into the prompt by the calling system.
+    pub grounded_values: &'a [GroundedColumn],
+    /// Few-shot examples in the prompt.
+    pub few_shot: &'a [FewShotExample],
+    /// The question's latent knowledge requirements.
+    pub atoms: &'a [KnowledgeAtom],
+    /// The reference (gold) SQL — the query a fully informed expert writes.
+    pub gold_sql: &'a str,
+    /// Structural difficulty of the question in `[0, 1]`.
+    pub difficulty: f64,
+    /// C3-style calibration hints present in the prompt.
+    pub calibration_hints: bool,
+    /// Which self-consistency sample this is (different samples draw different
+    /// noise from the RNG stream).
+    pub sample_index: u32,
+}
+
+/// The simulated model's answer to a [`SqlGenTask`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlGenOutput {
+    /// The generated SQL text.
+    pub sql: String,
+    /// Prompt size in tokens.
+    pub prompt_tokens: usize,
+    /// Whether the prompt exceeded the model's context window.
+    pub context_overflow: bool,
+    /// Number of knowledge atoms resolved to their correct grounding.
+    pub resolved_atoms: usize,
+    /// Whether a structural error was injected.
+    pub structural_error: bool,
+}
+
+/// A request to generate evidence for a question (SEED's final stage).
+#[derive(Debug, Clone)]
+pub struct EvidenceGenTask<'a> {
+    pub question_id: &'a str,
+    pub question: &'a str,
+    pub schema: &'a DatabaseSchema,
+    /// Tables kept after schema summarization (SEED_deepseek) or `None` for
+    /// the full schema (SEED_gpt).
+    pub schema_subset: Option<&'a [String]>,
+    /// Values surfaced by the sample-SQL execution stage.
+    pub grounded_values: &'a [GroundedColumn],
+    /// Few-shot evidence examples selected from the training set.
+    pub few_shot: &'a [FewShotExample],
+    /// The question's latent knowledge requirements.
+    pub atoms: &'a [KnowledgeAtom],
+    /// Whether description files are available for this database (Spider does
+    /// not ship them; the paper synthesizes them with DeepSeek-V3).
+    pub descriptions_available: bool,
+    /// Render clauses fully qualified (`` `table`.`column` ``) as
+    /// SEED_deepseek does, or unqualified like BIRD evidence.
+    pub qualified_style: bool,
+    /// Join hints ("join on `a`.`x` = `b`.`y`") to append, the SEED_deepseek
+    /// behaviour that Table VI/VII analyse.
+    pub join_hints: &'a [String],
+}
+
+/// Evidence produced by the simulated model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvidenceGenOutput {
+    /// The evidence text (possibly empty when nothing could be grounded).
+    pub evidence: String,
+    /// Prompt size in tokens.
+    pub prompt_tokens: usize,
+    /// Whether the prompt exceeded the model's context window.
+    pub context_overflow: bool,
+    /// Atoms grounded correctly.
+    pub resolved_atoms: usize,
+    /// Atoms emitted with an incorrect grounding.
+    pub incorrect_atoms: usize,
+}
+
+/// A request to summarize (prune) a schema for a question.
+#[derive(Debug, Clone)]
+pub struct SchemaSummaryTask<'a> {
+    pub question: &'a str,
+    pub schema: &'a DatabaseSchema,
+    /// Maximum number of tables to keep.
+    pub max_tables: usize,
+}
+
+/// Result of schema summarization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaSummaryOutput {
+    /// Names of the kept tables.
+    pub tables: Vec<String>,
+    /// Prompt size in tokens.
+    pub prompt_tokens: usize,
+}
+
+/// A request to extract column/value keywords from a question (the first step
+/// of SEED's sample-SQL stage).
+#[derive(Debug, Clone)]
+pub struct KeywordExtractionTask<'a> {
+    pub question: &'a str,
+    pub schema: &'a DatabaseSchema,
+}
+
+/// A keyword paired with the columns it plausibly refers to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractedKeyword {
+    /// The keyword or phrase from the question.
+    pub keyword: String,
+    /// Candidate (table, column) pairs it may refer to, best first.
+    pub candidate_columns: Vec<(String, String)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracted_keyword_is_plain_data() {
+        let k = ExtractedKeyword {
+            keyword: "Fremont".to_string(),
+            candidate_columns: vec![("schools".to_string(), "City".to_string())],
+        };
+        assert_eq!(k.candidate_columns.len(), 1);
+        let k2 = k.clone();
+        assert_eq!(k, k2);
+    }
+
+    #[test]
+    fn outputs_compare_by_value() {
+        let a = SqlGenOutput {
+            sql: "SELECT 1".into(),
+            prompt_tokens: 10,
+            context_overflow: false,
+            resolved_atoms: 0,
+            structural_error: false,
+        };
+        assert_eq!(a, a.clone());
+    }
+}

@@ -1,0 +1,178 @@
+//! A small BM25 index over short text documents.
+//!
+//! CodeS uses a BM25 index over database values and column descriptions for
+//! schema linking; SEED's keyword grounding reuses the same machinery.
+
+use std::collections::HashMap;
+
+use crate::tokenize::tokenize_words;
+
+/// Default BM25 parameters (standard Okapi settings).
+const K1: f64 = 1.2;
+const B: f64 = 0.75;
+
+/// A scored search hit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchHit {
+    /// Index of the document in insertion order.
+    pub doc_id: usize,
+    /// BM25 relevance score (higher is better).
+    pub score: f64,
+}
+
+/// An in-memory BM25 index.
+#[derive(Debug, Clone, Default)]
+pub struct Bm25Index {
+    /// Raw documents, in insertion order.
+    docs: Vec<String>,
+    /// Tokenized documents.
+    doc_tokens: Vec<Vec<String>>,
+    /// term -> number of documents containing it.
+    doc_freq: HashMap<String, usize>,
+    /// Total token count, for average document length.
+    total_len: usize,
+}
+
+impl Bm25Index {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an index over the given documents.
+    pub fn build<I, S>(docs: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut index = Self::new();
+        for d in docs {
+            index.add_document(d.into());
+        }
+        index
+    }
+
+    /// Adds one document and returns its id.
+    pub fn add_document(&mut self, doc: String) -> usize {
+        let tokens = tokenize_words(&doc);
+        let mut seen: Vec<&String> = Vec::new();
+        for t in &tokens {
+            if !seen.contains(&t) {
+                *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
+                seen.push(t);
+            }
+        }
+        self.total_len += tokens.len();
+        self.doc_tokens.push(tokens);
+        self.docs.push(doc);
+        self.docs.len() - 1
+    }
+
+    /// Number of indexed documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents have been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The raw text of a document.
+    pub fn document(&self, doc_id: usize) -> Option<&str> {
+        self.docs.get(doc_id).map(|s| s.as_str())
+    }
+
+    /// Scores every document against the query and returns the top `k` hits
+    /// with positive scores, best first.
+    pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
+        if self.docs.is_empty() {
+            return Vec::new();
+        }
+        let q_tokens = tokenize_words(query);
+        let n = self.docs.len() as f64;
+        let avg_len = (self.total_len as f64 / self.docs.len() as f64).max(1.0);
+        let mut hits: Vec<SearchHit> = Vec::new();
+        for (doc_id, tokens) in self.doc_tokens.iter().enumerate() {
+            let dl = tokens.len() as f64;
+            let mut score = 0.0;
+            for q in &q_tokens {
+                let tf = tokens.iter().filter(|t| *t == q).count() as f64;
+                if tf == 0.0 {
+                    continue;
+                }
+                let df = *self.doc_freq.get(q).unwrap_or(&0) as f64;
+                let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                score += idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avg_len));
+            }
+            if score > 0.0 {
+                hits.push(SearchHit { doc_id, score });
+            }
+        }
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        hits.truncate(k);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index() -> Bm25Index {
+        Bm25Index::build([
+            "Alameda County Office of Education",
+            "Fresno County Office of Education",
+            "Fremont Unified School District",
+            "monthly issuance POPLATEK MESICNE",
+            "weekly issuance POPLATEK TYDNE",
+        ])
+    }
+
+    #[test]
+    fn exact_term_ranks_first() {
+        let idx = index();
+        let hits = idx.search("Fremont district", 3);
+        assert_eq!(hits[0].doc_id, 2);
+    }
+
+    #[test]
+    fn rare_terms_outweigh_common_ones() {
+        let idx = index();
+        // "weekly" appears once, "issuance" twice; the weekly doc must win.
+        let hits = idx.search("weekly issuance", 2);
+        assert_eq!(hits[0].doc_id, 4);
+    }
+
+    #[test]
+    fn no_match_returns_empty() {
+        let idx = index();
+        assert!(idx.search("zzz qqq", 5).is_empty());
+        assert!(Bm25Index::new().search("anything", 5).is_empty());
+    }
+
+    #[test]
+    fn top_k_truncation() {
+        let idx = index();
+        let hits = idx.search("county office education", 2);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn document_accessor_round_trips() {
+        let idx = index();
+        assert_eq!(idx.document(0).unwrap(), "Alameda County Office of Education");
+        assert!(idx.document(99).is_none());
+        assert_eq!(idx.len(), 5);
+        assert!(!idx.is_empty());
+    }
+
+    #[test]
+    fn scores_are_sorted_descending() {
+        let idx = index();
+        let hits = idx.search("county education office", 5);
+        for w in hits.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+}

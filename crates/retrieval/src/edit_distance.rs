@@ -1,0 +1,83 @@
+//! Levenshtein edit distance, used by SEED's sample-SQL stage to retrieve
+//! database values that are *similar* to a question keyword (the paper pairs
+//! `LIKE` probes with edit-distance filtering).
+
+/// Classic dynamic-programming Levenshtein distance over Unicode scalars,
+/// case-insensitive (keywords in questions rarely match database casing).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = if ca == cb { 0 } else { 1 };
+            cur[j + 1] = (prev[j + 1] + 1).min(cur[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Similarity in `[0, 1]`: `1 - distance / max_len`.
+pub fn normalized_similarity(a: &str, b: &str) -> f64 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f64 / max_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("Fremont", "fremont"), 0, "case-insensitive");
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(normalized_similarity("abc", "abc"), 1.0);
+        assert_eq!(normalized_similarity("", ""), 1.0);
+        assert!(normalized_similarity("abc", "xyz") < 0.01);
+    }
+
+    proptest! {
+        #[test]
+        fn distance_is_symmetric(a in "[a-zA-Z ]{0,20}", b in "[a-zA-Z ]{0,20}") {
+            prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+        }
+
+        #[test]
+        fn distance_zero_iff_equal_ignoring_case(a in "[a-z ]{0,20}") {
+            prop_assert_eq!(levenshtein(&a, &a.to_uppercase()), 0);
+        }
+
+        #[test]
+        fn triangle_inequality(a in "[a-z]{0,12}", b in "[a-z]{0,12}", c in "[a-z]{0,12}") {
+            let ab = levenshtein(&a, &b);
+            let bc = levenshtein(&b, &c);
+            let ac = levenshtein(&a, &c);
+            prop_assert!(ac <= ab + bc);
+        }
+
+        #[test]
+        fn similarity_in_unit_interval(a in "[a-z ]{0,20}", b in "[a-z ]{0,20}") {
+            let s = normalized_similarity(&a, &b);
+            prop_assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Longest common substring, the matching primitive CodeS combines with BM25
+//! for database-value referencing.
+
+/// Length of the longest common substring (contiguous), case-insensitive.
+pub fn longest_common_substring(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.to_lowercase().chars().collect();
+    let b: Vec<char> = b.to_lowercase().chars().collect();
+    if a.is_empty() || b.is_empty() {
+        return 0;
+    }
+    let mut best = 0usize;
+    let mut prev = vec![0usize; b.len() + 1];
+    let mut cur = vec![0usize; b.len() + 1];
+    for ca in a.iter() {
+        for (j, cb) in b.iter().enumerate() {
+            if ca == cb {
+                cur[j + 1] = prev[j] + 1;
+                best = best.max(cur[j + 1]);
+            } else {
+                cur[j + 1] = 0;
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        cur.iter_mut().for_each(|x| *x = 0);
+    }
+    best
+}
+
+/// Ratio of the longest common substring to the shorter string's length,
+/// in `[0, 1]`.
+pub fn lcs_ratio(a: &str, b: &str) -> f64 {
+    let min_len = a.chars().count().min(b.chars().count());
+    if min_len == 0 {
+        return 0.0;
+    }
+    longest_common_substring(a, b) as f64 / min_len as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn finds_common_runs() {
+        assert_eq!(longest_common_substring("Fremont Unified", "fremont"), 7);
+        assert_eq!(longest_common_substring("POPLATEK TYDNE", "weekly"), 2); // "ek"
+        assert_eq!(longest_common_substring("abc", "xyz"), 0);
+    }
+
+    #[test]
+    fn ratio_is_one_for_containment() {
+        assert_eq!(lcs_ratio("Alameda", "Alameda County Office"), 1.0);
+        assert_eq!(lcs_ratio("", "x"), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn lcs_symmetric(a in "[a-z ]{0,16}", b in "[a-z ]{0,16}") {
+            prop_assert_eq!(longest_common_substring(&a, &b), longest_common_substring(&b, &a));
+        }
+
+        #[test]
+        fn lcs_bounded_by_min_length(a in "[a-z]{0,16}", b in "[a-z]{0,16}") {
+            let l = longest_common_substring(&a, &b);
+            prop_assert!(l <= a.len().min(b.len()));
+        }
+
+        #[test]
+        fn self_lcs_is_full_length(a in "[a-z]{1,16}") {
+            prop_assert_eq!(longest_common_substring(&a, &a), a.len());
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! # seed-retrieval
+//!
+//! Lexical retrieval utilities used across the SEED reproduction:
+//!
+//! * [`bm25`] — a BM25 index over short documents, used by the CodeS baseline
+//!   for database-value referencing and by SEED's keyword grounding.
+//! * [`edit_distance`] — Levenshtein distance, used by SEED's sample-SQL stage
+//!   to pull values *similar* to question keywords.
+//! * [`lcs`] — longest common substring, the second half of CodeS' coarse-to-fine
+//!   value matching.
+//! * [`tokenize`] — shared word tokenizer / keyword extraction helpers.
+
+pub mod bm25;
+pub mod edit_distance;
+pub mod lcs;
+pub mod tokenize;
+
+pub use bm25::{Bm25Index, SearchHit};
+pub use edit_distance::{levenshtein, normalized_similarity};
+pub use lcs::{lcs_ratio, longest_common_substring};
+pub use tokenize::{content_words, ngrams, split_identifier, tokenize_words};

@@ -1,0 +1,119 @@
+//! Word tokenization and stop-word filtering shared by retrieval components.
+
+/// English stop-words that carry no schema-linking signal. The list is small
+/// on purpose: question keywords like "more", "than" are removed while domain
+/// terms survive.
+const STOP_WORDS: &[&str] = &[
+    "a", "an", "the", "of", "in", "on", "at", "for", "to", "from", "by", "with", "and", "or",
+    "is", "are", "was", "were", "be", "been", "do", "does", "did", "have", "has", "had", "how",
+    "what", "which", "who", "whom", "whose", "when", "where", "why", "list", "show", "give",
+    "find", "name", "names", "number", "many", "much", "all", "please", "me", "their", "there",
+    "that", "this", "these", "those", "than", "then", "as", "it", "its", "his", "her", "they",
+    "them", "out", "down", "up", "more", "most", "least", "per", "each", "between", "among",
+    "also", "state", "whether", "if", "not", "no",
+];
+
+/// Lowercases and splits text into alphanumeric word tokens.
+pub fn tokenize_words(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    for ch in text.chars() {
+        if ch.is_alphanumeric() || ch == '_' {
+            cur.extend(ch.to_lowercase());
+        } else if !cur.is_empty() {
+            out.push(std::mem::take(&mut cur));
+        }
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Tokenizes and removes stop-words, keeping content words only.
+pub fn content_words(text: &str) -> Vec<String> {
+    tokenize_words(text)
+        .into_iter()
+        .filter(|w| !STOP_WORDS.contains(&w.as_str()) && w.len() > 1)
+        .collect()
+}
+
+/// Character n-grams of a lowercased string (used by the embedding hash).
+pub fn ngrams(text: &str, n: usize) -> Vec<String> {
+    let chars: Vec<char> = text.to_lowercase().chars().collect();
+    if chars.len() < n || n == 0 {
+        return vec![chars.iter().collect()];
+    }
+    (0..=chars.len() - n)
+        .map(|i| chars[i..i + n].iter().collect())
+        .collect()
+}
+
+/// Splits an identifier like `NumTstTakr` or `free_meal_count` into lowercase
+/// word pieces, so schema names can be matched against question words.
+pub fn split_identifier(ident: &str) -> Vec<String> {
+    let mut words = Vec::new();
+    let mut cur = String::new();
+    let chars: Vec<char> = ident.chars().collect();
+    for (i, &ch) in chars.iter().enumerate() {
+        if ch == '_' || ch == ' ' || ch == '-' || ch == '(' || ch == ')' || ch == '%' {
+            if !cur.is_empty() {
+                words.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        if ch.is_uppercase()
+            && i > 0
+            && (chars[i - 1].is_lowercase()
+                || (i + 1 < chars.len() && chars[i + 1].is_lowercase() && chars[i - 1].is_uppercase()))
+        {
+            if !cur.is_empty() {
+                words.push(std::mem::take(&mut cur));
+            }
+        }
+        cur.extend(ch.to_lowercase());
+    }
+    if !cur.is_empty() {
+        words.push(cur);
+    }
+    words
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_splits_on_punctuation() {
+        assert_eq!(
+            tokenize_words("How many clients opened accounts in Jesenik?"),
+            vec!["how", "many", "clients", "opened", "accounts", "in", "jesenik"]
+        );
+    }
+
+    #[test]
+    fn content_words_drop_stopwords() {
+        let words = content_words("How many clients opened their accounts in the Jesenik branch?");
+        assert!(words.contains(&"clients".to_string()));
+        assert!(words.contains(&"jesenik".to_string()));
+        assert!(!words.contains(&"how".to_string()));
+        assert!(!words.contains(&"the".to_string()));
+    }
+
+    #[test]
+    fn ngrams_of_short_strings() {
+        assert_eq!(ngrams("ab", 3), vec!["ab".to_string()]);
+        assert_eq!(ngrams("abcd", 3), vec!["abc".to_string(), "bcd".to_string()]);
+    }
+
+    #[test]
+    fn split_identifier_handles_camel_and_snake() {
+        assert_eq!(split_identifier("NumTstTakr"), vec!["num", "tst", "takr"]);
+        assert_eq!(split_identifier("free_meal_count"), vec!["free", "meal", "count"]);
+        assert_eq!(split_identifier("CDSCode"), vec!["cds", "code"]);
+        assert_eq!(
+            split_identifier("Percent (%) Eligible Free (K-12)"),
+            vec!["percent", "eligible", "free", "k", "12"]
+        );
+    }
+}

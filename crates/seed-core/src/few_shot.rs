@@ -1,0 +1,116 @@
+//! Few-shot example selection (paper §III-C).
+//!
+//! SEED selects the training question most similar to the query (all-mpnet
+//! cosine similarity in the paper, the deterministic hashed embedder here),
+//! then retrieves four more related questions *from the same database*.
+
+use seed_datasets::Question;
+use seed_embedding::{cosine_similarity, EmbeddingModel};
+use seed_llm::FewShotExample;
+
+/// Total number of few-shot examples selected (1 global + 4 same-database).
+pub const FEW_SHOT_TOTAL: usize = 5;
+
+/// Selects few-shot examples for a question from the training pool.
+pub fn select_examples<M: EmbeddingModel>(
+    embedder: &M,
+    question: &Question,
+    train_pool: &[&Question],
+) -> Vec<FewShotExample> {
+    if train_pool.is_empty() {
+        return Vec::new();
+    }
+    let target = embedder.embed(&question.text);
+    let mut scored: Vec<(usize, f32)> = train_pool
+        .iter()
+        .enumerate()
+        .map(|(i, q)| (i, cosine_similarity(&target, &embedder.embed(&q.text))))
+        .collect();
+    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+
+    let mut picked: Vec<usize> = Vec::new();
+    // 1. The globally most similar training question.
+    if let Some((best, _)) = scored.first() {
+        picked.push(*best);
+    }
+    // 2. Four more from the same database, by similarity.
+    for (i, _) in &scored {
+        if picked.len() >= FEW_SHOT_TOTAL {
+            break;
+        }
+        if picked.contains(i) {
+            continue;
+        }
+        if train_pool[*i].db_id == question.db_id {
+            picked.push(*i);
+        }
+    }
+    // 3. Top up with the next most similar questions if the database has too few.
+    for (i, _) in &scored {
+        if picked.len() >= FEW_SHOT_TOTAL {
+            break;
+        }
+        if !picked.contains(i) {
+            picked.push(*i);
+        }
+    }
+
+    picked
+        .into_iter()
+        .map(|i| {
+            let q = train_pool[i];
+            FewShotExample {
+                question: q.text.clone(),
+                evidence: q.human_evidence.text.clone(),
+                sql: q.gold_sql.clone(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_datasets::{bird::build_bird, CorpusConfig, Split};
+    use seed_embedding::HashedEmbedder;
+
+    #[test]
+    fn selects_five_examples_mostly_from_same_database() {
+        let bench = build_bird(&CorpusConfig::default());
+        let train: Vec<&Question> = bench.split(Split::Train);
+        let dev = bench.split(Split::Dev);
+        let q = dev.iter().find(|q| q.db_id == "financial").unwrap();
+        let examples = select_examples(&HashedEmbedder::default(), q, &train);
+        assert_eq!(examples.len(), FEW_SHOT_TOTAL);
+        // At least the same-database slots should exist: count training
+        // questions whose text matches a financial training question.
+        let financial_texts: Vec<&str> = train
+            .iter()
+            .filter(|t| t.db_id == "financial")
+            .map(|t| t.text.as_str())
+            .collect();
+        let from_financial = examples
+            .iter()
+            .filter(|e| financial_texts.contains(&e.question.as_str()))
+            .count();
+        assert!(from_financial >= 3, "only {from_financial} examples from the same database");
+    }
+
+    #[test]
+    fn empty_pool_yields_no_examples() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let q = bench.split(Split::Dev)[0];
+        assert!(select_examples(&HashedEmbedder::default(), q, &[]).is_empty());
+    }
+
+    #[test]
+    fn examples_carry_evidence_and_sql() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let train: Vec<&Question> = bench.split(Split::Train);
+        let q = bench.split(Split::Dev)[0];
+        for ex in select_examples(&HashedEmbedder::default(), q, &train) {
+            assert!(!ex.sql.is_empty());
+            assert!(ex.sql.to_uppercase().starts_with("SELECT"));
+        }
+    }
+}

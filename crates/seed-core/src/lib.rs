@@ -1,0 +1,30 @@
+//! # seed-core
+//!
+//! The paper's contribution: SEED (System for Evidence Extraction and Domain
+//! knowledge generation). Given a question and a database — and *no* human
+//! evidence — SEED produces the evidence automatically by:
+//!
+//! 1. **Schema summarization** ([`schema_summary`]) when the base model's
+//!    context window is small (SEED_deepseek; DeepSeek-R1's API accepts only
+//!    8,192 tokens), skipped for long-context models (SEED_gpt).
+//! 2. **Sample SQL execution** ([`sample_sql`]) — extract column/value
+//!    keywords from the question, pair them with candidate columns, and run
+//!    `SELECT DISTINCT` / `LIKE` / edit-distance probes against the database
+//!    to ground them in real values.
+//! 3. **Evidence generation** ([`pipeline`]) — build a prompt from few-shot
+//!    examples selected by embedding similarity ([`few_shot`]), the sample-SQL
+//!    results, the schema, and the question, and have the model write the
+//!    evidence sentences.
+//!
+//! The SEED_revised variant ([`revise`]) post-processes SEED_deepseek evidence
+//! to strip the join-information sentences that the paper's Table VII analysis
+//! shows confuse CHESS.
+
+pub mod few_shot;
+pub mod pipeline;
+pub mod revise;
+pub mod sample_sql;
+pub mod schema_summary;
+
+pub use pipeline::{GeneratedEvidence, PipelineTrace, SeedPipeline, SeedVariant};
+pub use revise::remove_join_information;

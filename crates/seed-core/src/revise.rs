@@ -1,0 +1,89 @@
+//! Evidence revision (paper §IV-E-2).
+//!
+//! The paper observes that SEED_deepseek evidence differs from BIRD evidence
+//! mainly by including join information, and that CHESS — whose prompts are
+//! engineered around the BIRD format — performs worse with it. SEED_revised
+//! removes the join-related sentences (the paper uses DeepSeek-V3 for this
+//! textual clean-up; a deterministic filter reproduces it exactly).
+
+/// Removes join-information clauses from evidence text and strips the heavy
+/// backtick qualification, yielding BIRD-shaped evidence.
+pub fn remove_join_information(evidence: &str) -> String {
+    let kept: Vec<String> = evidence
+        .split(|c| c == ';' || c == '\n')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .filter(|s| {
+            let lower = s.to_lowercase();
+            !(lower.starts_with("join on") || lower.starts_with("join ") || lower.contains(" join on "))
+        })
+        .map(|s| strip_qualification(s))
+        .collect();
+    kept.join("; ")
+}
+
+/// Rewrites `` `table`.`column` `` references to bare `column`, the way BIRD
+/// evidence is written.
+fn strip_qualification(sentence: &str) -> String {
+    let mut out = String::with_capacity(sentence.len());
+    let mut rest = sentence;
+    while let Some(start) = rest.find('`') {
+        out.push_str(&rest[..start]);
+        // Pattern: `table`.`column`
+        let after = &rest[start + 1..];
+        if let Some(t_end) = after.find('`') {
+            let table = &after[..t_end];
+            let tail = &after[t_end + 1..];
+            if let Some(stripped) = tail.strip_prefix(".`") {
+                if let Some(c_end) = stripped.find('`') {
+                    out.push_str(&stripped[..c_end]);
+                    rest = &stripped[c_end + 1..];
+                    continue;
+                }
+            }
+            // Lone `identifier`
+            out.push_str(table);
+            rest = tail;
+            continue;
+        }
+        out.push('`');
+        rest = after;
+    }
+    out.push_str(rest);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_join_sentences() {
+        let evidence = "SAT test takers of over 500 refers to `satscores`.`NumTstTakr` > 500;\n\
+                        magnet schools or offer a magnet program refers to `schools`.`Magnet` = 1;\n\
+                        join on `satscores`.`cds` = `schools`.`CDSCode`";
+        let revised = remove_join_information(evidence);
+        assert!(!revised.contains("join on"));
+        assert!(revised.contains("NumTstTakr > 500"));
+        assert!(revised.contains("Magnet = 1"));
+    }
+
+    #[test]
+    fn strips_backtick_qualification() {
+        assert_eq!(
+            strip_qualification("weekly refers to `account`.`frequency` = 'POPLATEK TYDNE'"),
+            "weekly refers to frequency = 'POPLATEK TYDNE'"
+        );
+    }
+
+    #[test]
+    fn plain_bird_evidence_is_unchanged_in_content() {
+        let e = "restricted refers to status = 'Restricted'; have text boxes refers to isTextless = 0";
+        assert_eq!(remove_join_information(e), e);
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        assert_eq!(remove_join_information(""), "");
+    }
+}

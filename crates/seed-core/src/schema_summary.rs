@@ -1,0 +1,85 @@
+//! Schema summarization (paper §III-A).
+//!
+//! When the base model's context window cannot hold the full schema plus
+//! examples (DeepSeek-R1's 8,192-token limit), SEED first compares the
+//! question with the schema and keeps only the relevant tables. The paper
+//! notes this carries risk — pruning away a needed table hurts — which is why
+//! SEED_gpt skips it entirely.
+
+use seed_llm::{count_tokens, LanguageModel, SchemaSummaryTask};
+use seed_sqlengine::DatabaseSchema;
+
+/// Result of the summarization decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SchemaSummary {
+    /// Tables kept in the prompt; `None` means the full schema is used.
+    pub kept_tables: Option<Vec<String>>,
+    /// Estimated token size of the full schema DDL.
+    pub full_schema_tokens: usize,
+}
+
+/// Decides whether to summarize and, if so, which tables to keep.
+///
+/// Summarization is applied only when the full schema (plus a fixed overhead
+/// for instructions, examples, and sample values) would not fit the model's
+/// context window — the behaviour split between SEED_gpt and SEED_deepseek.
+pub fn summarize_if_needed<M: LanguageModel>(
+    model: &M,
+    question: &str,
+    schema: &DatabaseSchema,
+    prompt_overhead_tokens: usize,
+) -> SchemaSummary {
+    let full_schema_tokens = count_tokens(&schema.to_ddl());
+    let budget = model.profile().context_window;
+    if full_schema_tokens + prompt_overhead_tokens <= budget {
+        return SchemaSummary { kept_tables: None, full_schema_tokens };
+    }
+    // Keep roughly as many tables as fit in half the remaining budget.
+    let avg_table_tokens = (full_schema_tokens / schema.tables.len().max(1)).max(1);
+    let available = budget.saturating_sub(prompt_overhead_tokens).max(avg_table_tokens);
+    let max_tables = (available / 2 / avg_table_tokens).clamp(1, schema.tables.len());
+    let out = model.summarize_schema(&SchemaSummaryTask { question, schema, max_tables });
+    SchemaSummary { kept_tables: Some(out.tables), full_schema_tokens }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_datasets::{bird::build_bird, CorpusConfig};
+    use seed_llm::{ModelProfile, SimLlm};
+
+    #[test]
+    fn long_context_model_keeps_full_schema() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let db = bench.database("financial").unwrap();
+        let model = SimLlm::new(ModelProfile::gpt_4o());
+        let s = summarize_if_needed(&model, "How many weekly issuance accounts are there?", db.schema(), 2_000);
+        assert!(s.kept_tables.is_none());
+    }
+
+    #[test]
+    fn small_context_model_prunes() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let db = bench.database("financial").unwrap();
+        let mut profile = ModelProfile::deepseek_r1();
+        // Shrink the window below the schema size to force summarization.
+        profile.context_window = 120;
+        let model = SimLlm::new(profile);
+        let s = summarize_if_needed(&model, "What is the total loan amount of weekly issuance accounts?", db.schema(), 50);
+        let kept = s.kept_tables.expect("summarization must trigger");
+        assert!(!kept.is_empty());
+        assert!(kept.len() < db.schema().tables.len());
+    }
+
+    #[test]
+    fn kept_tables_are_question_relevant() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let db = bench.database("financial").unwrap();
+        let mut profile = ModelProfile::deepseek_r1();
+        profile.context_window = 200;
+        let model = SimLlm::new(profile);
+        let s = summarize_if_needed(&model, "What is the average loan amount?", db.schema(), 50);
+        let kept = s.kept_tables.unwrap();
+        assert!(kept.iter().any(|t| t == "loan"), "kept {kept:?}");
+    }
+}

@@ -1,0 +1,388 @@
+//! Abstract syntax tree for the supported SQL subset.
+
+use crate::schema::DataType;
+use crate::value::{ArithOp, Value};
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    Select(SelectStatement),
+    CreateTable(CreateTableStatement),
+    Insert(InsertStatement),
+}
+
+/// `CREATE TABLE` definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CreateTableStatement {
+    pub name: String,
+    pub columns: Vec<(String, DataType, bool)>, // (name, type, primary key)
+    pub foreign_keys: Vec<(String, String, String)>, // (column, ref table, ref column)
+}
+
+/// `INSERT INTO ... VALUES ...` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InsertStatement {
+    pub table: String,
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Expr>>,
+}
+
+/// A full `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    pub distinct: bool,
+    pub projections: Vec<Projection>,
+    pub from: Option<TableRef>,
+    pub joins: Vec<Join>,
+    pub where_clause: Option<Expr>,
+    pub group_by: Vec<Expr>,
+    pub having: Option<Expr>,
+    pub order_by: Vec<OrderItem>,
+    pub limit: Option<u64>,
+    pub offset: Option<u64>,
+}
+
+impl SelectStatement {
+    /// An empty SELECT used as a building block.
+    pub fn empty() -> Self {
+        SelectStatement {
+            distinct: false,
+            projections: Vec::new(),
+            from: None,
+            joins: Vec::new(),
+            where_clause: None,
+            group_by: Vec::new(),
+            having: None,
+            order_by: Vec::new(),
+            limit: None,
+            offset: None,
+        }
+    }
+
+    /// Every table name referenced in FROM/JOIN clauses (not subqueries).
+    pub fn referenced_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(TableRef::Named { table, .. }) = &self.from {
+            out.push(table.clone());
+        }
+        for j in &self.joins {
+            if let TableRef::Named { table, .. } = &j.table {
+                out.push(table.clone());
+            }
+        }
+        out
+    }
+}
+
+/// One item of the SELECT projection list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Projection {
+    /// `*`
+    Wildcard,
+    /// `table.*`
+    TableWildcard(String),
+    /// An expression with an optional alias.
+    Expr { expr: Expr, alias: Option<String> },
+}
+
+/// A table reference in FROM or JOIN.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TableRef {
+    /// A named base table with an optional alias.
+    Named { table: String, alias: Option<String> },
+    /// A derived table (subquery) with an alias.
+    Derived { query: Box<SelectStatement>, alias: String },
+}
+
+impl TableRef {
+    /// The name this reference is known by in the enclosing query.
+    pub fn binding_name(&self) -> &str {
+        match self {
+            TableRef::Named { table, alias } => alias.as_deref().unwrap_or(table),
+            TableRef::Derived { alias, .. } => alias,
+        }
+    }
+}
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    Inner,
+    Left,
+}
+
+/// A JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Join {
+    pub kind: JoinKind,
+    pub table: TableRef,
+    pub on: Option<Expr>,
+}
+
+/// ORDER BY item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OrderItem {
+    pub expr: Expr,
+    pub descending: bool,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompareOp {
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+}
+
+/// Aggregate function kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregateKind {
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+impl AggregateKind {
+    pub fn parse(name: &str) -> Option<AggregateKind> {
+        match name.to_ascii_uppercase().as_str() {
+            "COUNT" => Some(AggregateKind::Count),
+            "SUM" => Some(AggregateKind::Sum),
+            "AVG" => Some(AggregateKind::Avg),
+            "MIN" => Some(AggregateKind::Min),
+            "MAX" => Some(AggregateKind::Max),
+            _ => None,
+        }
+    }
+
+    pub fn name(&self) -> &'static str {
+        match self {
+            AggregateKind::Count => "COUNT",
+            AggregateKind::Sum => "SUM",
+            AggregateKind::Avg => "AVG",
+            AggregateKind::Min => "MIN",
+            AggregateKind::Max => "MAX",
+        }
+    }
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Literal(Value),
+    /// Column reference, optionally qualified by table/alias.
+    Column { table: Option<String>, column: String },
+    /// Binary comparison.
+    Compare { op: CompareOp, left: Box<Expr>, right: Box<Expr> },
+    /// Arithmetic.
+    Arith { op: ArithOp, left: Box<Expr>, right: Box<Expr> },
+    /// String concatenation (`||`).
+    Concat { left: Box<Expr>, right: Box<Expr> },
+    /// Logical AND / OR.
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// `expr [NOT] LIKE pattern`
+    Like { negated: bool, expr: Box<Expr>, pattern: Box<Expr> },
+    /// `expr IS [NOT] NULL`
+    IsNull { negated: bool, expr: Box<Expr> },
+    /// `expr [NOT] IN (list)` or `expr [NOT] IN (subquery)`
+    InList { negated: bool, expr: Box<Expr>, list: Vec<Expr> },
+    InSubquery { negated: bool, expr: Box<Expr>, query: Box<SelectStatement> },
+    /// `expr [NOT] BETWEEN low AND high`
+    Between { negated: bool, expr: Box<Expr>, low: Box<Expr>, high: Box<Expr> },
+    /// `EXISTS (subquery)`
+    Exists { negated: bool, query: Box<SelectStatement> },
+    /// Scalar subquery.
+    ScalarSubquery(Box<SelectStatement>),
+    /// Aggregate call.
+    Aggregate { kind: AggregateKind, distinct: bool, arg: Option<Box<Expr>> },
+    /// Scalar function call.
+    Function { name: String, args: Vec<Expr> },
+    /// `CAST(expr AS type)`
+    Cast { expr: Box<Expr>, target: DataType },
+    /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`
+    Case {
+        operand: Option<Box<Expr>>,
+        branches: Vec<(Expr, Expr)>,
+        else_branch: Option<Box<Expr>>,
+    },
+}
+
+impl Expr {
+    /// Convenience constructor for a bare column.
+    pub fn col(name: &str) -> Expr {
+        Expr::Column { table: None, column: name.to_string() }
+    }
+
+    /// Convenience constructor for a qualified column.
+    pub fn qcol(table: &str, name: &str) -> Expr {
+        Expr::Column { table: Some(table.to_string()), column: name.to_string() }
+    }
+
+    /// Convenience constructor for a literal.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Literal(v.into())
+    }
+
+    /// True if the expression (recursively) contains an aggregate call.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Aggregate { .. } => true,
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Compare { left, right, .. }
+            | Expr::Arith { left, right, .. }
+            | Expr::Concat { left, right } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => a.contains_aggregate() || b.contains_aggregate(),
+            Expr::Not(e) | Expr::Neg(e) => e.contains_aggregate(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_aggregate() || pattern.contains_aggregate()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_aggregate(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_aggregate() || list.iter().any(|e| e.contains_aggregate())
+            }
+            Expr::InSubquery { expr, .. } => expr.contains_aggregate(),
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_aggregate() || low.contains_aggregate() || high.contains_aggregate()
+            }
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
+            Expr::Function { args, .. } => args.iter().any(|e| e.contains_aggregate()),
+            Expr::Cast { expr, .. } => expr.contains_aggregate(),
+            Expr::Case { operand, branches, else_branch } => {
+                operand.as_ref().is_some_and(|e| e.contains_aggregate())
+                    || branches
+                        .iter()
+                        .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
+                    || else_branch.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+        }
+    }
+
+    /// Collects every column reference in the expression tree.
+    pub fn referenced_columns(&self, out: &mut Vec<(Option<String>, String)>) {
+        match self {
+            Expr::Column { table, column } => out.push((table.clone(), column.clone())),
+            Expr::Literal(_) => {}
+            Expr::Compare { left, right, .. }
+            | Expr::Arith { left, right, .. }
+            | Expr::Concat { left, right } => {
+                left.referenced_columns(out);
+                right.referenced_columns(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.referenced_columns(out);
+                b.referenced_columns(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.referenced_columns(out),
+            Expr::Like { expr, pattern, .. } => {
+                expr.referenced_columns(out);
+                pattern.referenced_columns(out);
+            }
+            Expr::IsNull { expr, .. } => expr.referenced_columns(out),
+            Expr::InList { expr, list, .. } => {
+                expr.referenced_columns(out);
+                for e in list {
+                    e.referenced_columns(out);
+                }
+            }
+            Expr::InSubquery { expr, .. } => expr.referenced_columns(out),
+            Expr::Between { expr, low, high, .. } => {
+                expr.referenced_columns(out);
+                low.referenced_columns(out);
+                high.referenced_columns(out);
+            }
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => {}
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.referenced_columns(out);
+                }
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.referenced_columns(out);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.referenced_columns(out),
+            Expr::Case { operand, branches, else_branch } => {
+                if let Some(o) = operand {
+                    o.referenced_columns(out);
+                }
+                for (w, t) in branches {
+                    w.referenced_columns(out);
+                    t.referenced_columns(out);
+                }
+                if let Some(e) = else_branch {
+                    e.referenced_columns(out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contains_aggregate_detects_nested() {
+        let e = Expr::Arith {
+            op: ArithOp::Div,
+            left: Box::new(Expr::Aggregate {
+                kind: AggregateKind::Sum,
+                distinct: false,
+                arg: Some(Box::new(Expr::col("amount"))),
+            }),
+            right: Box::new(Expr::lit(100)),
+        };
+        assert!(e.contains_aggregate());
+        assert!(!Expr::col("amount").contains_aggregate());
+    }
+
+    #[test]
+    fn referenced_columns_collects_qualified_and_bare() {
+        let e = Expr::And(
+            Box::new(Expr::Compare {
+                op: CompareOp::Eq,
+                left: Box::new(Expr::qcol("schools", "Magnet")),
+                right: Box::new(Expr::lit(1)),
+            }),
+            Box::new(Expr::Compare {
+                op: CompareOp::Gt,
+                left: Box::new(Expr::col("NumTstTakr")),
+                right: Box::new(Expr::lit(500)),
+            }),
+        );
+        let mut cols = Vec::new();
+        e.referenced_columns(&mut cols);
+        assert_eq!(cols.len(), 2);
+        assert_eq!(cols[0], (Some("schools".to_string()), "Magnet".to_string()));
+        assert_eq!(cols[1], (None, "NumTstTakr".to_string()));
+    }
+
+    #[test]
+    fn table_ref_binding_name_prefers_alias() {
+        let r = TableRef::Named { table: "satscores".into(), alias: Some("T1".into()) };
+        assert_eq!(r.binding_name(), "T1");
+        let r = TableRef::Named { table: "satscores".into(), alias: None };
+        assert_eq!(r.binding_name(), "satscores");
+    }
+
+    #[test]
+    fn aggregate_kind_parse_round_trip() {
+        for name in ["count", "SUM", "Avg", "MIN", "max"] {
+            let k = AggregateKind::parse(name).unwrap();
+            assert_eq!(k.name(), name.to_ascii_uppercase());
+        }
+        assert!(AggregateKind::parse("median").is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! Error types for the SQL engine.
+
+use std::fmt;
+
+/// Errors produced while parsing or executing SQL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SqlError {
+    /// The tokenizer encountered an invalid character or unterminated literal.
+    Lex(String),
+    /// The parser rejected the token stream.
+    Parse(String),
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A referenced column could not be resolved.
+    UnknownColumn(String),
+    /// A column reference is ambiguous between joined tables.
+    AmbiguousColumn(String),
+    /// A function name is unknown or called with a bad arity.
+    UnknownFunction(String),
+    /// A type error during expression evaluation.
+    Type(String),
+    /// Execution-level failure (e.g. a scalar subquery returning many rows).
+    Execution(String),
+    /// Schema-level failure (duplicate table, arity mismatch on insert, ...).
+    Schema(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            SqlError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            SqlError::AmbiguousColumn(c) => write!(f, "ambiguous column: {c}"),
+            SqlError::UnknownFunction(n) => write!(f, "unknown function: {n}"),
+            SqlError::Type(m) => write!(f, "type error: {m}"),
+            SqlError::Execution(m) => write!(f, "execution error: {m}"),
+            SqlError::Schema(m) => write!(f, "schema error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Convenient result alias used throughout the engine.
+pub type SqlResult<T> = Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_message() {
+        let e = SqlError::UnknownTable("frpm".into());
+        assert_eq!(e.to_string(), "unknown table: frpm");
+        let e = SqlError::Parse("unexpected token".into());
+        assert!(e.to_string().contains("unexpected token"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            SqlError::UnknownColumn("a".into()),
+            SqlError::UnknownColumn("a".into())
+        );
+        assert_ne!(
+            SqlError::UnknownColumn("a".into()),
+            SqlError::UnknownColumn("b".into())
+        );
+    }
+}

@@ -1,0 +1,1071 @@
+//! Query execution: nested-loop joins, filtering, grouping, aggregation,
+//! ordering, and sub-query evaluation over in-memory tables.
+
+use crate::ast::*;
+use crate::error::{SqlError, SqlResult};
+use crate::functions::eval_scalar_function;
+use crate::result::{ExecStats, ResultSet};
+use crate::schema::{ColumnDef, DataType, ForeignKey, TableSchema};
+use crate::storage::Database;
+use crate::value::{like_match, Truth, Value};
+
+/// Executes a SQL string against a database, returning the result rows.
+pub fn execute(db: &Database, sql: &str) -> SqlResult<ResultSet> {
+    execute_with_stats(db, sql).map(|(rs, _)| rs)
+}
+
+/// Executes a SQL string and also reports deterministic execution statistics
+/// (the cost proxy used by the VES metric).
+pub fn execute_with_stats(db: &Database, sql: &str) -> SqlResult<(ResultSet, ExecStats)> {
+    let stmt = crate::parser::parse_select(sql)?;
+    execute_select_with_stats(db, &stmt)
+}
+
+/// Executes an already-parsed SELECT statement.
+pub fn execute_select(db: &Database, stmt: &SelectStatement) -> SqlResult<ResultSet> {
+    execute_select_with_stats(db, stmt).map(|(rs, _)| rs)
+}
+
+/// Executes an already-parsed SELECT with statistics.
+pub fn execute_select_with_stats(
+    db: &Database,
+    stmt: &SelectStatement,
+) -> SqlResult<(ResultSet, ExecStats)> {
+    let mut exec = Executor { db, stats: ExecStats::default() };
+    let rs = exec.run_select(stmt, None)?;
+    Ok((rs, exec.stats))
+}
+
+/// Executes any supported statement, applying DDL/DML to the database.
+pub fn execute_statement(db: &mut Database, sql: &str) -> SqlResult<ResultSet> {
+    let stmt = crate::parser::parse_statement(sql)?;
+    match stmt {
+        Statement::Select(s) => execute_select(db, &s),
+        Statement::CreateTable(ct) => {
+            let columns: Vec<ColumnDef> = ct
+                .columns
+                .iter()
+                .map(|(name, ty, pk)| {
+                    let mut c = ColumnDef::new(name.clone(), *ty);
+                    if *pk {
+                        c = c.primary_key();
+                    }
+                    c
+                })
+                .collect();
+            db.create_table(TableSchema::new(ct.name.clone(), columns))?;
+            for (from_col, to_table, to_col) in ct.foreign_keys {
+                db.add_foreign_key(ForeignKey {
+                    from_table: ct.name.clone(),
+                    from_column: from_col,
+                    to_table,
+                    to_column: to_col,
+                });
+            }
+            Ok(ResultSet::new(vec![]))
+        }
+        Statement::Insert(ins) => {
+            let schema = db.table(&ins.table)?.schema.clone();
+            let positions: Vec<usize> = if ins.columns.is_empty() {
+                (0..schema.columns.len()).collect()
+            } else {
+                ins.columns
+                    .iter()
+                    .map(|c| {
+                        schema
+                            .column_index(c)
+                            .ok_or_else(|| SqlError::UnknownColumn(format!("{}.{}", ins.table, c)))
+                    })
+                    .collect::<SqlResult<Vec<_>>>()?
+            };
+            let mut count = 0usize;
+            for row_exprs in &ins.rows {
+                if row_exprs.len() != positions.len() {
+                    return Err(SqlError::Schema("INSERT arity mismatch".into()));
+                }
+                let mut row = vec![Value::Null; schema.columns.len()];
+                for (expr, &pos) in row_exprs.iter().zip(&positions) {
+                    let mut exec = Executor { db, stats: ExecStats::default() };
+                    let scope = Scope { cols: &[], row: &[], parent: None };
+                    row[pos] = exec.eval(expr, &scope, None)?;
+                }
+                db.insert(&ins.table, row)?;
+                count += 1;
+            }
+            let mut rs = ResultSet::new(vec!["rows_inserted".into()]);
+            rs.rows.push(vec![Value::Integer(count as i64)]);
+            Ok(rs)
+        }
+    }
+}
+
+/// Metadata for one column of a flattened (joined) row.
+#[derive(Debug, Clone)]
+struct ColInfo {
+    /// Accepted qualifiers (alias and base-table name), lowercased.
+    quals: Vec<String>,
+    /// Original column name.
+    name: String,
+}
+
+/// An intermediate relation: flattened column metadata plus rows.
+#[derive(Debug, Clone)]
+struct Rel {
+    cols: Vec<ColInfo>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// Evaluation scope: the current flattened row, plus an optional outer scope
+/// for correlated subqueries.
+struct Scope<'a> {
+    cols: &'a [ColInfo],
+    row: &'a [Value],
+    parent: Option<&'a Scope<'a>>,
+}
+
+/// A group of rows sharing the same GROUP BY key (all over `cols`).
+struct Group<'a> {
+    rows: &'a [Vec<Value>],
+}
+
+struct Executor<'a> {
+    db: &'a Database,
+    stats: ExecStats,
+}
+
+impl<'a> Executor<'a> {
+    fn run_select(
+        &mut self,
+        stmt: &SelectStatement,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<ResultSet> {
+        // 1. FROM / JOIN
+        let mut rel = match &stmt.from {
+            Some(t) => self.load_table_ref(t, outer)?,
+            None => Rel { cols: vec![], rows: vec![vec![]] },
+        };
+        for join in &stmt.joins {
+            let right = self.load_table_ref(&join.table, outer)?;
+            rel = self.join(rel, right, join, outer)?;
+        }
+
+        // 2. WHERE
+        let filtered: Vec<Vec<Value>> = {
+            let mut keep = Vec::new();
+            for row in rel.rows {
+                self.stats.rows_scanned += 1;
+                let ok = match &stmt.where_clause {
+                    None => true,
+                    Some(pred) => {
+                        let scope = Scope { cols: &rel.cols, row: &row, parent: outer };
+                        self.eval(pred, &scope, None)?.to_truth().is_true()
+                    }
+                };
+                if ok {
+                    keep.push(row);
+                }
+            }
+            keep
+        };
+
+        let grouped = !stmt.group_by.is_empty()
+            || stmt.projections.iter().any(|p| match p {
+                Projection::Expr { expr, .. } => expr.contains_aggregate(),
+                _ => false,
+            })
+            || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
+
+        // 3. projection headers
+        let (headers, proj_exprs) = self.expand_projections(&stmt.projections, &rel.cols)?;
+
+        let mut out_rows: Vec<Vec<Value>> = Vec::new();
+        // Each output row keeps the context row used to evaluate ORDER BY expressions.
+        let mut order_ctx: Vec<Vec<Value>> = Vec::new();
+        let mut order_groups: Vec<Vec<Vec<Value>>> = Vec::new();
+
+        if grouped {
+            let groups = self.group_rows(&filtered, &stmt.group_by, &rel.cols, outer)?;
+            for g in groups {
+                let first = g.first().cloned().unwrap_or_else(|| vec![Value::Null; rel.cols.len()]);
+                let scope = Scope { cols: &rel.cols, row: &first, parent: outer };
+                let group = Group { rows: &g };
+                if let Some(having) = &stmt.having {
+                    if !self.eval(having, &scope, Some(&group))?.to_truth().is_true() {
+                        continue;
+                    }
+                }
+                let mut out = Vec::with_capacity(proj_exprs.len());
+                for e in &proj_exprs {
+                    out.push(self.eval(e, &scope, Some(&group))?);
+                }
+                out_rows.push(out);
+                order_ctx.push(first);
+                order_groups.push(g);
+            }
+        } else {
+            for row in &filtered {
+                let scope = Scope { cols: &rel.cols, row, parent: outer };
+                let mut out = Vec::with_capacity(proj_exprs.len());
+                for e in &proj_exprs {
+                    out.push(self.eval(e, &scope, None)?);
+                }
+                out_rows.push(out);
+                order_ctx.push(row.clone());
+                order_groups.push(vec![row.clone()]);
+            }
+        }
+
+        // 4. DISTINCT
+        if stmt.distinct {
+            let mut seen: Vec<Vec<Value>> = Vec::new();
+            let mut kept_rows = Vec::new();
+            let mut kept_ctx = Vec::new();
+            let mut kept_groups = Vec::new();
+            for ((row, ctx), grp) in out_rows
+                .into_iter()
+                .zip(order_ctx.into_iter())
+                .zip(order_groups.into_iter())
+            {
+                let dup = seen.iter().any(|s: &Vec<Value>| {
+                    s.len() == row.len() && s.iter().zip(&row).all(|(a, b)| a.grouping_eq(b))
+                });
+                if !dup {
+                    seen.push(row.clone());
+                    kept_rows.push(row);
+                    kept_ctx.push(ctx);
+                    kept_groups.push(grp);
+                }
+            }
+            out_rows = kept_rows;
+            order_ctx = kept_ctx;
+            order_groups = kept_groups;
+        }
+
+        // 5. ORDER BY
+        if !stmt.order_by.is_empty() {
+            let mut keyed: Vec<(Vec<Value>, Vec<(Value, bool)>)> = Vec::new();
+            for (i, row) in out_rows.iter().enumerate() {
+                let mut keys = Vec::new();
+                for item in &stmt.order_by {
+                    let v = self.eval_order_key(
+                        &item.expr,
+                        row,
+                        &headers,
+                        &stmt.projections,
+                        &rel.cols,
+                        &order_ctx[i],
+                        &order_groups[i],
+                        grouped,
+                        outer,
+                    )?;
+                    keys.push((v, item.descending));
+                }
+                keyed.push((row.clone(), keys));
+            }
+            keyed.sort_by(|a, b| {
+                for ((va, desc), (vb, _)) in a.1.iter().zip(b.1.iter()) {
+                    let ord = va.total_cmp(vb);
+                    let ord = if *desc { ord.reverse() } else { ord };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            out_rows = keyed.into_iter().map(|(r, _)| r).collect();
+        }
+
+        // 6. LIMIT / OFFSET
+        let offset = stmt.offset.unwrap_or(0) as usize;
+        if offset > 0 {
+            out_rows = out_rows.into_iter().skip(offset).collect();
+        }
+        if let Some(limit) = stmt.limit {
+            out_rows.truncate(limit as usize);
+        }
+
+        Ok(ResultSet { columns: headers, rows: out_rows })
+    }
+
+    /// Loads a named table or derived subquery into a relation.
+    fn load_table_ref(&mut self, tref: &TableRef, outer: Option<&Scope<'_>>) -> SqlResult<Rel> {
+        match tref {
+            TableRef::Named { table, alias } => {
+                let t = self.db.table(table)?;
+                let mut quals = vec![table.to_ascii_lowercase()];
+                if let Some(a) = alias {
+                    quals.push(a.to_ascii_lowercase());
+                }
+                let cols = t
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| ColInfo { quals: quals.clone(), name: c.name.clone() })
+                    .collect();
+                self.stats.rows_scanned += t.rows.len() as u64;
+                Ok(Rel { cols, rows: t.rows.clone() })
+            }
+            TableRef::Derived { query, alias } => {
+                let rs = self.run_select(query, outer)?;
+                let quals = vec![alias.to_ascii_lowercase()];
+                let cols = rs
+                    .columns
+                    .iter()
+                    .map(|c| ColInfo { quals: quals.clone(), name: c.clone() })
+                    .collect();
+                Ok(Rel { cols, rows: rs.rows })
+            }
+        }
+    }
+
+    /// Nested-loop join of two relations.
+    fn join(
+        &mut self,
+        left: Rel,
+        right: Rel,
+        join: &Join,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<Rel> {
+        let mut cols = left.cols.clone();
+        cols.extend(right.cols.clone());
+        let right_width = right.cols.len();
+        let mut rows = Vec::new();
+        for lrow in &left.rows {
+            let mut matched = false;
+            for rrow in &right.rows {
+                self.stats.rows_scanned += 1;
+                let mut combined = lrow.clone();
+                combined.extend(rrow.iter().cloned());
+                let ok = match &join.on {
+                    None => true,
+                    Some(pred) => {
+                        let scope = Scope { cols: &cols, row: &combined, parent: outer };
+                        self.eval(pred, &scope, None)?.to_truth().is_true()
+                    }
+                };
+                if ok {
+                    matched = true;
+                    rows.push(combined);
+                }
+            }
+            if !matched && join.kind == JoinKind::Left {
+                let mut combined = lrow.clone();
+                combined.extend(std::iter::repeat(Value::Null).take(right_width));
+                rows.push(combined);
+            }
+        }
+        Ok(Rel { cols, rows })
+    }
+
+    /// Expands projections into output headers plus one expression per column.
+    fn expand_projections(
+        &self,
+        projections: &[Projection],
+        cols: &[ColInfo],
+    ) -> SqlResult<(Vec<String>, Vec<Expr>)> {
+        let mut headers = Vec::new();
+        let mut exprs = Vec::new();
+        for p in projections {
+            match p {
+                Projection::Wildcard => {
+                    for c in cols {
+                        headers.push(c.name.clone());
+                        exprs.push(Expr::Column {
+                            table: c.quals.first().cloned(),
+                            column: c.name.clone(),
+                        });
+                    }
+                    if cols.is_empty() {
+                        return Err(SqlError::Execution("SELECT * with no FROM clause".into()));
+                    }
+                }
+                Projection::TableWildcard(t) => {
+                    let tl = t.to_ascii_lowercase();
+                    let mut any = false;
+                    for c in cols {
+                        if c.quals.contains(&tl) {
+                            headers.push(c.name.clone());
+                            exprs.push(Expr::Column { table: Some(tl.clone()), column: c.name.clone() });
+                            any = true;
+                        }
+                    }
+                    if !any {
+                        return Err(SqlError::UnknownTable(t.clone()));
+                    }
+                }
+                Projection::Expr { expr, alias } => {
+                    let header = alias.clone().unwrap_or_else(|| describe_expr(expr));
+                    headers.push(header);
+                    exprs.push(expr.clone());
+                }
+            }
+        }
+        Ok((headers, exprs))
+    }
+
+    /// Groups rows by the GROUP BY keys (or a single global group if none).
+    fn group_rows(
+        &mut self,
+        rows: &[Vec<Value>],
+        group_by: &[Expr],
+        cols: &[ColInfo],
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<Vec<Vec<Vec<Value>>>> {
+        if group_by.is_empty() {
+            return Ok(vec![rows.to_vec()]);
+        }
+        let mut keys: Vec<Vec<Value>> = Vec::new();
+        let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
+        for row in rows {
+            let scope = Scope { cols, row, parent: outer };
+            let mut key = Vec::with_capacity(group_by.len());
+            for g in group_by {
+                key.push(self.eval(g, &scope, None)?);
+            }
+            let pos = keys.iter().position(|k| {
+                k.iter().zip(&key).all(|(a, b)| a.grouping_eq(b))
+            });
+            match pos {
+                Some(i) => groups[i].push(row.clone()),
+                None => {
+                    keys.push(key);
+                    groups.push(vec![row.clone()]);
+                }
+            }
+        }
+        Ok(groups)
+    }
+
+    /// Evaluates an ORDER BY key, resolving output aliases and ordinals first.
+    #[allow(clippy::too_many_arguments)]
+    fn eval_order_key(
+        &mut self,
+        expr: &Expr,
+        out_row: &[Value],
+        headers: &[String],
+        projections: &[Projection],
+        cols: &[ColInfo],
+        ctx_row: &[Value],
+        group_rows: &[Vec<Value>],
+        grouped: bool,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<Value> {
+        // Ordinal reference: ORDER BY 2
+        if let Expr::Literal(Value::Integer(i)) = expr {
+            let idx = *i as usize;
+            if idx >= 1 && idx <= out_row.len() {
+                return Ok(out_row[idx - 1].clone());
+            }
+        }
+        // Alias reference: ORDER BY n where n is an output alias
+        if let Expr::Column { table: None, column } = expr {
+            if let Some(pos) = headers.iter().position(|h| h.eq_ignore_ascii_case(column)) {
+                // Only treat it as an alias if it is not also a base column, or
+                // if it was explicitly aliased in the projection.
+                let explicitly_aliased = projections.iter().any(|p| {
+                    matches!(p, Projection::Expr { alias: Some(a), .. } if a.eq_ignore_ascii_case(column))
+                });
+                let is_base_col = cols.iter().any(|c| c.name.eq_ignore_ascii_case(column));
+                if explicitly_aliased || !is_base_col {
+                    return Ok(out_row[pos].clone());
+                }
+            }
+        }
+        let scope = Scope { cols, row: ctx_row, parent: outer };
+        if grouped {
+            let group = Group { rows: group_rows };
+            self.eval(expr, &scope, Some(&group))
+        } else {
+            self.eval(expr, &scope, None)
+        }
+    }
+
+    /// Resolves a column reference against the scope chain.
+    fn resolve_column(
+        &self,
+        scope: &Scope<'_>,
+        table: &Option<String>,
+        column: &str,
+    ) -> SqlResult<Value> {
+        let mut current = Some(scope);
+        while let Some(s) = current {
+            let mut matches = Vec::new();
+            for (i, c) in s.cols.iter().enumerate() {
+                if !c.name.eq_ignore_ascii_case(column) {
+                    continue;
+                }
+                match table {
+                    Some(t) => {
+                        if c.quals.contains(&t.to_ascii_lowercase()) {
+                            matches.push(i);
+                        }
+                    }
+                    None => matches.push(i),
+                }
+            }
+            match matches.len() {
+                1 => return Ok(s.row[matches[0]].clone()),
+                0 => {
+                    current = s.parent;
+                }
+                _ => {
+                    // Ambiguity between columns that always hold the same value
+                    // (join keys) is harmless; otherwise report it.
+                    let first = &s.row[matches[0]];
+                    if matches.iter().all(|&i| s.row[i].grouping_eq(first)) {
+                        return Ok(first.clone());
+                    }
+                    return Err(SqlError::AmbiguousColumn(column.to_string()));
+                }
+            }
+        }
+        Err(SqlError::UnknownColumn(match table {
+            Some(t) => format!("{t}.{column}"),
+            None => column.to_string(),
+        }))
+    }
+
+    /// Evaluates an expression.
+    fn eval(&mut self, expr: &Expr, scope: &Scope<'_>, group: Option<&Group<'_>>) -> SqlResult<Value> {
+        self.stats.evaluations += 1;
+        match expr {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Column { table, column } => self.resolve_column(scope, table, column),
+            Expr::Compare { op, left, right } => {
+                let l = self.eval(left, scope, group)?;
+                let r = self.eval(right, scope, group)?;
+                let truth = match l.sql_cmp(&r) {
+                    None => Truth::Unknown,
+                    Some(ord) => Truth::from_bool(match op {
+                        CompareOp::Eq => ord.is_eq(),
+                        CompareOp::NotEq => !ord.is_eq(),
+                        CompareOp::Lt => ord.is_lt(),
+                        CompareOp::LtEq => ord.is_le(),
+                        CompareOp::Gt => ord.is_gt(),
+                        CompareOp::GtEq => ord.is_ge(),
+                    }),
+                };
+                Ok(truth.to_value())
+            }
+            Expr::Arith { op, left, right } => {
+                let l = self.eval(left, scope, group)?;
+                let r = self.eval(right, scope, group)?;
+                l.arith(*op, &r)
+            }
+            Expr::Concat { left, right } => {
+                let l = self.eval(left, scope, group)?;
+                let r = self.eval(right, scope, group)?;
+                if l.is_null() || r.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Text(format!("{}{}", l.render(), r.render())))
+            }
+            Expr::And(a, b) => {
+                let l = self.eval(a, scope, group)?.to_truth();
+                if l == Truth::False {
+                    return Ok(Truth::False.to_value());
+                }
+                let r = self.eval(b, scope, group)?.to_truth();
+                Ok(l.and(r).to_value())
+            }
+            Expr::Or(a, b) => {
+                let l = self.eval(a, scope, group)?.to_truth();
+                if l == Truth::True {
+                    return Ok(Truth::True.to_value());
+                }
+                let r = self.eval(b, scope, group)?.to_truth();
+                Ok(l.or(r).to_value())
+            }
+            Expr::Not(e) => Ok(self.eval(e, scope, group)?.to_truth().not().to_value()),
+            Expr::Neg(e) => {
+                let v = self.eval(e, scope, group)?;
+                v.arith(crate::value::ArithOp::Mul, &Value::Integer(-1))
+            }
+            Expr::Like { negated, expr, pattern } => {
+                let v = self.eval(expr, scope, group)?;
+                let p = self.eval(pattern, scope, group)?;
+                if v.is_null() || p.is_null() {
+                    return Ok(Value::Null);
+                }
+                let m = like_match(&p.render(), &v.render());
+                Ok(Value::from_bool(m != *negated))
+            }
+            Expr::IsNull { negated, expr } => {
+                let v = self.eval(expr, scope, group)?;
+                Ok(Value::from_bool(v.is_null() != *negated))
+            }
+            Expr::InList { negated, expr, list } => {
+                let v = self.eval(expr, scope, group)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let mut found = false;
+                for item in list {
+                    let iv = self.eval(item, scope, group)?;
+                    if matches!(v.sql_cmp(&iv), Some(o) if o.is_eq()) {
+                        found = true;
+                        break;
+                    }
+                }
+                Ok(Value::from_bool(found != *negated))
+            }
+            Expr::InSubquery { negated, expr, query } => {
+                let v = self.eval(expr, scope, group)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                let rs = self.run_select(query, Some(scope))?;
+                let mut found = false;
+                for row in &rs.rows {
+                    if let Some(cell) = row.first() {
+                        if matches!(v.sql_cmp(cell), Some(o) if o.is_eq()) {
+                            found = true;
+                            break;
+                        }
+                    }
+                }
+                Ok(Value::from_bool(found != *negated))
+            }
+            Expr::Between { negated, expr, low, high } => {
+                let v = self.eval(expr, scope, group)?;
+                let lo = self.eval(low, scope, group)?;
+                let hi = self.eval(high, scope, group)?;
+                match (v.sql_cmp(&lo), v.sql_cmp(&hi)) {
+                    (Some(a), Some(b)) => {
+                        let inside = a.is_ge() && b.is_le();
+                        Ok(Value::from_bool(inside != *negated))
+                    }
+                    _ => Ok(Value::Null),
+                }
+            }
+            Expr::Exists { negated, query } => {
+                let rs = self.run_select(query, Some(scope))?;
+                Ok(Value::from_bool(!rs.rows.is_empty() != *negated))
+            }
+            Expr::ScalarSubquery(query) => {
+                let rs = self.run_select(query, Some(scope))?;
+                if rs.rows.len() > 1 {
+                    return Err(SqlError::Execution("scalar subquery returned more than one row".into()));
+                }
+                Ok(rs.rows.first().and_then(|r| r.first().cloned()).unwrap_or(Value::Null))
+            }
+            Expr::Aggregate { kind, distinct, arg } => {
+                let group = group.ok_or_else(|| {
+                    SqlError::Execution(format!("aggregate {} used outside GROUP context", kind.name()))
+                })?;
+                self.eval_aggregate(*kind, *distinct, arg.as_deref(), scope, group)
+            }
+            Expr::Function { name, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, scope, group)?);
+                }
+                eval_scalar_function(name, &vals)
+            }
+            Expr::Cast { expr, target } => {
+                let v = self.eval(expr, scope, group)?;
+                Ok(cast_value(&v, *target))
+            }
+            Expr::Case { operand, branches, else_branch } => {
+                let op_val = match operand {
+                    Some(o) => Some(self.eval(o, scope, group)?),
+                    None => None,
+                };
+                for (when, then) in branches {
+                    let hit = match &op_val {
+                        Some(v) => {
+                            let w = self.eval(when, scope, group)?;
+                            matches!(v.sql_cmp(&w), Some(o) if o.is_eq())
+                        }
+                        None => self.eval(when, scope, group)?.to_truth().is_true(),
+                    };
+                    if hit {
+                        return self.eval(then, scope, group);
+                    }
+                }
+                match else_branch {
+                    Some(e) => self.eval(e, scope, group),
+                    None => Ok(Value::Null),
+                }
+            }
+        }
+    }
+
+    fn eval_aggregate(
+        &mut self,
+        kind: AggregateKind,
+        distinct: bool,
+        arg: Option<&Expr>,
+        scope: &Scope<'_>,
+        group: &Group<'_>,
+    ) -> SqlResult<Value> {
+        // COUNT(*) — no argument.
+        if arg.is_none() {
+            return match kind {
+                AggregateKind::Count => Ok(Value::Integer(group.rows.len() as i64)),
+                other => Err(SqlError::Execution(format!("{} requires an argument", other.name()))),
+            };
+        }
+        let arg = arg.unwrap();
+        let mut vals: Vec<Value> = Vec::with_capacity(group.rows.len());
+        for row in group.rows {
+            self.stats.evaluations += 1;
+            let inner_scope = Scope { cols: scope.cols, row, parent: scope.parent };
+            let v = self.eval(arg, &inner_scope, None)?;
+            if !v.is_null() {
+                vals.push(v);
+            }
+        }
+        if distinct {
+            let mut uniq: Vec<Value> = Vec::new();
+            for v in vals {
+                if !uniq.iter().any(|u| u.grouping_eq(&v)) {
+                    uniq.push(v);
+                }
+            }
+            vals = uniq;
+        }
+        Ok(match kind {
+            AggregateKind::Count => Value::Integer(vals.len() as i64),
+            AggregateKind::Sum => {
+                if vals.is_empty() {
+                    Value::Null
+                } else {
+                    sum_values(&vals)
+                }
+            }
+            AggregateKind::Avg => {
+                if vals.is_empty() {
+                    Value::Null
+                } else {
+                    let total = sum_values(&vals).as_f64().unwrap_or(0.0);
+                    Value::Real(total / vals.len() as f64)
+                }
+            }
+            AggregateKind::Min => vals
+                .iter()
+                .cloned()
+                .min_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Value::Null),
+            AggregateKind::Max => vals
+                .iter()
+                .cloned()
+                .max_by(|a, b| a.total_cmp(b))
+                .unwrap_or(Value::Null),
+        })
+    }
+}
+
+fn sum_values(vals: &[Value]) -> Value {
+    let all_int = vals.iter().all(|v| matches!(v.coerce_numeric(), Value::Integer(_)));
+    if all_int {
+        Value::Integer(vals.iter().filter_map(|v| v.coerce_numeric().as_i64()).sum())
+    } else {
+        Value::Real(vals.iter().filter_map(|v| v.coerce_numeric().as_f64()).sum())
+    }
+}
+
+/// CAST semantics similar to SQLite.
+fn cast_value(v: &Value, target: DataType) -> Value {
+    if v.is_null() {
+        return Value::Null;
+    }
+    match target {
+        DataType::Integer => match v.coerce_numeric() {
+            Value::Integer(i) => Value::Integer(i),
+            Value::Real(r) => Value::Integer(r as i64),
+            _ => Value::Integer(0),
+        },
+        DataType::Real => match v.coerce_numeric() {
+            Value::Integer(i) => Value::Real(i as f64),
+            Value::Real(r) => Value::Real(r),
+            _ => Value::Real(0.0),
+        },
+        DataType::Text | DataType::Date => Value::Text(v.render()),
+    }
+}
+
+/// Default header for an unaliased projection expression.
+fn describe_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { table, column } => match table {
+            Some(t) => format!("{t}.{column}"),
+            None => column.clone(),
+        },
+        Expr::Aggregate { kind, distinct, arg } => {
+            let inner = match arg {
+                None => "*".to_string(),
+                Some(a) => describe_expr(a),
+            };
+            if *distinct {
+                format!("{}(DISTINCT {})", kind.name(), inner)
+            } else {
+                format!("{}({})", kind.name(), inner)
+            }
+        }
+        Expr::Function { name, args } => {
+            let inner: Vec<String> = args.iter().map(describe_expr).collect();
+            format!("{}({})", name, inner.join(", "))
+        }
+        Expr::Literal(v) => v.render(),
+        Expr::Arith { left, right, op } => {
+            let sym = match op {
+                crate::value::ArithOp::Add => "+",
+                crate::value::ArithOp::Sub => "-",
+                crate::value::ArithOp::Mul => "*",
+                crate::value::ArithOp::Div => "/",
+                crate::value::ArithOp::Mod => "%",
+            };
+            format!("{} {} {}", describe_expr(left), sym, describe_expr(right))
+        }
+        Expr::Cast { expr, target } => format!("CAST({} AS {})", describe_expr(expr), target.sql_name()),
+        _ => "expr".to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+
+    /// A small financial-style database used across executor tests.
+    fn db() -> Database {
+        let mut db = Database::new("financial");
+        db.create_table(TableSchema::new(
+            "account",
+            vec![
+                ColumnDef::new("account_id", DataType::Integer).primary_key(),
+                ColumnDef::new("district_id", DataType::Integer),
+                ColumnDef::new("frequency", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "loan",
+            vec![
+                ColumnDef::new("loan_id", DataType::Integer).primary_key(),
+                ColumnDef::new("account_id", DataType::Integer),
+                ColumnDef::new("amount", DataType::Real),
+                ColumnDef::new("status", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        db.add_foreign_key(ForeignKey {
+            from_table: "loan".into(),
+            from_column: "account_id".into(),
+            to_table: "account".into(),
+            to_column: "account_id".into(),
+        });
+        let freqs = ["POPLATEK MESICNE", "POPLATEK TYDNE", "POPLATEK MESICNE", "POPLATEK PO OBRATU"];
+        for i in 0..4i64 {
+            db.insert("account", vec![(i + 1).into(), ((i % 2) + 1).into(), freqs[i as usize].into()])
+                .unwrap();
+        }
+        let loans = [
+            (1i64, 1i64, 150_000.0, "A"),
+            (2, 1, 250_000.0, "B"),
+            (3, 2, 90_000.0, "A"),
+            (4, 3, 400_000.0, "C"),
+            (5, 4, 50_000.0, "A"),
+        ];
+        for (id, acc, amt, st) in loans {
+            db.insert("loan", vec![id.into(), acc.into(), amt.into(), st.into()]).unwrap();
+        }
+        db
+    }
+
+    fn run(sql: &str) -> ResultSet {
+        execute(&db(), sql).unwrap()
+    }
+
+    #[test]
+    fn simple_filter_and_projection() {
+        let rs = run("SELECT loan_id FROM loan WHERE amount > 100000");
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs.columns, vec!["loan_id"]);
+    }
+
+    #[test]
+    fn wildcard_projection() {
+        let rs = run("SELECT * FROM account");
+        assert_eq!(rs.columns.len(), 3);
+        assert_eq!(rs.len(), 4);
+    }
+
+    #[test]
+    fn inner_join_with_aliases() {
+        let rs = run(
+            "SELECT T1.account_id, T2.amount FROM account AS T1 \
+             INNER JOIN loan AS T2 ON T1.account_id = T2.account_id \
+             WHERE T1.frequency = 'POPLATEK TYDNE'",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][1], Value::Real(90_000.0));
+    }
+
+    #[test]
+    fn left_join_pads_nulls() {
+        let mut d = db();
+        d.insert("account", vec![5.into(), 1.into(), "POPLATEK TYDNE".into()]).unwrap();
+        let rs = execute(
+            &d,
+            "SELECT account.account_id, loan.loan_id FROM account \
+             LEFT JOIN loan ON account.account_id = loan.account_id \
+             WHERE loan.loan_id IS NULL",
+        )
+        .unwrap();
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Integer(5));
+    }
+
+    #[test]
+    fn group_by_count_and_having() {
+        let rs = run(
+            "SELECT account_id, COUNT(*) AS n FROM loan GROUP BY account_id HAVING COUNT(*) >= 2",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0], vec![Value::Integer(1), Value::Integer(2)]);
+    }
+
+    #[test]
+    fn global_aggregates() {
+        let rs = run("SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM loan");
+        assert_eq!(rs.rows[0][0], Value::Integer(5));
+        assert_eq!(rs.rows[0][1], Value::Real(940_000.0));
+        assert_eq!(rs.rows[0][3], Value::Real(50_000.0));
+        assert_eq!(rs.rows[0][4], Value::Real(400_000.0));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rs = run("SELECT COUNT(DISTINCT status) FROM loan");
+        assert_eq!(rs.rows[0][0], Value::Integer(3));
+    }
+
+    #[test]
+    fn order_by_and_limit() {
+        let rs = run("SELECT loan_id FROM loan ORDER BY amount DESC LIMIT 2");
+        assert_eq!(rs.rows, vec![vec![Value::Integer(4)], vec![Value::Integer(2)]]);
+    }
+
+    #[test]
+    fn order_by_alias_and_ordinal() {
+        let rs = run("SELECT account_id, SUM(amount) AS total FROM loan GROUP BY account_id ORDER BY total ASC LIMIT 1");
+        assert_eq!(rs.rows[0][0], Value::Integer(4));
+        let rs = run("SELECT loan_id, amount FROM loan ORDER BY 2 ASC LIMIT 1");
+        assert_eq!(rs.rows[0][0], Value::Integer(5));
+    }
+
+    #[test]
+    fn distinct_rows() {
+        let rs = run("SELECT DISTINCT status FROM loan");
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn where_like_and_in() {
+        let rs = run("SELECT account_id FROM account WHERE frequency LIKE 'POPLATEK M%'");
+        assert_eq!(rs.len(), 2);
+        let rs = run("SELECT loan_id FROM loan WHERE status IN ('B', 'C')");
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn in_subquery_and_exists() {
+        let rs = run(
+            "SELECT loan_id FROM loan WHERE account_id IN \
+             (SELECT account_id FROM account WHERE frequency = 'POPLATEK MESICNE')",
+        );
+        assert_eq!(rs.len(), 3);
+        let rs = run(
+            "SELECT account_id FROM account WHERE EXISTS \
+             (SELECT 1 FROM loan WHERE loan.account_id = account.account_id AND loan.amount > 300000)",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Integer(3));
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let rs = run("SELECT loan_id FROM loan WHERE amount > (SELECT AVG(amount) FROM loan)");
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn case_expression() {
+        let rs = run(
+            "SELECT loan_id, CASE WHEN amount >= 200000 THEN 'big' ELSE 'small' END AS size FROM loan ORDER BY loan_id",
+        );
+        assert_eq!(rs.rows[0][1], Value::text("small"));
+        assert_eq!(rs.rows[1][1], Value::text("big"));
+    }
+
+    #[test]
+    fn cast_division_produces_ratio() {
+        let rs = run("SELECT CAST(SUM(amount) AS REAL) / COUNT(*) FROM loan");
+        assert_eq!(rs.rows[0][0], Value::Real(188_000.0));
+    }
+
+    #[test]
+    fn derived_table() {
+        let rs = run("SELECT t.n FROM (SELECT COUNT(*) AS n FROM loan) AS t");
+        assert_eq!(rs.rows[0][0], Value::Integer(5));
+    }
+
+    #[test]
+    fn comma_join_with_where() {
+        let rs = run(
+            "SELECT loan.loan_id FROM loan, account \
+             WHERE loan.account_id = account.account_id AND account.district_id = 1",
+        );
+        assert_eq!(rs.len(), 3);
+    }
+
+    #[test]
+    fn unknown_column_is_error() {
+        let err = execute(&db(), "SELECT nonexistent FROM loan").unwrap_err();
+        assert!(matches!(err, SqlError::UnknownColumn(_)));
+    }
+
+    #[test]
+    fn unknown_table_is_error() {
+        let err = execute(&db(), "SELECT x FROM nonexistent").unwrap_err();
+        assert!(matches!(err, SqlError::UnknownTable(_)));
+    }
+
+    #[test]
+    fn stats_grow_with_joins() {
+        let d = db();
+        let (_, simple) = execute_with_stats(&d, "SELECT * FROM loan").unwrap();
+        let (_, join) = execute_with_stats(
+            &d,
+            "SELECT * FROM loan INNER JOIN account ON loan.account_id = account.account_id",
+        )
+        .unwrap();
+        assert!(join.cost() > simple.cost());
+    }
+
+    #[test]
+    fn create_and_insert_via_sql() {
+        let mut d = Database::new("scratch");
+        execute_statement(&mut d, "CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)").unwrap();
+        execute_statement(&mut d, "INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')").unwrap();
+        let rs = execute(&d, "SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(rs.rows[0][0], Value::Integer(2));
+    }
+
+    #[test]
+    fn empty_group_count_zero() {
+        let rs = run("SELECT COUNT(*) FROM loan WHERE amount > 10000000");
+        assert_eq!(rs.rows[0][0], Value::Integer(0));
+    }
+
+    #[test]
+    fn case_sensitive_text_equality_matters() {
+        // The BIRD case-sensitivity defect: 'a' vs 'A' must not match.
+        let rs = run("SELECT COUNT(*) FROM loan WHERE status = 'a'");
+        assert_eq!(rs.rows[0][0], Value::Integer(0));
+        let rs = run("SELECT COUNT(*) FROM loan WHERE status = 'A'");
+        assert_eq!(rs.rows[0][0], Value::Integer(3));
+    }
+}

@@ -1,0 +1,44 @@
+//! # seed-sqlengine
+//!
+//! An in-memory relational SQL engine used as the database substrate for the
+//! SEED (ICDE 2025) reproduction. It plays the role SQLite plays in the
+//! original paper: the BIRD/Spider-style databases are stored here, SEED's
+//! sample-SQL probes run here, and the execution-accuracy / valid-efficiency
+//! metrics compare results produced here.
+//!
+//! The engine supports the SQL subset that BIRD-style gold queries and
+//! text-to-SQL systems emit: `SELECT` with joins (inner/left/comma), `WHERE`
+//! with three-valued logic, `LIKE`, `IN` (lists and subqueries), `BETWEEN`,
+//! `EXISTS`, scalar subqueries, `GROUP BY`/`HAVING` with the five standard
+//! aggregates, `ORDER BY` (expressions, aliases, ordinals), `LIMIT`/`OFFSET`,
+//! `CASE`, `CAST`, scalar functions, plus `CREATE TABLE` and `INSERT` for
+//! building databases from SQL scripts.
+//!
+//! ```
+//! use seed_sqlengine::{Database, execute, execute_statement};
+//!
+//! let mut db = Database::new("demo");
+//! execute_statement(&mut db, "CREATE TABLE client (id INTEGER PRIMARY KEY, gender TEXT)").unwrap();
+//! execute_statement(&mut db, "INSERT INTO client VALUES (1, 'F'), (2, 'M'), (3, 'F')").unwrap();
+//! let rs = execute(&db, "SELECT COUNT(*) FROM client WHERE gender = 'F'").unwrap();
+//! assert_eq!(rs.rows[0][0], seed_sqlengine::Value::Integer(2));
+//! ```
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod functions;
+pub mod parser;
+pub mod result;
+pub mod schema;
+pub mod storage;
+pub mod token;
+pub mod value;
+
+pub use error::{SqlError, SqlResult};
+pub use exec::{execute, execute_select, execute_select_with_stats, execute_statement, execute_with_stats};
+pub use parser::{parse_select, parse_statement};
+pub use result::{ExecStats, ResultSet};
+pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
+pub use storage::{Database, Row, Table};
+pub use value::{like_match, ArithOp, Truth, Value};

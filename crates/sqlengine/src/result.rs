@@ -1,0 +1,179 @@
+//! Query results and the result-comparison semantics used by execution accuracy.
+
+use crate::value::Value;
+
+/// A query result: column names plus rows.
+#[derive(Debug, Clone, Default)]
+pub struct ResultSet {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    pub fn new(columns: Vec<String>) -> Self {
+        ResultSet { columns, rows: Vec::new() }
+    }
+
+    /// Number of result rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the result has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The single scalar of a 1x1 result, if that is what this is.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+
+    /// Canonical multiset fingerprint of the rows: each row rendered, rows
+    /// sorted. Column names are ignored, mirroring how the BIRD/Spider
+    /// execution-accuracy metric compares result *contents* only.
+    pub fn fingerprint(&self) -> Vec<String> {
+        let mut rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                r.iter()
+                    .map(render_for_comparison)
+                    .collect::<Vec<_>>()
+                    .join("\u{1}")
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// Execution-accuracy equivalence: same multiset of rows (order-insensitive,
+    /// column-name-insensitive). Numeric values are compared with a small
+    /// tolerance so `2` and `2.0` and float round-off agree.
+    pub fn result_eq(&self, other: &ResultSet) -> bool {
+        self.fingerprint() == other.fingerprint()
+    }
+
+    /// Pretty-prints the first `max_rows` rows as an aligned text table, the
+    /// way sample-SQL results are embedded in SEED prompts.
+    pub fn render_table(&self, max_rows: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&self.columns.join(" | "));
+        out.push('\n');
+        for row in self.rows.iter().take(max_rows) {
+            let cells: Vec<String> = row.iter().map(|v| v.render()).collect();
+            out.push_str(&cells.join(" | "));
+            out.push('\n');
+        }
+        if self.rows.len() > max_rows {
+            out.push_str(&format!("... ({} more rows)\n", self.rows.len() - max_rows));
+        }
+        out
+    }
+}
+
+/// Renders a value for execution-accuracy comparison: numbers are normalized
+/// so that integer/real representations of the same quantity compare equal.
+fn render_for_comparison(v: &Value) -> String {
+    match v {
+        Value::Null => "<null>".to_string(),
+        Value::Integer(i) => format!("{:.6}", *i as f64),
+        Value::Real(r) => format!("{:.6}", r),
+        Value::Text(s) => format!("t:{s}"),
+    }
+}
+
+/// Execution statistics used by the valid-efficiency-score (VES) metric.
+///
+/// The paper measures wall-clock execution time on SQLite; a synthetic engine
+/// measures deterministic work instead (rows scanned and comparisons made),
+/// which preserves the "reward cheaper queries" behaviour without timing noise.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Rows visited across all scans and join loops.
+    pub rows_scanned: u64,
+    /// Predicate/expression evaluations performed.
+    pub evaluations: u64,
+}
+
+impl ExecStats {
+    /// Scalar cost used as the VES time proxy (never zero).
+    pub fn cost(&self) -> f64 {
+        1.0 + self.rows_scanned as f64 + 0.1 * self.evaluations as f64
+    }
+
+    /// Accumulates another stats block into this one.
+    pub fn absorb(&mut self, other: ExecStats) {
+        self.rows_scanned += other.rows_scanned;
+        self.evaluations += other.evaluations;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rs(cols: &[&str], rows: Vec<Vec<Value>>) -> ResultSet {
+        ResultSet { columns: cols.iter().map(|s| s.to_string()).collect(), rows }
+    }
+
+    #[test]
+    fn result_eq_ignores_row_order_and_column_names() {
+        let a = rs(&["a"], vec![vec![1.into()], vec![2.into()]]);
+        let b = rs(&["other_name"], vec![vec![2.into()], vec![1.into()]]);
+        assert!(a.result_eq(&b));
+    }
+
+    #[test]
+    fn result_eq_respects_multiset_semantics() {
+        let a = rs(&["a"], vec![vec![1.into()], vec![1.into()]]);
+        let b = rs(&["a"], vec![vec![1.into()]]);
+        assert!(!a.result_eq(&b));
+    }
+
+    #[test]
+    fn result_eq_numeric_tolerance() {
+        let a = rs(&["a"], vec![vec![Value::Integer(2)]]);
+        let b = rs(&["a"], vec![vec![Value::Real(2.0)]]);
+        assert!(a.result_eq(&b));
+    }
+
+    #[test]
+    fn result_eq_distinguishes_text_from_number() {
+        let a = rs(&["a"], vec![vec![Value::text("2")]]);
+        let b = rs(&["a"], vec![vec![Value::Integer(2)]]);
+        assert!(!a.result_eq(&b));
+    }
+
+    #[test]
+    fn scalar_only_for_one_by_one() {
+        let a = rs(&["a"], vec![vec![5.into()]]);
+        assert_eq!(a.scalar(), Some(&Value::Integer(5)));
+        let b = rs(&["a"], vec![vec![5.into()], vec![6.into()]]);
+        assert!(b.scalar().is_none());
+    }
+
+    #[test]
+    fn render_table_truncates() {
+        let a = rs(
+            &["x"],
+            (0..10).map(|i| vec![Value::Integer(i)]).collect(),
+        );
+        let s = a.render_table(3);
+        assert!(s.contains("7 more rows"));
+    }
+
+    #[test]
+    fn exec_stats_cost_monotone() {
+        let cheap = ExecStats { rows_scanned: 10, evaluations: 5 };
+        let pricey = ExecStats { rows_scanned: 10_000, evaluations: 5_000 };
+        assert!(pricey.cost() > cheap.cost());
+        let mut total = cheap;
+        total.absorb(pricey);
+        assert_eq!(total.rows_scanned, 10_010);
+    }
+}

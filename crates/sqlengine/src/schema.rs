@@ -1,0 +1,316 @@
+//! Catalog types: columns, tables, foreign keys, and whole-database schemas.
+//!
+//! The schema layer also carries the *description metadata* that the BIRD
+//! benchmark ships as per-table CSV files (column descriptions and value
+//! descriptions) because SEED's evidence generation reads them.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SqlError, SqlResult};
+
+/// Logical SQL data types used by the engine's catalog.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataType {
+    Integer,
+    Real,
+    Text,
+    Date,
+}
+
+impl DataType {
+    /// Renders the type the way a SQLite `CREATE TABLE` statement would.
+    pub fn sql_name(&self) -> &'static str {
+        match self {
+            DataType::Integer => "INTEGER",
+            DataType::Real => "REAL",
+            DataType::Text => "TEXT",
+            DataType::Date => "DATE",
+        }
+    }
+
+    /// Parses a type name from SQL, accepting common SQLite affinity spellings.
+    pub fn parse(name: &str) -> DataType {
+        let upper = name.to_ascii_uppercase();
+        if upper.contains("INT") {
+            DataType::Integer
+        } else if upper.contains("REAL") || upper.contains("FLOA") || upper.contains("DOUB")
+            || upper.contains("NUMERIC") || upper.contains("DECIMAL")
+        {
+            DataType::Real
+        } else if upper.contains("DATE") || upper.contains("TIME") {
+            DataType::Date
+        } else {
+            DataType::Text
+        }
+    }
+}
+
+/// A column definition together with its BIRD-style description metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Physical column name as used in SQL (e.g. `NumTstTakr`).
+    pub name: String,
+    /// Data type.
+    pub data_type: DataType,
+    /// Whether the column is (part of) the primary key.
+    pub primary_key: bool,
+    /// Human-readable column description from the description file
+    /// (e.g. "Number of SAT test takers").
+    pub description: String,
+    /// Value description from the description file, e.g.
+    /// `"F": female, "M": male` or a normal-range note.
+    pub value_description: String,
+}
+
+impl ColumnDef {
+    /// Creates a plain column with no description metadata.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        ColumnDef {
+            name: name.into(),
+            data_type,
+            primary_key: false,
+            description: String::new(),
+            value_description: String::new(),
+        }
+    }
+
+    /// Marks the column as a primary key (builder style).
+    pub fn primary_key(mut self) -> Self {
+        self.primary_key = true;
+        self
+    }
+
+    /// Attaches a column description (builder style).
+    pub fn described(mut self, description: impl Into<String>) -> Self {
+        self.description = description.into();
+        self
+    }
+
+    /// Attaches a value description (builder style).
+    pub fn with_values(mut self, value_description: impl Into<String>) -> Self {
+        self.value_description = value_description.into();
+        self
+    }
+}
+
+/// A foreign-key edge between two tables.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    pub from_table: String,
+    pub from_column: String,
+    pub to_table: String,
+    pub to_column: String,
+}
+
+/// Schema of a single table.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<ColumnDef>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<ColumnDef>) -> Self {
+        TableSchema { name: name.into(), columns }
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Looks a column up by case-insensitive name.
+    pub fn column(&self, name: &str) -> Option<&ColumnDef> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+
+    /// All column names in declaration order.
+    pub fn column_names(&self) -> Vec<String> {
+        self.columns.iter().map(|c| c.name.clone()).collect()
+    }
+
+    /// Renders a `CREATE TABLE` DDL statement for the table.
+    pub fn to_create_sql(&self) -> String {
+        let cols: Vec<String> = self
+            .columns
+            .iter()
+            .map(|c| {
+                let mut s = format!("`{}` {}", c.name, c.data_type.sql_name());
+                if c.primary_key {
+                    s.push_str(" PRIMARY KEY");
+                }
+                s
+            })
+            .collect();
+        format!("CREATE TABLE `{}` ({})", self.name, cols.join(", "))
+    }
+}
+
+/// Schema of a whole database: tables plus foreign keys plus a name.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatabaseSchema {
+    pub name: String,
+    pub tables: Vec<TableSchema>,
+    pub foreign_keys: Vec<ForeignKey>,
+}
+
+impl DatabaseSchema {
+    pub fn new(name: impl Into<String>) -> Self {
+        DatabaseSchema { name: name.into(), tables: Vec::new(), foreign_keys: Vec::new() }
+    }
+
+    /// Adds a table schema, failing on duplicates.
+    pub fn add_table(&mut self, table: TableSchema) -> SqlResult<()> {
+        if self.table(&table.name).is_some() {
+            return Err(SqlError::Schema(format!("duplicate table {}", table.name)));
+        }
+        self.tables.push(table);
+        Ok(())
+    }
+
+    /// Adds a foreign-key edge.
+    pub fn add_foreign_key(&mut self, fk: ForeignKey) {
+        self.foreign_keys.push(fk);
+    }
+
+    /// Looks up a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> Option<&TableSchema> {
+        self.tables.iter().find(|t| t.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Foreign keys touching the given table (either direction).
+    pub fn foreign_keys_for(&self, table: &str) -> Vec<&ForeignKey> {
+        self.foreign_keys
+            .iter()
+            .filter(|fk| {
+                fk.from_table.eq_ignore_ascii_case(table) || fk.to_table.eq_ignore_ascii_case(table)
+            })
+            .collect()
+    }
+
+    /// Finds a join path (foreign key) connecting two tables, if any.
+    pub fn join_between(&self, a: &str, b: &str) -> Option<&ForeignKey> {
+        self.foreign_keys.iter().find(|fk| {
+            (fk.from_table.eq_ignore_ascii_case(a) && fk.to_table.eq_ignore_ascii_case(b))
+                || (fk.from_table.eq_ignore_ascii_case(b) && fk.to_table.eq_ignore_ascii_case(a))
+        })
+    }
+
+    /// Total number of columns across every table.
+    pub fn column_count(&self) -> usize {
+        self.tables.iter().map(|t| t.columns.len()).sum()
+    }
+
+    /// Renders the full DDL for the database, the way text-to-SQL prompts do.
+    pub fn to_ddl(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tables {
+            out.push_str(&t.to_create_sql());
+            out.push_str(";\n");
+        }
+        for fk in &self.foreign_keys {
+            out.push_str(&format!(
+                "-- FOREIGN KEY: {}.{} -> {}.{}\n",
+                fk.from_table, fk.from_column, fk.to_table, fk.to_column
+            ));
+        }
+        out
+    }
+
+    /// Finds every (table, column) pair whose name matches `column` case-insensitively.
+    pub fn resolve_column(&self, column: &str) -> Vec<(String, String)> {
+        let mut hits = Vec::new();
+        for t in &self.tables {
+            if let Some(c) = t.column(column) {
+                hits.push((t.name.clone(), c.name.clone()));
+            }
+        }
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> DatabaseSchema {
+        let mut db = DatabaseSchema::new("financial");
+        db.add_table(TableSchema::new(
+            "account",
+            vec![
+                ColumnDef::new("account_id", DataType::Integer).primary_key(),
+                ColumnDef::new("district_id", DataType::Integer),
+                ColumnDef::new("frequency", DataType::Text)
+                    .described("frequency of issuance of statements")
+                    .with_values("\"POPLATEK MESICNE\" stands for monthly issuance"),
+            ],
+        ))
+        .unwrap();
+        db.add_table(TableSchema::new(
+            "loan",
+            vec![
+                ColumnDef::new("loan_id", DataType::Integer).primary_key(),
+                ColumnDef::new("account_id", DataType::Integer),
+                ColumnDef::new("amount", DataType::Real),
+            ],
+        ))
+        .unwrap();
+        db.add_foreign_key(ForeignKey {
+            from_table: "loan".into(),
+            from_column: "account_id".into(),
+            to_table: "account".into(),
+            to_column: "account_id".into(),
+        });
+        db
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut db = sample_schema();
+        let err = db.add_table(TableSchema::new("account", vec![])).unwrap_err();
+        assert!(matches!(err, SqlError::Schema(_)));
+    }
+
+    #[test]
+    fn column_lookup_is_case_insensitive() {
+        let db = sample_schema();
+        let t = db.table("ACCOUNT").unwrap();
+        assert!(t.column("Frequency").is_some());
+        assert_eq!(t.column_index("FREQUENCY"), Some(2));
+    }
+
+    #[test]
+    fn join_between_finds_fk_in_either_direction() {
+        let db = sample_schema();
+        assert!(db.join_between("account", "loan").is_some());
+        assert!(db.join_between("loan", "account").is_some());
+        assert!(db.join_between("loan", "loan").is_none());
+    }
+
+    #[test]
+    fn ddl_contains_every_table_and_fk() {
+        let db = sample_schema();
+        let ddl = db.to_ddl();
+        assert!(ddl.contains("CREATE TABLE `account`"));
+        assert!(ddl.contains("CREATE TABLE `loan`"));
+        assert!(ddl.contains("loan.account_id -> account.account_id"));
+    }
+
+    #[test]
+    fn resolve_column_reports_all_owners() {
+        let db = sample_schema();
+        let hits = db.resolve_column("account_id");
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn datatype_parse_affinities() {
+        assert_eq!(DataType::parse("int"), DataType::Integer);
+        assert_eq!(DataType::parse("BIGINT"), DataType::Integer);
+        assert_eq!(DataType::parse("double precision"), DataType::Real);
+        assert_eq!(DataType::parse("varchar(20)"), DataType::Text);
+        assert_eq!(DataType::parse("datetime"), DataType::Date);
+    }
+}

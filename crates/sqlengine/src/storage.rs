@@ -1,0 +1,218 @@
+//! Row storage: in-memory tables and databases.
+
+use std::collections::BTreeMap;
+
+use crate::error::{SqlError, SqlResult};
+use crate::schema::{DatabaseSchema, TableSchema};
+use crate::value::Value;
+
+/// A single row of values, positionally aligned with the table schema.
+pub type Row = Vec<Value>;
+
+/// An in-memory table: schema plus row store.
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub schema: TableSchema,
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: Vec::new() }
+    }
+
+    /// Appends a row, validating arity.
+    pub fn insert(&mut self, row: Row) -> SqlResult<()> {
+        if row.len() != self.schema.columns.len() {
+            return Err(SqlError::Schema(format!(
+                "insert into {} expected {} values, got {}",
+                self.schema.name,
+                self.schema.columns.len(),
+                row.len()
+            )));
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Distinct values of a column, in first-seen order, capped at `limit`.
+    pub fn distinct_values(&self, column: &str, limit: usize) -> SqlResult<Vec<Value>> {
+        let idx = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| SqlError::UnknownColumn(format!("{}.{}", self.schema.name, column)))?;
+        let mut seen: Vec<Value> = Vec::new();
+        for row in &self.rows {
+            let v = &row[idx];
+            if v.is_null() {
+                continue;
+            }
+            if !seen.iter().any(|s| s.grouping_eq(v)) {
+                seen.push(v.clone());
+                if seen.len() >= limit {
+                    break;
+                }
+            }
+        }
+        Ok(seen)
+    }
+}
+
+/// An in-memory database: a named collection of tables plus the schema-level
+/// metadata (foreign keys, descriptions).
+#[derive(Debug, Clone)]
+pub struct Database {
+    schema: DatabaseSchema,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// Creates an empty database with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Database { schema: DatabaseSchema::new(name), tables: BTreeMap::new() }
+    }
+
+    /// Creates a database from a pre-built schema, with empty tables.
+    pub fn from_schema(schema: DatabaseSchema) -> Self {
+        let mut tables = BTreeMap::new();
+        for t in &schema.tables {
+            tables.insert(t.name.to_ascii_lowercase(), Table::new(t.clone()));
+        }
+        Database { schema, tables }
+    }
+
+    /// The database name.
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// The full schema (tables, columns, foreign keys, descriptions).
+    pub fn schema(&self) -> &DatabaseSchema {
+        &self.schema
+    }
+
+    /// Registers a new (empty) table.
+    pub fn create_table(&mut self, schema: TableSchema) -> SqlResult<()> {
+        self.schema.add_table(schema.clone())?;
+        self.tables.insert(schema.name.to_ascii_lowercase(), Table::new(schema));
+        Ok(())
+    }
+
+    /// Adds a foreign-key edge to the schema.
+    pub fn add_foreign_key(&mut self, fk: crate::schema::ForeignKey) {
+        self.schema.add_foreign_key(fk);
+    }
+
+    /// Immutable access to a table by case-insensitive name.
+    pub fn table(&self, name: &str) -> SqlResult<&Table> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a table by case-insensitive name.
+    pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// Inserts a row into a table.
+    pub fn insert(&mut self, table: &str, row: Row) -> SqlResult<()> {
+        self.table_mut(table)?.insert(row)
+    }
+
+    /// Inserts many rows into a table.
+    pub fn insert_many(&mut self, table: &str, rows: Vec<Row>) -> SqlResult<()> {
+        let t = self.table_mut(table)?;
+        for r in rows {
+            t.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Names of every table.
+    pub fn table_names(&self) -> Vec<String> {
+        self.schema.tables.iter().map(|t| t.name.clone()).collect()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType};
+
+    fn client_table() -> TableSchema {
+        TableSchema::new(
+            "client",
+            vec![
+                ColumnDef::new("client_id", DataType::Integer).primary_key(),
+                ColumnDef::new("gender", DataType::Text),
+                ColumnDef::new("birth_date", DataType::Date),
+            ],
+        )
+    }
+
+    #[test]
+    fn insert_validates_arity() {
+        let mut db = Database::new("financial");
+        db.create_table(client_table()).unwrap();
+        db.insert("client", vec![1.into(), "F".into(), "1970-01-01".into()]).unwrap();
+        let err = db.insert("client", vec![2.into(), "M".into()]).unwrap_err();
+        assert!(matches!(err, SqlError::Schema(_)));
+        assert_eq!(db.table("client").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let db = Database::new("x");
+        assert!(matches!(db.table("nope"), Err(SqlError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn distinct_values_skip_nulls_and_duplicates() {
+        let mut db = Database::new("financial");
+        db.create_table(client_table()).unwrap();
+        for (i, g) in ["F", "M", "F", "M", "F"].iter().enumerate() {
+            db.insert("client", vec![(i as i64).into(), (*g).into(), Value::Null]).unwrap();
+        }
+        db.insert("client", vec![99.into(), Value::Null, Value::Null]).unwrap();
+        let vals = db.table("client").unwrap().distinct_values("gender", 10).unwrap();
+        assert_eq!(vals, vec![Value::text("F"), Value::text("M")]);
+    }
+
+    #[test]
+    fn distinct_values_respects_limit() {
+        let mut db = Database::new("d");
+        db.create_table(client_table()).unwrap();
+        for i in 0..50 {
+            db.insert("client", vec![i.into(), format!("g{i}").into(), Value::Null]).unwrap();
+        }
+        let vals = db.table("client").unwrap().distinct_values("gender", 5).unwrap();
+        assert_eq!(vals.len(), 5);
+    }
+
+    #[test]
+    fn from_schema_builds_all_tables() {
+        let mut schema = DatabaseSchema::new("db");
+        schema.add_table(client_table()).unwrap();
+        let db = Database::from_schema(schema);
+        assert!(db.table("client").unwrap().is_empty());
+        assert_eq!(db.table_names(), vec!["client".to_string()]);
+    }
+}

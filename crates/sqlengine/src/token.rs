@@ -1,0 +1,300 @@
+//! SQL tokenizer.
+
+use crate::error::{SqlError, SqlResult};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (keywords are recognised later, case-insensitively).
+    Ident(String),
+    /// Quoted identifier (backticks, double quotes, or square brackets).
+    QuotedIdent(String),
+    /// String literal (single quotes).
+    String(String),
+    /// Integer literal.
+    Integer(i64),
+    /// Float literal.
+    Float(f64),
+    /// Punctuation / operator symbol.
+    Symbol(Symbol),
+}
+
+/// Operator and punctuation symbols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symbol {
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Slash,
+    Percent,
+    LParen,
+    RParen,
+    Eq,
+    NotEq,
+    Lt,
+    LtEq,
+    Gt,
+    GtEq,
+    Concat,
+    Semicolon,
+}
+
+impl Token {
+    /// Returns the keyword form (uppercased identifier) if this is a bare identifier.
+    pub fn keyword(&self) -> Option<String> {
+        match self {
+            Token::Ident(s) => Some(s.to_ascii_uppercase()),
+            _ => None,
+        }
+    }
+
+    /// True if the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        self.keyword().is_some_and(|k| k == kw.to_ascii_uppercase())
+    }
+}
+
+/// Tokenizes a SQL string.
+pub fn tokenize(sql: &str) -> SqlResult<Vec<Token>> {
+    let chars: Vec<char> = sql.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if i + 1 < chars.len() && chars[i + 1] == '-' => {
+                // line comment
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let (s, next) = read_quoted(&chars, i, '\'')?;
+                out.push(Token::String(s));
+                i = next;
+            }
+            '`' => {
+                let (s, next) = read_quoted(&chars, i, '`')?;
+                out.push(Token::QuotedIdent(s));
+                i = next;
+            }
+            '"' => {
+                let (s, next) = read_quoted(&chars, i, '"')?;
+                out.push(Token::QuotedIdent(s));
+                i = next;
+            }
+            '[' => {
+                let mut j = i + 1;
+                let mut s = String::new();
+                while j < chars.len() && chars[j] != ']' {
+                    s.push(chars[j]);
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(SqlError::Lex("unterminated [identifier]".into()));
+                }
+                out.push(Token::QuotedIdent(s));
+                i = j + 1;
+            }
+            '0'..='9' => {
+                let mut j = i;
+                let mut has_dot = false;
+                while j < chars.len()
+                    && (chars[j].is_ascii_digit() || (chars[j] == '.' && !has_dot))
+                {
+                    if chars[j] == '.' {
+                        has_dot = true;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[i..j].iter().collect();
+                if has_dot {
+                    let v = text
+                        .parse::<f64>()
+                        .map_err(|_| SqlError::Lex(format!("bad number {text}")))?;
+                    out.push(Token::Float(v));
+                } else {
+                    let v = text
+                        .parse::<i64>()
+                        .map_err(|_| SqlError::Lex(format!("bad number {text}")))?;
+                    out.push(Token::Integer(v));
+                }
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                out.push(Token::Ident(chars[i..j].iter().collect()));
+                i = j;
+            }
+            ',' => {
+                out.push(Token::Symbol(Symbol::Comma));
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Symbol(Symbol::Dot));
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Symbol(Symbol::Star));
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Symbol(Symbol::Plus));
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Symbol(Symbol::Minus));
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Symbol(Symbol::Slash));
+                i += 1;
+            }
+            '%' => {
+                out.push(Token::Symbol(Symbol::Percent));
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::Symbol(Symbol::LParen));
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::Symbol(Symbol::RParen));
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Symbol(Symbol::Semicolon));
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Symbol(Symbol::Eq));
+                i += 1;
+                if i < chars.len() && chars[i] == '=' {
+                    i += 1; // tolerate '=='
+                }
+            }
+            '!' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    out.push(Token::Symbol(Symbol::NotEq));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex("unexpected '!'".into()));
+                }
+            }
+            '<' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    out.push(Token::Symbol(Symbol::LtEq));
+                    i += 2;
+                } else if i + 1 < chars.len() && chars[i + 1] == '>' {
+                    out.push(Token::Symbol(Symbol::NotEq));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Symbol::Lt));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < chars.len() && chars[i + 1] == '=' {
+                    out.push(Token::Symbol(Symbol::GtEq));
+                    i += 2;
+                } else {
+                    out.push(Token::Symbol(Symbol::Gt));
+                    i += 1;
+                }
+            }
+            '|' => {
+                if i + 1 < chars.len() && chars[i + 1] == '|' {
+                    out.push(Token::Symbol(Symbol::Concat));
+                    i += 2;
+                } else {
+                    return Err(SqlError::Lex("unexpected '|'".into()));
+                }
+            }
+            other => return Err(SqlError::Lex(format!("unexpected character '{other}'"))),
+        }
+    }
+    Ok(out)
+}
+
+/// Reads a quoted run starting at `start` (which must hold the quote char),
+/// handling doubled quotes as escapes. Returns the contents and the index
+/// just past the closing quote.
+fn read_quoted(chars: &[char], start: usize, quote: char) -> SqlResult<(String, usize)> {
+    let mut s = String::new();
+    let mut i = start + 1;
+    loop {
+        if i >= chars.len() {
+            return Err(SqlError::Lex(format!("unterminated {quote} literal")));
+        }
+        if chars[i] == quote {
+            if i + 1 < chars.len() && chars[i + 1] == quote {
+                s.push(quote);
+                i += 2;
+                continue;
+            }
+            return Ok((s, i + 1));
+        }
+        s.push(chars[i]);
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_simple_select() {
+        let toks = tokenize("SELECT name, age FROM client WHERE age >= 21").unwrap();
+        assert!(toks[0].is_keyword("select"));
+        assert!(toks.contains(&Token::Symbol(Symbol::GtEq)));
+        assert!(toks.contains(&Token::Integer(21)));
+    }
+
+    #[test]
+    fn tokenizes_quoted_identifiers_and_strings() {
+        let toks = tokenize("SELECT `Free Meal Count (K-12)` FROM \"frpm\" WHERE x = 'it''s'").unwrap();
+        assert_eq!(toks[1], Token::QuotedIdent("Free Meal Count (K-12)".into()));
+        assert_eq!(toks[3], Token::QuotedIdent("frpm".into()));
+        assert_eq!(*toks.last().unwrap(), Token::String("it's".into()));
+    }
+
+    #[test]
+    fn tokenizes_numbers() {
+        let toks = tokenize("SELECT 3.5, 42").unwrap();
+        assert!(toks.contains(&Token::Float(3.5)));
+        assert!(toks.contains(&Token::Integer(42)));
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        let toks = tokenize("a <> b AND c != d OR e || f").unwrap();
+        let n = toks.iter().filter(|t| **t == Token::Symbol(Symbol::NotEq)).count();
+        assert_eq!(n, 2);
+        assert!(toks.contains(&Token::Symbol(Symbol::Concat)));
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        let toks = tokenize("SELECT 1 -- comment here\n, 2").unwrap();
+        assert!(toks.contains(&Token::Integer(2)));
+        assert!(!toks.iter().any(|t| t.is_keyword("comment")));
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("SELECT 'oops").is_err());
+    }
+
+    #[test]
+    fn bracket_identifiers() {
+        let toks = tokenize("SELECT [Percent (%) Eligible Free (K-12)] FROM frpm").unwrap();
+        assert_eq!(toks[1], Token::QuotedIdent("Percent (%) Eligible Free (K-12)".into()));
+    }
+}

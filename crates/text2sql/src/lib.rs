@@ -1,0 +1,142 @@
+//! # seed-text2sql
+//!
+//! Re-implementations of the text-to-SQL systems the SEED paper evaluates:
+//! CodeS (fine-tuned), CHESS (multi-agent), RSL-SQL (bidirectional schema
+//! linking), DAIL-SQL (in-context learning), and C3 (zero-shot with
+//! self-consistency). Each system keeps its published pipeline structure —
+//! what it retrieves, how it prunes, how it consumes evidence, how many
+//! candidates it generates — while the underlying "LLM" is the deterministic
+//! simulator from [`seed_llm`].
+
+pub mod c3;
+pub mod chess;
+pub mod codes;
+pub mod dail_sql;
+pub mod rsl_sql;
+pub mod value_retrieval;
+
+use seed_datasets::Question;
+use seed_sqlengine::Database;
+
+pub use c3::C3;
+pub use chess::{Chess, ChessConfig};
+pub use codes::CodeS;
+pub use dail_sql::DailSql;
+pub use rsl_sql::RslSql;
+
+/// Everything a system gets to see when translating one question.
+#[derive(Debug, Clone, Copy)]
+pub struct GenerationContext<'a> {
+    /// The question (gold SQL and atoms are the simulator's latent oracle; the
+    /// systems themselves only consult the text, schema, and evidence).
+    pub question: &'a Question,
+    /// The populated database.
+    pub database: &'a Database,
+    /// Evidence supplied to the system (`None` in the no-evidence setting).
+    pub evidence: Option<&'a str>,
+    /// Training-split questions available for few-shot selection.
+    pub train_pool: &'a [&'a Question],
+}
+
+/// A text-to-SQL system under evaluation.
+pub trait Text2SqlSystem {
+    /// Display name used in result tables (e.g. `"SFT CodeS-15B"`).
+    fn name(&self) -> String;
+
+    /// Translates the question into SQL.
+    fn generate(&self, ctx: &GenerationContext<'_>) -> String;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use seed_datasets::{bird::build_bird, Benchmark, CorpusConfig};
+
+    /// A small shared BIRD corpus for the system tests.
+    pub fn tiny_bird() -> Benchmark {
+        build_bird(&CorpusConfig::tiny())
+    }
+
+    /// Returns (dev question, its database) pairs for a benchmark.
+    pub fn dev_cases(
+        bench: &Benchmark,
+    ) -> Vec<(&seed_datasets::Question, &seed_sqlengine::Database)> {
+        bench
+            .split(seed_datasets::Split::Dev)
+            .into_iter()
+            .map(|q| (q, bench.database(&q.db_id).unwrap()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use seed_datasets::Split;
+    use seed_sqlengine::execute;
+
+    /// Every system must produce the gold answer more often with oracle
+    /// evidence than without any evidence.
+    #[test]
+    fn all_systems_benefit_from_oracle_evidence() {
+        let bench = tiny_bird();
+        let systems: Vec<Box<dyn Text2SqlSystem>> = vec![
+            Box::new(CodeS::new(7)),
+            Box::new(Chess::new(ChessConfig::IrCgUt)),
+            Box::new(RslSql::new()),
+            Box::new(DailSql::new()),
+            Box::new(C3::new()),
+        ];
+        let train: Vec<&seed_datasets::Question> = bench.split(Split::Train);
+        for system in &systems {
+            let mut with_ev = 0usize;
+            let mut without_ev = 0usize;
+            let mut total = 0usize;
+            for (q, db) in dev_cases(&bench) {
+                if q.atoms.is_empty() {
+                    continue;
+                }
+                total += 1;
+                let gold = execute(db, &q.gold_sql).unwrap();
+                let oracle = q.oracle_evidence();
+                let ctx_ev = GenerationContext {
+                    question: q,
+                    database: db,
+                    evidence: Some(&oracle),
+                    train_pool: &train,
+                };
+                let ctx_no =
+                    GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
+                if execute(db, &system.generate(&ctx_ev)).map(|r| r.result_eq(&gold)).unwrap_or(false) {
+                    with_ev += 1;
+                }
+                if execute(db, &system.generate(&ctx_no)).map(|r| r.result_eq(&gold)).unwrap_or(false) {
+                    without_ev += 1;
+                }
+            }
+            assert!(total > 10);
+            assert!(
+                with_ev > without_ev,
+                "{} should benefit from oracle evidence ({with_ev} vs {without_ev})",
+                system.name(),
+            );
+        }
+    }
+
+    #[test]
+    fn system_names_are_distinct() {
+        let names: Vec<String> = vec![
+            CodeS::new(15).name(),
+            CodeS::new(7).name(),
+            Chess::new(ChessConfig::IrCgUt).name(),
+            Chess::new(ChessConfig::IrSsCg).name(),
+            RslSql::new().name(),
+            DailSql::new().name(),
+            C3::new().name(),
+        ];
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+}

@@ -1,0 +1,126 @@
+//! Database-value retrieval shared by the CodeS, CHESS, and RSL-SQL pipelines.
+//!
+//! Given a question, the retriever scans the text columns of the database for
+//! values that lexically match question words (coarse BM25-style token match,
+//! then longest-common-substring / edit-distance refinement, the CodeS recipe).
+//! Matching values are surfaced to the model as [`GroundedColumn`]s — which is
+//! how a system can recover exact value casing ("Restricted") without evidence,
+//! but not opaque codes ("POPLATEK TYDNE" from "weekly").
+
+use seed_llm::GroundedColumn;
+use seed_retrieval::{content_words, lcs_ratio, normalized_similarity};
+use seed_sqlengine::Database;
+
+/// Maximum distinct values scanned per column.
+const VALUES_PER_COLUMN: usize = 64;
+/// Maximum values reported per grounded column.
+const REPORTED_VALUES: usize = 6;
+
+/// Retrieves values relevant to the question from every text column.
+pub fn retrieve_values(question: &str, db: &Database) -> Vec<GroundedColumn> {
+    let words = content_words(question);
+    let mut out = Vec::new();
+    for table_name in db.table_names() {
+        let table = match db.table(&table_name) {
+            Ok(t) => t,
+            Err(_) => continue,
+        };
+        for col in &table.schema.columns {
+            if col.data_type != seed_sqlengine::DataType::Text {
+                continue;
+            }
+            let values = match table.distinct_values(&col.name, VALUES_PER_COLUMN) {
+                Ok(v) => v,
+                Err(_) => continue,
+            };
+            let mut matched: Vec<(String, f64)> = Vec::new();
+            for v in values {
+                let text = v.render();
+                let score = best_match_score(&words, &text);
+                if score >= 0.72 {
+                    matched.push((text, score));
+                }
+            }
+            if matched.is_empty() {
+                continue;
+            }
+            matched.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            out.push(GroundedColumn::new(
+                &table_name,
+                &col.name,
+                matched.into_iter().take(REPORTED_VALUES).map(|(v, _)| v).collect(),
+            ));
+        }
+    }
+    out
+}
+
+/// Scores how well any question word matches a candidate value.
+fn best_match_score(words: &[String], value: &str) -> f64 {
+    let value_lower = value.to_lowercase();
+    let mut best: f64 = 0.0;
+    for w in words {
+        if value_lower == *w {
+            return 1.0;
+        }
+        if value_lower.contains(w.as_str()) && w.len() >= 4 {
+            best = best.max(0.9);
+        }
+        let sim = normalized_similarity(w, &value_lower);
+        let lcs = lcs_ratio(w, &value_lower);
+        best = best.max(0.55 * sim + 0.45 * lcs);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_datasets::{bird::build_bird, CorpusConfig};
+
+    #[test]
+    fn recovers_exact_casing_from_case_insensitive_mention() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let db = bench.database("card_games").unwrap();
+        let grounded = retrieve_values("How many cards are restricted in the vintage format?", db);
+        let status = grounded
+            .iter()
+            .find(|g| g.table == "legalities" && g.column == "status")
+            .expect("status column grounded");
+        assert!(status.values.iter().any(|v| v == "Restricted"));
+    }
+
+    #[test]
+    fn does_not_recover_opaque_codes() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let db = bench.database("financial").unwrap();
+        let grounded = retrieve_values("Among the weekly issuance accounts, how many have a loan?", db);
+        let freq_values: Vec<&String> = grounded
+            .iter()
+            .filter(|g| g.column == "frequency")
+            .flat_map(|g| g.values.iter())
+            .collect();
+        assert!(
+            freq_values.iter().all(|v| !v.contains("POPLATEK")),
+            "lexical retrieval must not bridge 'weekly' to 'POPLATEK TYDNE': {freq_values:?}"
+        );
+    }
+
+    #[test]
+    fn district_names_are_recovered() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let db = bench.database("financial").unwrap();
+        let grounded = retrieve_values("How many clients opened accounts in the Jesenik branch?", db);
+        assert!(grounded
+            .iter()
+            .any(|g| g.column == "district_name" && g.values.iter().any(|v| v == "Jesenik")));
+    }
+
+    #[test]
+    fn empty_question_matches_nothing_catastrophic() {
+        let bench = build_bird(&CorpusConfig::tiny());
+        let db = bench.database("financial").unwrap();
+        let grounded = retrieve_values("", db);
+        assert!(grounded.len() < 3);
+    }
+}

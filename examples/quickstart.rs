@@ -1,0 +1,43 @@
+//! Quickstart: generate evidence for one question with SEED and feed it to a
+//! text-to-SQL system.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use seed_repro::core::SeedPipeline;
+use seed_datasets::{bird::build_bird, CorpusConfig, Question, Split};
+use seed_eval::evaluate_pair;
+use seed_text2sql::{CodeS, GenerationContext, Text2SqlSystem};
+
+fn main() {
+    // 1. Build the synthetic BIRD-like corpus (databases + questions).
+    let bench = build_bird(&CorpusConfig::tiny());
+    let train: Vec<&Question> = bench.split(Split::Train);
+
+    // 2. Pick a dev question that needs domain knowledge.
+    let question = bench
+        .split(Split::Dev)
+        .into_iter()
+        .find(|q| q.db_id == "financial" && q.text.contains("weekly issuance"))
+        .expect("weekly-issuance question");
+    let db = bench.database(&question.db_id).unwrap();
+    println!("question : {}", question.text);
+    println!("gold SQL : {}\n", question.gold_sql);
+
+    // 3. Generate evidence automatically with SEED (no human evidence used).
+    let seed = SeedPipeline::gpt();
+    let generated = seed.generate(question, db, &train, bench.has_descriptions);
+    println!("SEED evidence: {}\n", generated.evidence);
+
+    // 4. Translate the question with CodeS, with and without that evidence.
+    let system = CodeS::new(7);
+    for (label, evidence) in [("without evidence", None), ("with SEED evidence", Some(generated.evidence.as_str()))] {
+        let ctx = GenerationContext { question, database: db, evidence, train_pool: &train };
+        let sql = system.generate(&ctx);
+        let eval = evaluate_pair(db, &question.gold_sql, &sql);
+        println!("{label}:");
+        println!("  predicted SQL: {sql}");
+        println!("  correct: {}\n", eval.correct);
+    }
+}

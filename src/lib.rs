@@ -1,0 +1,43 @@
+//! # seed-repro
+//!
+//! Facade crate for the SEED (ICDE 2025) reproduction: *SEED — Enhancing
+//! Text-to-SQL Performance and Practical Usability Through Automatic Evidence
+//! Generation*.
+//!
+//! The workspace is organised as a stack of substrates under the paper's
+//! contribution:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`sqlengine`] | in-memory relational SQL engine (the SQLite stand-in) |
+//! | [`retrieval`] | BM25 / edit distance / longest common substring |
+//! | [`embedding`] | deterministic sentence embeddings (all-mpnet stand-in) |
+//! | [`llm`] | simulated language models, prompts, token budgets |
+//! | [`datasets`] | synthetic BIRD- and Spider-like corpora with evidence defects |
+//! | [`text2sql`] | CodeS, CHESS, RSL-SQL, DAIL-SQL, C3 baselines |
+//! | [`core`] | SEED itself: schema summarization, sample SQL, evidence generation |
+//! | [`eval`] | EX / VES metrics, defect analysis, experiment runners |
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the substitution arguments, and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! ```
+//! use seed_repro::datasets::{bird::build_bird, CorpusConfig, Split};
+//! use seed_repro::core::SeedPipeline;
+//!
+//! let bench = build_bird(&CorpusConfig::tiny());
+//! let train: Vec<_> = bench.split(Split::Train);
+//! let question = bench.split(Split::Dev)[0];
+//! let db = bench.database(&question.db_id).unwrap();
+//! let evidence = SeedPipeline::gpt().generate(question, db, &train, true);
+//! assert!(evidence.trace.sample_queries > 0);
+//! ```
+
+pub use seed_core as core;
+pub use seed_datasets as datasets;
+pub use seed_embedding as embedding;
+pub use seed_eval as eval;
+pub use seed_llm as llm;
+pub use seed_retrieval as retrieval;
+pub use seed_sqlengine as sqlengine;
+pub use seed_text2sql as text2sql;

@@ -1,0 +1,97 @@
+//! Cross-crate integration tests: corpus → SEED evidence → baseline systems →
+//! EX/VES evaluation, exercising the whole stack the way the paper's
+//! experiments do.
+
+use seed_repro::core::{SeedPipeline, SeedVariant};
+use seed_repro::datasets::{bird::build_bird, spider::build_spider, spider::synthesize_descriptions, CorpusConfig, Split};
+use seed_repro::eval::{analyze_evidence_defects, EvidenceSetting, ExperimentRunner};
+use seed_repro::text2sql::{CodeS, DailSql};
+
+fn config() -> CorpusConfig {
+    CorpusConfig::tiny()
+}
+
+#[test]
+fn seed_improves_codes_over_no_evidence_on_bird() {
+    let bench = build_bird(&config());
+    let runner = ExperimentRunner::new(&bench, Split::Dev).with_seed_variants(&[SeedVariant::Gpt]);
+    let system = CodeS::new(15);
+    let without = runner.evaluate(&system, EvidenceSetting::WithoutEvidence);
+    let with_seed = runner.evaluate(&system, EvidenceSetting::SeedGpt);
+    let with_bird = runner.evaluate(&system, EvidenceSetting::BirdEvidence);
+
+    assert!(without.scores.n > 40);
+    assert!(
+        with_seed.scores.ex > without.scores.ex + 5.0,
+        "SEED_gpt ({:.1}) should clearly beat no-evidence ({:.1})",
+        with_seed.scores.ex,
+        without.scores.ex
+    );
+    assert!(
+        with_bird.scores.ex > without.scores.ex,
+        "BIRD evidence ({:.1}) should beat no-evidence ({:.1})",
+        with_bird.scores.ex,
+        without.scores.ex
+    );
+}
+
+#[test]
+fn dail_sql_shows_largest_no_evidence_degradation() {
+    let bench = build_bird(&config());
+    let runner = ExperimentRunner::new(&bench, Split::Dev);
+    let dail = DailSql::new();
+    let codes = CodeS::new(15);
+    let dail_gap = runner.evaluate(&dail, EvidenceSetting::BirdEvidence).scores.ex
+        - runner.evaluate(&dail, EvidenceSetting::WithoutEvidence).scores.ex;
+    let codes_gap = runner.evaluate(&codes, EvidenceSetting::BirdEvidence).scores.ex
+        - runner.evaluate(&codes, EvidenceSetting::WithoutEvidence).scores.ex;
+    assert!(dail_gap > 0.0);
+    assert!(
+        dail_gap + 1.0 >= codes_gap,
+        "DAIL-SQL's evidence dependence ({dail_gap:.1}) should be at least as large as CodeS's ({codes_gap:.1})"
+    );
+}
+
+#[test]
+fn evidence_defect_rates_track_the_paper() {
+    let bench = build_bird(&CorpusConfig::default());
+    let b = analyze_evidence_defects(bench.split(Split::Dev).into_iter());
+    assert!((b.missing_rate() - 9.65).abs() < 2.5);
+    assert!((b.erroneous_rate() - 6.84).abs() < 2.5);
+}
+
+#[test]
+fn seed_pipeline_works_on_spider_after_description_synthesis() {
+    let mut bench = build_spider(&config());
+    synthesize_descriptions(&mut bench);
+    let train: Vec<_> = bench.split(Split::Train);
+    let pipeline = SeedPipeline::gpt();
+    let mut produced = 0usize;
+    for q in bench.split(Split::Dev).into_iter().take(10) {
+        let db = bench.database(&q.db_id).unwrap();
+        let out = pipeline.generate(q, db, &train, bench.has_descriptions);
+        if !out.evidence.is_empty() {
+            produced += 1;
+        }
+    }
+    assert!(produced >= 1, "SEED should produce evidence for at least some Spider questions");
+}
+
+#[test]
+fn revised_evidence_strips_join_information_end_to_end() {
+    let bench = build_bird(&config());
+    let runner = ExperimentRunner::new(&bench, Split::Dev)
+        .with_seed_variants(&[SeedVariant::Deepseek, SeedVariant::Revised]);
+    let mut saw_deepseek_join = false;
+    for q in runner.questions() {
+        if let Some(e) = runner.evidence_for(q, EvidenceSetting::SeedDeepseek) {
+            if e.contains("join on") {
+                saw_deepseek_join = true;
+            }
+        }
+        if let Some(e) = runner.evidence_for(q, EvidenceSetting::SeedRevised) {
+            assert!(!e.contains("join on"), "revised evidence must not contain join hints: {e}");
+        }
+    }
+    assert!(saw_deepseek_join, "SEED_deepseek should emit join hints somewhere");
+}

@@ -1,0 +1,43 @@
+//! Engine conformance tests over the synthetic corpora: every gold query of
+//! every benchmark must parse, execute, and be stable across repeated runs,
+//! and the execution-accuracy comparator must behave as a congruence.
+
+use seed_repro::datasets::{bird::build_bird, spider::build_spider, CorpusConfig};
+use seed_repro::sqlengine::{execute, execute_with_stats};
+
+#[test]
+fn every_gold_query_in_both_benchmarks_executes() {
+    let bird = build_bird(&CorpusConfig::tiny());
+    let spider = build_spider(&CorpusConfig::tiny());
+    for bench in [&bird, &spider] {
+        for q in &bench.questions {
+            let db = bench.database(&q.db_id).unwrap();
+            let rs = execute(db, &q.gold_sql);
+            assert!(rs.is_ok(), "{}: {} -> {:?}", q.id, q.gold_sql, rs.err());
+        }
+    }
+}
+
+#[test]
+fn execution_is_deterministic_and_costed() {
+    let bird = build_bird(&CorpusConfig::tiny());
+    for q in bird.questions.iter().take(40) {
+        let db = bird.database(&q.db_id).unwrap();
+        let (a, stats_a) = execute_with_stats(db, &q.gold_sql).unwrap();
+        let (b, stats_b) = execute_with_stats(db, &q.gold_sql).unwrap();
+        assert!(a.result_eq(&b));
+        assert_eq!(stats_a, stats_b, "cost model must be deterministic");
+        assert!(stats_a.cost() > 0.0);
+    }
+}
+
+#[test]
+fn result_comparison_ignores_projection_order_of_rows_only() {
+    let bird = build_bird(&CorpusConfig::tiny());
+    let db = bird.database("financial").unwrap();
+    let a = execute(db, "SELECT account_id FROM account WHERE district_id = 1 ORDER BY account_id").unwrap();
+    let b = execute(db, "SELECT account_id FROM account WHERE district_id = 1 ORDER BY account_id DESC").unwrap();
+    assert!(a.result_eq(&b), "row order must not matter");
+    let c = execute(db, "SELECT account_id FROM account WHERE district_id = 2").unwrap();
+    assert!(!a.result_eq(&c), "different contents must not compare equal");
+}
