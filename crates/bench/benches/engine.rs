@@ -1,9 +1,10 @@
 //! Criterion micro-benchmarks for the SQL engine substrate: the per-query cost
-//! model that backs the VES metric.
+//! model that backs the VES metric, and the physical planner's hash-join /
+//! index-lookup paths against the legacy nested-loop executor.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use seed_datasets::{bird::build_bird, CorpusConfig, Split};
-use seed_sqlengine::execute;
+use seed_sqlengine::{execute, execute_with_stats_mode, parse_select, plan_select, PlanMode};
 
 fn engine_benches(c: &mut Criterion) {
     let bench = build_bird(&CorpusConfig::tiny());
@@ -38,6 +39,58 @@ fn engine_benches(c: &mut Criterion) {
                 let db = bench.database(&q.db_id).unwrap();
                 execute(db, &q.gold_sql).unwrap();
             }
+        })
+    });
+
+    // Hash-join vs nested-loop on the join-heavy slice of the gold corpus:
+    // every dev question whose plan contains at least one hash join, run
+    // under both plan modes so the speedup is directly visible.
+    let join_heavy: Vec<_> = dev
+        .iter()
+        .filter(|q| {
+            let db = bench.database(&q.db_id).unwrap();
+            parse_select(&q.gold_sql)
+                .ok()
+                .and_then(|stmt| plan_select(db, &stmt).ok())
+                .is_some_and(|p| p.uses_hash_join())
+        })
+        .take(20)
+        .collect();
+    assert!(!join_heavy.is_empty(), "corpus must contain join-heavy gold queries");
+    for (label, mode) in [
+        ("engine/join_suite_hash", PlanMode::Optimized),
+        ("engine/join_suite_nested_loop", PlanMode::NestedLoop),
+    ] {
+        let join_heavy = join_heavy.clone();
+        c.bench_function(label, |b| {
+            b.iter(|| {
+                for q in &join_heavy {
+                    let db = bench.database(&q.db_id).unwrap();
+                    execute_with_stats_mode(db, &q.gold_sql, mode).unwrap();
+                }
+            })
+        });
+    }
+
+    // PK point lookup vs full scan on the largest base table.
+    c.bench_function("engine/pk_lookup_hash_index", |b| {
+        b.iter(|| {
+            execute_with_stats_mode(
+                financial,
+                "SELECT * FROM account WHERE `account`.`account_id` = 7",
+                PlanMode::Optimized,
+            )
+            .unwrap()
+        })
+    });
+    c.bench_function("engine/pk_lookup_full_scan", |b| {
+        b.iter(|| {
+            execute_with_stats_mode(
+                financial,
+                "SELECT * FROM account WHERE `account`.`account_id` = 7",
+                PlanMode::NestedLoop,
+            )
+            .unwrap()
         })
     });
 }

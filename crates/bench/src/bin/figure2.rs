@@ -6,7 +6,7 @@ use seed_eval::{analyze_evidence_defects, Table};
 
 fn main() {
     let bench = build_bird(&corpus_config());
-    let breakdown = analyze_evidence_defects(bench.split(Split::Dev).into_iter());
+    let breakdown = analyze_evidence_defects(bench.split(Split::Dev));
 
     let mut rates = Table::new(
         "Figure 2 (left): BIRD dev evidence error rate (paper: 83.51% / 9.65% / 6.84%)",
@@ -29,7 +29,8 @@ fn main() {
     ]);
     println!("{}", rates.render());
 
-    let mut types = Table::new("Figure 2 (right): erroneous evidence by error type", &["error type", "count"]);
+    let mut types =
+        Table::new("Figure 2 (right): erroneous evidence by error type", &["error type", "count"]);
     for (label, count) in &breakdown.by_error_type {
         types.row(vec![label.clone(), count.to_string()]);
     }

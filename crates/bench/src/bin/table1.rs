@@ -8,10 +8,13 @@ fn main() {
     let bench = build_bird(&corpus_config());
     let dev = bench.split(Split::Dev);
     println!("== Table I: error samples of BIRD development-set evidence ==\n");
-    for (q, error) in defect_examples(dev.into_iter()).into_iter().take(6) {
+    for (q, error) in defect_examples(dev).into_iter().take(6) {
         println!("error type       : {}", error.label());
         println!("question         : {}", q.text);
-        println!("evidence         : {}", if q.human_evidence.text.is_empty() { "(none)" } else { &q.human_evidence.text });
+        println!(
+            "evidence         : {}",
+            if q.human_evidence.text.is_empty() { "(none)" } else { &q.human_evidence.text }
+        );
         println!("revised evidence : {}", q.human_evidence.corrected);
         println!();
     }

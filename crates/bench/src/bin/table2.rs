@@ -9,7 +9,9 @@ use seed_text2sql::CodeS;
 fn main() {
     let bench = build_bird(&corpus_config());
     let runner = ExperimentRunner::new(&bench, Split::Dev);
-    let erroneous = |q: &seed_datasets::Question| matches!(q.human_evidence.status, EvidenceStatus::Erroneous(_));
+    let erroneous = |q: &seed_datasets::Question| {
+        matches!(q.human_evidence.status, EvidenceStatus::Erroneous(_))
+    };
 
     let mut table = Table::new(
         "Table II: EX% on erroneous-evidence pairs, defective vs corrected evidence (paper: 44.76 -> 54.29 for 15B)",
@@ -18,7 +20,8 @@ fn main() {
     for billions in [15u32, 7, 3, 1] {
         let system = CodeS::new(billions);
         let defective = runner.evaluate_filtered(&system, EvidenceSetting::BirdEvidence, erroneous);
-        let corrected = runner.evaluate_filtered(&system, EvidenceSetting::BirdCorrected, erroneous);
+        let corrected =
+            runner.evaluate_filtered(&system, EvidenceSetting::BirdCorrected, erroneous);
         table.row(vec![
             system_label(billions),
             fmt_scores(&defective.scores).0,

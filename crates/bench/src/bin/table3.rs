@@ -10,10 +10,7 @@ fn main() {
     let dev = bench.split(Split::Dev);
     println!("== Table III: evidence categories, samples, and information sources ==\n");
     for kind in KnowledgeKind::all() {
-        let Some(q) = dev
-            .iter()
-            .find(|q| q.atoms.iter().any(|a| a.kind == kind))
-        else {
+        let Some(q) = dev.iter().find(|q| q.atoms.iter().any(|a| a.kind == kind)) else {
             continue;
         };
         let atom = q.atoms.iter().find(|a| a.kind == kind).unwrap();
@@ -24,7 +21,10 @@ fn main() {
             .and_then(|t| t.column(&atom.correct.column))
             .map(|c| {
                 if !c.value_description.is_empty() {
-                    format!("description file: {}.csv — {}", atom.correct.table, c.value_description)
+                    format!(
+                        "description file: {}.csv — {}",
+                        atom.correct.table, c.value_description
+                    )
                 } else {
                     format!(
                         "database value: SELECT DISTINCT {} FROM {}",

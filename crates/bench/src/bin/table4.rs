@@ -5,7 +5,7 @@ use seed_bench::{corpus_config, fmt_scores};
 use seed_core::SeedVariant;
 use seed_datasets::{bird::build_bird, Split};
 use seed_eval::{EvidenceSetting, ExperimentRunner, Table};
-use seed_text2sql::{C3, Chess, ChessConfig, CodeS, DailSql, RslSql, Text2SqlSystem};
+use seed_text2sql::{Chess, ChessConfig, CodeS, DailSql, RslSql, Text2SqlSystem, C3};
 
 fn main() {
     let bench = build_bird(&corpus_config());
@@ -53,8 +53,5 @@ fn main() {
 
     println!("{}", ex_table.render());
     println!("{}", ves_table.render());
-    println!(
-        "questions evaluated per cell: {}",
-        runner.questions().len()
-    );
+    println!("questions evaluated per cell: {}", runner.questions().len());
 }

@@ -7,7 +7,7 @@ use seed_bench::{corpus_config, fmt_scores};
 use seed_core::SeedVariant;
 use seed_datasets::{spider::build_spider, spider::synthesize_descriptions, Split};
 use seed_eval::{EvidenceSetting, ExperimentRunner, Table};
-use seed_text2sql::{C3, CodeS, Text2SqlSystem};
+use seed_text2sql::{CodeS, Text2SqlSystem, C3};
 
 fn main() {
     let mut bench = build_spider(&corpus_config());
@@ -21,8 +21,10 @@ fn main() {
         &["system", "dev w/o SEED", "dev w/ SEED_gpt", "test w/o SEED", "test w/ SEED_gpt"],
     );
 
-    let dev_runner = ExperimentRunner::new(&bench, Split::Dev).with_seed_variants(&[SeedVariant::Gpt]);
-    let test_runner = ExperimentRunner::new(&bench, Split::Test).with_seed_variants(&[SeedVariant::Gpt]);
+    let dev_runner =
+        ExperimentRunner::new(&bench, Split::Dev).with_seed_variants(&[SeedVariant::Gpt]);
+    let test_runner =
+        ExperimentRunner::new(&bench, Split::Test).with_seed_variants(&[SeedVariant::Gpt]);
 
     for system in &systems {
         let dev_plain = dev_runner.evaluate(system.as_ref(), EvidenceSetting::WithoutEvidence);

@@ -8,7 +8,8 @@ use rand::{Rng, SeedableRng};
 
 use crate::domains::{bird_domains, DomainData};
 use crate::evidence::{
-    corrupt_evidence, EvidenceErrorType, EvidenceRecord, EvidenceStatus, ERRONEOUS_RATE, MISSING_RATE,
+    corrupt_evidence, EvidenceErrorType, EvidenceRecord, EvidenceStatus, ERRONEOUS_RATE,
+    MISSING_RATE,
 };
 use crate::{Benchmark, CorpusConfig, Question, Split};
 
@@ -30,11 +31,7 @@ pub fn build_bird(config: &CorpusConfig) -> Benchmark {
         for (i, rq) in raw.into_iter().enumerate() {
             let split = if i % 3 == 2 { Split::Train } else { Split::Dev };
             let human_evidence = EvidenceRecord::correct(
-                rq.atoms
-                    .iter()
-                    .map(|a| a.evidence_sentence())
-                    .collect::<Vec<_>>()
-                    .join("; "),
+                rq.atoms.iter().map(|a| a.evidence_sentence()).collect::<Vec<_>>().join("; "),
             );
             questions.push(Question {
                 id: format!("{name}-{i:04}"),
@@ -75,7 +72,7 @@ fn inject_dev_defects(questions: &mut [Question], seed: u64) {
             q.human_evidence.text = String::new();
             q.human_evidence.status = EvidenceStatus::Missing;
         } else if k < n_missing + n_erroneous {
-            let error = EvidenceErrorType::all()[rng.gen_range(0..8)];
+            let error = EvidenceErrorType::all()[rng.gen_range(0..8usize)];
             q.human_evidence.text = corrupt_evidence(&q.atoms, error, &mut rng);
             q.human_evidence.status = EvidenceStatus::Erroneous(error);
         }
@@ -103,7 +100,12 @@ mod tests {
         let b = build_bird(&CorpusConfig::tiny());
         for q in b.split(Split::Dev) {
             let db = b.database(&q.db_id).expect("database exists");
-            assert!(execute(db, &q.gold_sql).is_ok(), "gold SQL failed for {}: {}", q.id, q.gold_sql);
+            assert!(
+                execute(db, &q.gold_sql).is_ok(),
+                "gold SQL failed for {}: {}",
+                q.id,
+                q.gold_sql
+            );
         }
     }
 

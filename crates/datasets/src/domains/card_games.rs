@@ -34,9 +34,9 @@ fn schema() -> DatabaseSchema {
             ColumnDef::new("id", DataType::Integer).primary_key(),
             ColumnDef::new("card_id", DataType::Integer),
             ColumnDef::new("format", DataType::Text).described("play format"),
-            ColumnDef::new("status", DataType::Text)
-                .described("legality status")
-                .with_values("values are 'Legal', 'Banned', 'Restricted' (note the capitalisation)"),
+            ColumnDef::new("status", DataType::Text).described("legality status").with_values(
+                "values are 'Legal', 'Banned', 'Restricted' (note the capitalisation)",
+            ),
         ],
     ))
     .unwrap();
@@ -62,7 +62,7 @@ fn populate(db: &mut Database, config: &CorpusConfig) {
                 format!("Card {id}").into(),
                 i64::from(rng.gen_bool(0.2)).into(),
                 (rng.gen_range(0..12) as f64).into(),
-                rarities[rng.gen_range(0..4)].into(),
+                rarities[rng.gen_range(0..4usize)].into(),
             ],
         )
         .unwrap();
@@ -72,7 +72,11 @@ fn populate(db: &mut Database, config: &CorpusConfig) {
         let card = rng.gen_range(1..=n_cards as i64);
         let format = FORMATS[rng.gen_range(0..FORMATS.len())];
         let status = STATUSES[super::weighted_index(&mut rng, &[0.7, 0.18, 0.12])];
-        db.insert("legalities", vec![(i as i64 + 1).into(), card.into(), format.into(), status.into()]).unwrap();
+        db.insert(
+            "legalities",
+            vec![(i as i64 + 1).into(), card.into(), format.into(), status.into()],
+        )
+        .unwrap();
     }
 }
 
@@ -106,13 +110,15 @@ fn has_text_box() -> KnowledgeAtom {
 fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
     let mut out = Vec::new();
     out.push(
-        QuestionBuilder::new("How many cards of legalities whose status is restricted have text boxes?")
-            .select("COUNT(*)")
-            .from("cards")
-            .join("legalities", on_eq("legalities", "card_id", "cards", "id"))
-            .filter_atom(restricted())
-            .filter_atom(has_text_box())
-            .build(),
+        QuestionBuilder::new(
+            "How many cards of legalities whose status is restricted have text boxes?",
+        )
+        .select("COUNT(*)")
+        .from("cards")
+        .join("legalities", on_eq("legalities", "card_id", "cards", "id"))
+        .filter_atom(restricted())
+        .filter_atom(has_text_box())
+        .build(),
     );
     for format in FORMATS.iter().take(config.scaled(5, 3)) {
         out.push(
@@ -186,8 +192,16 @@ mod tests {
     #[test]
     fn status_casing_matters() {
         let data = build(&CorpusConfig::tiny());
-        let exact = execute(&data.database, "SELECT COUNT(*) FROM legalities WHERE `legalities`.`status` = 'Restricted'").unwrap();
-        let lower = execute(&data.database, "SELECT COUNT(*) FROM legalities WHERE `legalities`.`status` = 'restricted'").unwrap();
+        let exact = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM legalities WHERE `legalities`.`status` = 'Restricted'",
+        )
+        .unwrap();
+        let lower = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM legalities WHERE `legalities`.`status` = 'restricted'",
+        )
+        .unwrap();
         assert!(matches!(exact.rows[0][0], Value::Integer(n) if n > 0));
         assert_eq!(lower.rows[0][0], Value::Integer(0));
     }

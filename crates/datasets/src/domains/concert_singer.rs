@@ -93,7 +93,7 @@ fn populate(db: &mut Database, config: &CorpusConfig) {
                 id.into(),
                 format!("Stadium {id}").into(),
                 LOCATIONS[rng.gen_range(0..LOCATIONS.len())].into(),
-                (rng.gen_range(2..60) * 1000i64).into(),
+                (rng.gen_range(2..60i64) * 1000).into(),
             ],
         )
         .unwrap();
@@ -200,14 +200,16 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
             .build(),
     );
     out.push(
-        QuestionBuilder::new("What is the average age of singers who performed in a concert after 2018?")
-            .select(format!("AVG({})", col("singer", "age")))
-            .from("singer")
-            .join("singer_in_concert", on_eq("singer_in_concert", "singer_id", "singer", "singer_id"))
-            .join("concert", on_eq("singer_in_concert", "concert_id", "concert", "concert_id"))
-            .filter(cond("concert", "year", ">", 2018))
-            .difficulty(0.45)
-            .build(),
+        QuestionBuilder::new(
+            "What is the average age of singers who performed in a concert after 2018?",
+        )
+        .select(format!("AVG({})", col("singer", "age")))
+        .from("singer")
+        .join("singer_in_concert", on_eq("singer_in_concert", "singer_id", "singer", "singer_id"))
+        .join("concert", on_eq("singer_in_concert", "concert_id", "concert", "concert_id"))
+        .filter(cond("concert", "year", ">", 2018))
+        .difficulty(0.45)
+        .build(),
     );
     out.push(
         QuestionBuilder::new("How many stadiums have a capacity of more than 30000?")
@@ -267,6 +269,9 @@ mod tests {
     fn majority_of_questions_need_no_knowledge() {
         let data = build(&CorpusConfig::default());
         let with_atoms = data.questions.iter().filter(|q| !q.atoms.is_empty()).count();
-        assert!(with_atoms * 2 < data.questions.len() + with_atoms, "most Spider questions are structural");
+        assert!(
+            with_atoms * 2 < data.questions.len() + with_atoms,
+            "most Spider questions are structural"
+        );
     }
 }

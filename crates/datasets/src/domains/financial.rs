@@ -31,7 +31,8 @@ fn schema() -> DatabaseSchema {
         "district",
         vec![
             ColumnDef::new("district_id", DataType::Integer).primary_key(),
-            ColumnDef::new("district_name", DataType::Text).described("name of the branch district"),
+            ColumnDef::new("district_name", DataType::Text)
+                .described("name of the branch district"),
             ColumnDef::new("region", DataType::Text).described("geographic region"),
         ],
     ))
@@ -60,7 +61,8 @@ fn schema() -> DatabaseSchema {
                 .described("client gender")
                 .with_values("\"F\" stands for female, \"M\" stands for male"),
             ColumnDef::new("birth_date", DataType::Date).described("client birth date"),
-            ColumnDef::new("district_id", DataType::Integer).described("branch where the account was opened"),
+            ColumnDef::new("district_id", DataType::Integer)
+                .described("branch where the account was opened"),
         ],
     ))
     .unwrap();
@@ -98,7 +100,8 @@ fn schema() -> DatabaseSchema {
 fn populate(db: &mut Database, config: &CorpusConfig) {
     let mut rng = domain_rng(config, 0xf1a);
     for (i, (name, region)) in DISTRICTS.iter().enumerate() {
-        db.insert("district", vec![(i as i64 + 1).into(), (*name).into(), (*region).into()]).unwrap();
+        db.insert("district", vec![(i as i64 + 1).into(), (*name).into(), (*region).into()])
+            .unwrap();
     }
     let n_accounts = config.scaled(150, 30);
     for i in 0..n_accounts {
@@ -137,11 +140,17 @@ fn populate(db: &mut Database, config: &CorpusConfig) {
     for i in 0..n_loans {
         let account = rng.gen_range(1..=n_accounts as i64);
         let amount = (rng.gen_range(20..500) * 1000) as f64;
-        let duration = [12i64, 24, 36, 48, 60][rng.gen_range(0..5)];
+        let duration = [12i64, 24, 36, 48, 60][rng.gen_range(0..5usize)];
         let status = STATUSES[weighted_index(&mut rng, &[0.35, 0.1, 0.4, 0.15])];
         db.insert(
             "loan",
-            vec![(i as i64 + 1).into(), account.into(), amount.into(), duration.into(), status.into()],
+            vec![
+                (i as i64 + 1).into(),
+                account.into(),
+                amount.into(),
+                duration.into(),
+                status.into(),
+            ],
         )
         .unwrap();
     }
@@ -225,11 +234,8 @@ fn running_ok() -> KnowledgeAtom {
 
 fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
     let mut out = Vec::new();
-    let districts: Vec<&str> = DISTRICTS
-        .iter()
-        .take(config.scaled(6, 3))
-        .map(|(n, _)| *n)
-        .collect();
+    let districts: Vec<&str> =
+        DISTRICTS.iter().take(config.scaled(6, 3)).map(|(n, _)| *n).collect();
 
     for d in &districts {
         out.push(
@@ -255,13 +261,15 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
             .build(),
         );
         out.push(
-            QuestionBuilder::new(format!("How many male clients are registered in the {d} branch?"))
-                .select("COUNT(*)")
-                .from("client")
-                .join("district", on_eq("client", "district_id", "district", "district_id"))
-                .filter(cond("district", "district_name", "=", *d))
-                .filter_atom(male())
-                .build(),
+            QuestionBuilder::new(format!(
+                "How many male clients are registered in the {d} branch?"
+            ))
+            .select("COUNT(*)")
+            .from("client")
+            .join("district", on_eq("client", "district_id", "district", "district_id"))
+            .filter(cond("district", "district_name", "=", *d))
+            .filter_atom(male())
+            .build(),
         );
     }
 
@@ -291,11 +299,13 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
     }
 
     out.push(
-        QuestionBuilder::new("How many accounts receive a statement with issuance after transaction?")
-            .select("COUNT(*)")
-            .from("account")
-            .filter_atom(after_transaction())
-            .build(),
+        QuestionBuilder::new(
+            "How many accounts receive a statement with issuance after transaction?",
+        )
+        .select("COUNT(*)")
+        .from("account")
+        .filter_atom(after_transaction())
+        .build(),
     );
     out.push(
         QuestionBuilder::new("What is the largest loan amount among weekly issuance accounts?")
@@ -306,25 +316,31 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
             .build(),
     );
     out.push(
-        QuestionBuilder::new("How many loans belong to a running contract where the client in debt?")
-            .select("COUNT(*)")
-            .from("loan")
-            .filter_atom(in_debt())
-            .build(),
+        QuestionBuilder::new(
+            "How many loans belong to a running contract where the client in debt?",
+        )
+        .select("COUNT(*)")
+        .from("loan")
+        .filter_atom(in_debt())
+        .build(),
     );
     out.push(
-        QuestionBuilder::new("What is the total amount of loans that are finished with no problems?")
-            .select(format!("SUM({})", col("loan", "amount")))
-            .from("loan")
-            .filter_atom(finished_ok())
-            .build(),
+        QuestionBuilder::new(
+            "What is the total amount of loans that are finished with no problems?",
+        )
+        .select(format!("SUM({})", col("loan", "amount")))
+        .from("loan")
+        .filter_atom(finished_ok())
+        .build(),
     );
     out.push(
-        QuestionBuilder::new("What is the average duration of loans on a running contract that is OK so far?")
-            .select(format!("AVG({})", col("loan", "duration")))
-            .from("loan")
-            .filter_atom(running_ok())
-            .build(),
+        QuestionBuilder::new(
+            "What is the average duration of loans on a running contract that is OK so far?",
+        )
+        .select(format!("AVG({})", col("loan", "duration")))
+        .from("loan")
+        .filter_atom(running_ok())
+        .build(),
     );
     for year in [1960i64, 1975] {
         out.push(
@@ -361,14 +377,16 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
             .build(),
     );
     out.push(
-        QuestionBuilder::new("List the distinct loan durations of accounts with issuance after transaction.")
-            .select(col("loan", "duration"))
-            .distinct()
-            .from("account")
-            .join("loan", on_eq("loan", "account_id", "account", "account_id"))
-            .filter_atom(after_transaction())
-            .order_by(col("loan", "duration"))
-            .build(),
+        QuestionBuilder::new(
+            "List the distinct loan durations of accounts with issuance after transaction.",
+        )
+        .select(col("loan", "duration"))
+        .distinct()
+        .from("account")
+        .join("loan", on_eq("loan", "account_id", "account", "account_id"))
+        .filter_atom(after_transaction())
+        .order_by(col("loan", "duration"))
+        .build(),
     );
     out
 }

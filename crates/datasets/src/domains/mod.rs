@@ -47,10 +47,7 @@ pub fn bird_domains() -> Vec<(&'static str, DomainBuilder)> {
 
 /// The Spider-style domains, in a stable order.
 pub fn spider_domains() -> Vec<(&'static str, DomainBuilder)> {
-    vec![
-        ("concert_singer", concert_singer::build as DomainBuilder),
-        ("pets_1", pets::build),
-    ]
+    vec![("concert_singer", concert_singer::build as DomainBuilder), ("pets_1", pets::build)]
 }
 
 /// Deterministic RNG for a domain, derived from the corpus seed and a tag.

@@ -162,15 +162,12 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
     );
     for kind in PET_TYPES.iter().take(config.scaled(3, 2)) {
         out.push(
-            QuestionBuilder::new(format!(
-                "How many students are {} owners?",
-                kind.to_lowercase()
-            ))
-            .select(format!("COUNT(DISTINCT {})", col("has_pet", "stuid")))
-            .from("has_pet")
-            .join("pets", on_eq("has_pet", "petid", "pets", "petid"))
-            .filter_atom(pet_type(kind))
-            .build(),
+            QuestionBuilder::new(format!("How many students are {} owners?", kind.to_lowercase()))
+                .select(format!("COUNT(DISTINCT {})", col("has_pet", "stuid")))
+                .from("has_pet")
+                .join("pets", on_eq("has_pet", "petid", "pets", "petid"))
+                .filter_atom(pet_type(kind))
+                .build(),
         );
     }
     out.push(

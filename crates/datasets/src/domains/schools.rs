@@ -10,7 +10,8 @@ use super::{domain_rng, DomainData};
 use crate::template::{col, cond, on_eq, QuestionBuilder, RawQuestion};
 use crate::CorpusConfig;
 
-const COUNTIES: &[&str] = &["Alameda", "Fresno", "Los Angeles", "San Diego", "Santa Clara", "Sacramento"];
+const COUNTIES: &[&str] =
+    &["Alameda", "Fresno", "Los Angeles", "San Diego", "Santa Clara", "Sacramento"];
 const CITIES: &[&str] = &["Fremont", "Oakland", "Fresno", "San Jose", "Riverside", "Hayward"];
 
 fn schema() -> DatabaseSchema {
@@ -36,8 +37,9 @@ fn schema() -> DatabaseSchema {
         vec![
             ColumnDef::new("cds", DataType::Integer).primary_key(),
             ColumnDef::new("NumTstTakr", DataType::Integer).described("number of SAT test takers"),
-            ColumnDef::new("NumGE1500", DataType::Integer)
-                .described("number of test takers whose total SAT score is greater or equal to 1500"),
+            ColumnDef::new("NumGE1500", DataType::Integer).described(
+                "number of test takers whose total SAT score is greater or equal to 1500",
+            ),
             ColumnDef::new("AvgScrMath", DataType::Integer).described("average SAT math score"),
         ],
     ))
@@ -75,7 +77,8 @@ fn populate(db: &mut Database, config: &CorpusConfig) {
             "schools",
             vec![
                 id.into(),
-                format!("{city} {} School {id}", if charter == 1 { "Charter" } else { "High" }).into(),
+                format!("{city} {} School {id}", if charter == 1 { "Charter" } else { "High" })
+                    .into(),
                 county.into(),
                 city.into(),
                 magnet.into(),
@@ -128,20 +131,24 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
     let counties: Vec<&str> = COUNTIES.iter().take(config.scaled(5, 3)).copied().collect();
     for county in &counties {
         out.push(
-            QuestionBuilder::new(format!("How many schools in {county} county are magnet schools or offer a magnet program?"))
-                .select("COUNT(*)")
-                .from("schools")
-                .filter(cond("schools", "County", "=", *county))
-                .filter_atom(magnet())
-                .build(),
+            QuestionBuilder::new(format!(
+                "How many schools in {county} county are magnet schools or offer a magnet program?"
+            ))
+            .select("COUNT(*)")
+            .from("schools")
+            .filter(cond("schools", "County", "=", *county))
+            .filter_atom(magnet())
+            .build(),
         );
         out.push(
-            QuestionBuilder::new(format!("How many charter schools are located in {county} county?"))
-                .select("COUNT(*)")
-                .from("schools")
-                .filter(cond("schools", "County", "=", *county))
-                .filter_atom(charter())
-                .build(),
+            QuestionBuilder::new(format!(
+                "How many charter schools are located in {county} county?"
+            ))
+            .select("COUNT(*)")
+            .from("schools")
+            .filter(cond("schools", "County", "=", *county))
+            .filter_atom(charter())
+            .build(),
         );
     }
     for takers in [500i64, 800] {
@@ -166,13 +173,15 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
             .build(),
     );
     out.push(
-        QuestionBuilder::new("List the names of schools with excellent SAT performance in Fremont.")
-            .select(col("schools", "School"))
-            .from("schools")
-            .join("satscores", on_eq("satscores", "cds", "schools", "CDSCode"))
-            .filter(cond("schools", "City", "=", "Fremont"))
-            .filter_atom(excellence())
-            .build(),
+        QuestionBuilder::new(
+            "List the names of schools with excellent SAT performance in Fremont.",
+        )
+        .select(col("schools", "School"))
+        .from("schools")
+        .join("satscores", on_eq("satscores", "cds", "schools", "CDSCode"))
+        .filter(cond("schools", "City", "=", "Fremont"))
+        .filter_atom(excellence())
+        .build(),
     );
     out.push(
         QuestionBuilder::new("How many magnet schools or offer a magnet program have an enrollment above 1500 students?")
@@ -228,9 +237,15 @@ mod tests {
     #[test]
     fn magnet_flag_is_integer_coded() {
         let data = build(&CorpusConfig::tiny());
-        let rs = execute(&data.database, "SELECT COUNT(*) FROM schools WHERE `schools`.`Magnet` = 1").unwrap();
+        let rs =
+            execute(&data.database, "SELECT COUNT(*) FROM schools WHERE `schools`.`Magnet` = 1")
+                .unwrap();
         assert!(matches!(rs.rows[0][0], Value::Integer(n) if n > 0));
-        let naive = execute(&data.database, "SELECT COUNT(*) FROM schools WHERE `schools`.`Magnet` = 'Yes'").unwrap();
+        let naive = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM schools WHERE `schools`.`Magnet` = 'Yes'",
+        )
+        .unwrap();
         assert_eq!(naive.rows[0][0], Value::Integer(0));
     }
 

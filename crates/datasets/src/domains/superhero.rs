@@ -12,8 +12,12 @@ use crate::CorpusConfig;
 
 const COLOURS: &[&str] = &["Blue", "Brown", "Green", "Red", "Black", "Yellow", "White", "Amber"];
 const PUBLISHERS: &[&str] = &["Marvel Comics", "DC Comics", "Dark Horse Comics", "Image Comics"];
-const FIRST: &[&str] = &["Peter", "Diana", "Bruce", "Clark", "Natasha", "Tony", "Steve", "Wanda", "Barry", "Hal"];
-const LAST: &[&str] = &["Parker", "Prince", "Wayne", "Kent", "Romanoff", "Stark", "Rogers", "Maximoff", "Allen", "Jordan"];
+const FIRST: &[&str] =
+    &["Peter", "Diana", "Bruce", "Clark", "Natasha", "Tony", "Steve", "Wanda", "Barry", "Hal"];
+const LAST: &[&str] = &[
+    "Parker", "Prince", "Wayne", "Kent", "Romanoff", "Stark", "Rogers", "Maximoff", "Allen",
+    "Jordan",
+];
 
 fn schema() -> DatabaseSchema {
     let mut s = DatabaseSchema::new("superhero");
@@ -21,7 +25,8 @@ fn schema() -> DatabaseSchema {
         "colour",
         vec![
             ColumnDef::new("id", DataType::Integer).primary_key(),
-            ColumnDef::new("colour", DataType::Text).described("colour name, capitalised (e.g. 'Blue')"),
+            ColumnDef::new("colour", DataType::Text)
+                .described("colour name, capitalised (e.g. 'Blue')"),
         ],
     ))
     .unwrap();
@@ -37,7 +42,8 @@ fn schema() -> DatabaseSchema {
         "superhero",
         vec![
             ColumnDef::new("id", DataType::Integer).primary_key(),
-            ColumnDef::new("superhero_name", DataType::Text).described("the hero's alias (e.g. 'Spider-Man')"),
+            ColumnDef::new("superhero_name", DataType::Text)
+                .described("the hero's alias (e.g. 'Spider-Man')"),
             ColumnDef::new("full_name", DataType::Text).described("the hero's civilian full name"),
             ColumnDef::new("eye_colour_id", DataType::Integer).described("foreign key to colour"),
             ColumnDef::new("hair_colour_id", DataType::Integer).described("foreign key to colour"),
@@ -202,9 +208,13 @@ mod tests {
     #[test]
     fn colour_casing_is_capitalised() {
         let data = build(&CorpusConfig::tiny());
-        let rs = execute(&data.database, "SELECT COUNT(*) FROM colour WHERE `colour`.`colour` = 'Blue'").unwrap();
+        let rs =
+            execute(&data.database, "SELECT COUNT(*) FROM colour WHERE `colour`.`colour` = 'Blue'")
+                .unwrap();
         assert_eq!(rs.rows[0][0], Value::Integer(1));
-        let rs = execute(&data.database, "SELECT COUNT(*) FROM colour WHERE `colour`.`colour` = 'blue'").unwrap();
+        let rs =
+            execute(&data.database, "SELECT COUNT(*) FROM colour WHERE `colour`.`colour` = 'blue'")
+                .unwrap();
         assert_eq!(rs.rows[0][0], Value::Integer(0));
     }
 

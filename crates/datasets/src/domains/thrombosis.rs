@@ -153,25 +153,31 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
         .build(),
     );
     out.push(
-        QuestionBuilder::new("How many laboratory examinations show a hematocrit level exceeded the normal range?")
-            .select("COUNT(*)")
-            .from("laboratory")
-            .filter_atom(hct_high())
-            .build(),
+        QuestionBuilder::new(
+            "How many laboratory examinations show a hematocrit level exceeded the normal range?",
+        )
+        .select("COUNT(*)")
+        .from("laboratory")
+        .filter_atom(hct_high())
+        .build(),
     );
     out.push(
-        QuestionBuilder::new("How many laboratory examinations report blood glucose above the normal range?")
-            .select("COUNT(*)")
-            .from("laboratory")
-            .filter_atom(glu_high())
-            .build(),
+        QuestionBuilder::new(
+            "How many laboratory examinations report blood glucose above the normal range?",
+        )
+        .select("COUNT(*)")
+        .from("laboratory")
+        .filter_atom(glu_high())
+        .build(),
     );
     out.push(
-        QuestionBuilder::new("How many laboratory tests show a white blood cell count below the normal range?")
-            .select("COUNT(*)")
-            .from("laboratory")
-            .filter_atom(wbc_low())
-            .build(),
+        QuestionBuilder::new(
+            "How many laboratory tests show a white blood cell count below the normal range?",
+        )
+        .select("COUNT(*)")
+        .from("laboratory")
+        .filter_atom(wbc_low())
+        .build(),
     );
     out.push(
         QuestionBuilder::new("How many female patients were admitted to the hospital?")
@@ -205,12 +211,14 @@ fn questions(config: &CorpusConfig) -> Vec<RawQuestion> {
         );
     }
     out.push(
-        QuestionBuilder::new("What is the average blood glucose of patients admitted to the hospital?")
-            .select(format!("AVG({})", col("laboratory", "GLU")))
-            .from("patient")
-            .join("laboratory", on_eq("laboratory", "ID", "patient", "ID"))
-            .filter_atom(admitted())
-            .build(),
+        QuestionBuilder::new(
+            "What is the average blood glucose of patients admitted to the hospital?",
+        )
+        .select(format!("AVG({})", col("laboratory", "GLU")))
+        .from("patient")
+        .join("laboratory", on_eq("laboratory", "ID", "patient", "ID"))
+        .filter_atom(admitted())
+        .build(),
     );
     out.push(
         QuestionBuilder::new(
@@ -242,8 +250,16 @@ mod tests {
     #[test]
     fn normal_range_threshold_separates_results() {
         let data = build(&CorpusConfig::tiny());
-        let correct = execute(&data.database, "SELECT COUNT(*) FROM laboratory WHERE `laboratory`.`HCT` >= 52").unwrap();
-        let naive = execute(&data.database, "SELECT COUNT(*) FROM laboratory WHERE `laboratory`.`HCT` > 100").unwrap();
+        let correct = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM laboratory WHERE `laboratory`.`HCT` >= 52",
+        )
+        .unwrap();
+        let naive = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM laboratory WHERE `laboratory`.`HCT` > 100",
+        )
+        .unwrap();
         let c = correct.rows[0][0].as_i64().unwrap();
         let n = naive.rows[0][0].as_i64().unwrap();
         assert!(c > 0);

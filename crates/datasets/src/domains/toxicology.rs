@@ -81,7 +81,9 @@ fn populate(db: &mut Database, config: &CorpusConfig) {
         db.insert("molecule", vec![mid.clone().into(), label.into()]).unwrap();
         for _ in 0..rng.gen_range(3..8) {
             atom_id += 1;
-            let el = ELEMENTS[weighted_index(&mut rng, &[0.3, 0.3, 0.12, 0.1, 0.06, 0.05, 0.04, 0.03])].0;
+            let el = ELEMENTS
+                [weighted_index(&mut rng, &[0.3, 0.3, 0.12, 0.1, 0.06, 0.05, 0.04, 0.03])]
+            .0;
             db.insert("atom", vec![atom_id.into(), mid.clone().into(), el.into()]).unwrap();
         }
         for _ in 0..rng.gen_range(2..7) {
@@ -211,9 +213,15 @@ mod tests {
     #[test]
     fn bond_type_codes_are_symbols() {
         let data = build(&CorpusConfig::tiny());
-        let eq = execute(&data.database, "SELECT COUNT(*) FROM bond WHERE `bond`.`bond_type` = '='").unwrap();
+        let eq =
+            execute(&data.database, "SELECT COUNT(*) FROM bond WHERE `bond`.`bond_type` = '='")
+                .unwrap();
         assert!(matches!(eq.rows[0][0], Value::Integer(n) if n > 0));
-        let word = execute(&data.database, "SELECT COUNT(*) FROM bond WHERE `bond`.`bond_type` = 'double'").unwrap();
+        let word = execute(
+            &data.database,
+            "SELECT COUNT(*) FROM bond WHERE `bond`.`bond_type` = 'double'",
+        )
+        .unwrap();
         assert_eq!(word.rows[0][0], Value::Integer(0));
     }
 }

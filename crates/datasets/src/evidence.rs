@@ -82,7 +82,11 @@ impl EvidenceRecord {
 
     /// The empty record used for Spider questions (no evidence concept at all).
     pub fn none() -> Self {
-        EvidenceRecord { text: String::new(), corrected: String::new(), status: EvidenceStatus::Missing }
+        EvidenceRecord {
+            text: String::new(),
+            corrected: String::new(),
+            status: EvidenceStatus::Missing,
+        }
     }
 
     /// True if the record ships usable (non-empty) evidence text.
@@ -104,11 +108,7 @@ pub const ERRONEOUS_RATE: f64 = 0.0684;
 ///   a randomly chosen [`EvidenceErrorType`].
 /// * Otherwise the record is the canonical, correct evidence.
 pub fn make_human_evidence(atoms: &[KnowledgeAtom], rng: &mut StdRng) -> EvidenceRecord {
-    let correct_text = atoms
-        .iter()
-        .map(|a| a.evidence_sentence())
-        .collect::<Vec<_>>()
-        .join("; ");
+    let correct_text = atoms.iter().map(|a| a.evidence_sentence()).collect::<Vec<_>>().join("; ");
     if atoms.is_empty() {
         return EvidenceRecord::correct(correct_text);
     }
@@ -121,16 +121,24 @@ pub fn make_human_evidence(atoms: &[KnowledgeAtom], rng: &mut StdRng) -> Evidenc
         };
     }
     if roll < MISSING_RATE + ERRONEOUS_RATE {
-        let error = EvidenceErrorType::all()[rng.gen_range(0..8)];
+        let error = EvidenceErrorType::all()[rng.gen_range(0..8usize)];
         let corrupted = corrupt_evidence(atoms, error, rng);
-        return EvidenceRecord { text: corrupted, status: EvidenceStatus::Erroneous(error), corrected: correct_text };
+        return EvidenceRecord {
+            text: corrupted,
+            status: EvidenceStatus::Erroneous(error),
+            corrected: correct_text,
+        };
     }
     EvidenceRecord::correct(correct_text)
 }
 
 /// Produces a defective rendering of the evidence for `atoms` with the given
 /// error type (used both by the corpus builder and by the Table I generator).
-pub fn corrupt_evidence(atoms: &[KnowledgeAtom], error: EvidenceErrorType, rng: &mut StdRng) -> String {
+pub fn corrupt_evidence(
+    atoms: &[KnowledgeAtom],
+    error: EvidenceErrorType,
+    rng: &mut StdRng,
+) -> String {
     let victim_idx = rng.gen_range(0..atoms.len());
     let mut sentences: Vec<String> = Vec::new();
     for (i, atom) in atoms.iter().enumerate() {
@@ -149,7 +157,11 @@ pub fn corrupt_evidence(atoms: &[KnowledgeAtom], error: EvidenceErrorType, rng: 
     sentences.join("; ")
 }
 
-fn corrupt_atom_sentence(atom: &KnowledgeAtom, error: EvidenceErrorType, _rng: &mut StdRng) -> String {
+fn corrupt_atom_sentence(
+    atom: &KnowledgeAtom,
+    error: EvidenceErrorType,
+    _rng: &mut StdRng,
+) -> String {
     let c = &atom.correct;
     let wrong = match error {
         EvidenceErrorType::UnnecessaryInformation => c.clone(),

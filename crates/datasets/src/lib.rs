@@ -59,11 +59,7 @@ pub struct Question {
 impl Question {
     /// The perfect evidence for this question: one canonical sentence per atom.
     pub fn oracle_evidence(&self) -> String {
-        self.atoms
-            .iter()
-            .map(|a| a.evidence_sentence())
-            .collect::<Vec<_>>()
-            .join("; ")
+        self.atoms.iter().map(|a| a.evidence_sentence()).collect::<Vec<_>>().join("; ")
     }
 }
 
@@ -93,10 +89,7 @@ impl Benchmark {
 
     /// Questions of a split restricted to one database.
     pub fn split_for_db(&self, split: Split, db_id: &str) -> Vec<&Question> {
-        self.questions
-            .iter()
-            .filter(|q| q.split == split && q.db_id == db_id)
-            .collect()
+        self.questions.iter().filter(|q| q.split == split && q.db_id == db_id).collect()
     }
 }
 

@@ -81,7 +81,7 @@ pub fn synthesize_descriptions(benchmark: &mut Benchmark) {
         // Rebuild the database with the enriched schema but the same rows.
         let mut rebuilt = seed_sqlengine::Database::from_schema(new_schema);
         for tname in &table_names {
-            let rows = db.table(tname).unwrap().rows.clone();
+            let rows = db.table(tname).unwrap().rows().to_vec();
             rebuilt.insert_many(tname, rows).unwrap();
         }
         *db = rebuilt;
@@ -124,6 +124,6 @@ mod tests {
         let col = db.schema().table("singer").unwrap().column("country").unwrap();
         assert!(col.value_description.contains("observed values include"));
         // Rows survive the rebuild.
-        assert!(db.table("singer").unwrap().len() > 0);
+        assert!(!db.table("singer").unwrap().is_empty());
     }
 }

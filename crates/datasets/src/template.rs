@@ -194,15 +194,20 @@ mod tests {
             SqlCondition::new("account", "frequency", "=", "POPLATEK TYDNE"),
             SqlCondition::new("account", "frequency", "=", "weekly"),
         );
-        let q = QuestionBuilder::new("Among the weekly issuance accounts, how many have a loan under 200000?")
-            .select("COUNT(*)")
-            .from("account")
-            .join("loan", on_eq("loan", "account_id", "account", "account_id"))
-            .filter_atom(atom.clone())
-            .filter(cond("loan", "amount", "<", 200_000))
-            .build();
+        let q = QuestionBuilder::new(
+            "Among the weekly issuance accounts, how many have a loan under 200000?",
+        )
+        .select("COUNT(*)")
+        .from("account")
+        .join("loan", on_eq("loan", "account_id", "account", "account_id"))
+        .filter_atom(atom.clone())
+        .filter(cond("loan", "amount", "<", 200_000))
+        .build();
         assert!(q.gold_sql.contains("INNER JOIN loan"));
-        assert!(q.gold_sql.contains(&atom.correct.to_sql()), "gold SQL embeds the canonical condition");
+        assert!(
+            q.gold_sql.contains(&atom.correct.to_sql()),
+            "gold SQL embeds the canonical condition"
+        );
         assert!(q.gold_sql.contains("`loan`.`amount` < 200000"));
         assert_eq!(q.atoms.len(), 1);
         assert!(q.difficulty > 0.2);
@@ -228,7 +233,9 @@ mod tests {
             .order_by("COUNT(*) DESC")
             .limit(3)
             .build();
-        assert!(q.gold_sql.ends_with("GROUP BY `loan`.`account_id` HAVING COUNT(*) >= 2 ORDER BY COUNT(*) DESC LIMIT 3"));
+        assert!(q.gold_sql.ends_with(
+            "GROUP BY `loan`.`account_id` HAVING COUNT(*) >= 2 ORDER BY COUNT(*) DESC LIMIT 3"
+        ));
     }
 
     #[test]

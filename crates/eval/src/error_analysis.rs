@@ -37,7 +37,9 @@ fn percentage(part: usize, total: usize) -> f64 {
 
 /// Computes the defect breakdown for a set of questions (normally the BIRD dev
 /// split), considering only questions that actually require knowledge.
-pub fn analyze_evidence_defects<'a>(questions: impl IntoIterator<Item = &'a Question>) -> DefectBreakdown {
+pub fn analyze_evidence_defects<'a>(
+    questions: impl IntoIterator<Item = &'a Question>,
+) -> DefectBreakdown {
     let mut out = DefectBreakdown::default();
     for q in questions {
         if q.atoms.is_empty() {
@@ -81,7 +83,7 @@ mod tests {
     #[test]
     fn breakdown_rates_sum_to_one_hundred() {
         let bench = build_bird(&CorpusConfig::default());
-        let b = analyze_evidence_defects(bench.split(Split::Dev).into_iter());
+        let b = analyze_evidence_defects(bench.split(Split::Dev));
         assert!(b.total > 60);
         let sum = b.correct_rate() + b.missing_rate() + b.erroneous_rate();
         assert!((sum - 100.0).abs() < 1e-6);
@@ -91,7 +93,7 @@ mod tests {
     #[test]
     fn rates_are_near_the_paper_measurements() {
         let bench = build_bird(&CorpusConfig::default());
-        let b = analyze_evidence_defects(bench.split(Split::Dev).into_iter());
+        let b = analyze_evidence_defects(bench.split(Split::Dev));
         // Paper: 9.65 % missing, 6.84 % erroneous. A synthetic corpus of a few
         // hundred questions lands within a few points of that.
         assert!((b.missing_rate() - 9.65).abs() < 2.0, "missing {:.2}%", b.missing_rate());
@@ -101,7 +103,7 @@ mod tests {
     #[test]
     fn defect_examples_cover_multiple_types() {
         let bench = build_bird(&CorpusConfig::default());
-        let examples = defect_examples(bench.split(Split::Dev).into_iter());
+        let examples = defect_examples(bench.split(Split::Dev));
         assert!(examples.len() >= 3);
     }
 

@@ -113,7 +113,8 @@ mod tests {
     #[test]
     fn wrong_and_invalid_queries_score_zero() {
         let d = db();
-        let wrong = evaluate_pair(&d, "SELECT COUNT(*) FROM x", "SELECT COUNT(*) FROM x WHERE v = 'zzz'");
+        let wrong =
+            evaluate_pair(&d, "SELECT COUNT(*) FROM x", "SELECT COUNT(*) FROM x WHERE v = 'zzz'");
         assert!(!wrong.correct && wrong.valid);
         assert_eq!(wrong.ves_reward(), 0.0);
         let invalid = evaluate_pair(&d, "SELECT COUNT(*) FROM x", "SELECT nope FROM missing");

@@ -130,7 +130,12 @@ pub struct KnowledgeAtom {
 }
 
 impl KnowledgeAtom {
-    pub fn new(phrase: &str, kind: KnowledgeKind, correct: SqlCondition, naive: SqlCondition) -> Self {
+    pub fn new(
+        phrase: &str,
+        kind: KnowledgeKind,
+        correct: SqlCondition,
+        naive: SqlCondition,
+    ) -> Self {
         KnowledgeAtom { phrase: phrase.to_string(), kind, correct, naive }
     }
 
@@ -164,7 +169,7 @@ pub struct EvidenceClause {
 /// which mirrors how a model simply ignores evidence it cannot use.
 pub fn parse_evidence_clauses(text: &str) -> Vec<EvidenceClause> {
     let mut out = Vec::new();
-    for raw in text.split(|c| c == ';' || c == '\n') {
+    for raw in text.split([';', '\n']) {
         let sentence = raw.trim();
         if sentence.is_empty() {
             continue;
@@ -243,10 +248,8 @@ fn parse_literal(text: &str) -> Option<Value> {
         return Some(Value::Text(stripped[..end].to_string()));
     }
     // numeric prefix
-    let num: String = t
-        .chars()
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
+    let num: String =
+        t.chars().take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-').collect();
     if num.is_empty() {
         // bare word literal (e.g. frequency = POPLATEK) — take the first word
         let word = t.split_whitespace().next()?;
@@ -306,7 +309,9 @@ mod tests {
     #[test]
     fn parses_bird_spacing_quirk() {
         // BIRD evidence sometimes writes "> =" with a space (Table I example).
-        let clauses = parse_evidence_clauses("hematoclit level exceeded the normal range refers to HCT > = 52");
+        let clauses = parse_evidence_clauses(
+            "hematoclit level exceeded the normal range refers to HCT > = 52",
+        );
         assert_eq!(clauses.len(), 1);
         assert_eq!(clauses[0].condition.op, ">=");
         assert_eq!(clauses[0].condition.value, Value::Integer(52));

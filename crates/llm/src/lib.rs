@@ -34,7 +34,7 @@ pub use profile::ModelProfile;
 pub use prompt::{FewShotExample, GroundedColumn, PromptBuilder};
 pub use sim::{LanguageModel, SimLlm, UsageStats};
 pub use tasks::{
-    EvidenceGenOutput, EvidenceGenTask, ExtractedKeyword, KeywordExtractionTask, SchemaSummaryOutput,
-    SchemaSummaryTask, SqlGenOutput, SqlGenTask,
+    EvidenceGenOutput, EvidenceGenTask, ExtractedKeyword, KeywordExtractionTask,
+    SchemaSummaryOutput, SchemaSummaryTask, SqlGenOutput, SqlGenTask,
 };
 pub use token::{count_tokens, truncate_to_tokens};

@@ -78,7 +78,7 @@ impl PromptBuilder {
             }
         }
         for fk in &schema.foreign_keys {
-            let keep = keep_tables.map_or(true, |k| {
+            let keep = keep_tables.is_none_or(|k| {
                 k.iter().any(|t| t.eq_ignore_ascii_case(&fk.from_table))
                     && k.iter().any(|t| t.eq_ignore_ascii_case(&fk.to_table))
             });
@@ -222,7 +222,12 @@ mod tests {
     #[test]
     fn empty_evidence_and_examples_add_nothing() {
         let base = PromptBuilder::new().question("q").render();
-        let same = PromptBuilder::new().evidence(None).examples(&[]).grounded_values(&[]).question("q").render();
+        let same = PromptBuilder::new()
+            .evidence(None)
+            .examples(&[])
+            .grounded_values(&[])
+            .question("q")
+            .render();
         assert_eq!(base, same);
     }
 

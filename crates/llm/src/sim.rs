@@ -95,7 +95,10 @@ impl SimLlm {
     }
 
     /// Is the knowledge present in the schema's description metadata?
-    fn description_contains(task_schema: &seed_sqlengine::DatabaseSchema, atom: &KnowledgeAtom) -> bool {
+    fn description_contains(
+        task_schema: &seed_sqlengine::DatabaseSchema,
+        atom: &KnowledgeAtom,
+    ) -> bool {
         let needle = match &atom.correct.value {
             Value::Text(s) => s.clone(),
             other => other.render(),
@@ -121,6 +124,7 @@ impl SimLlm {
 
     /// Decides which condition the model uses for one atom during SQL
     /// generation. Returns `(condition, resolved_correctly)`.
+    #[allow(clippy::too_many_arguments)]
     fn decide_atom(
         &self,
         rng: &mut StdRng,
@@ -170,17 +174,20 @@ impl SimLlm {
         let visible = Self::table_visible(schema_subset, &atom.correct.table);
 
         // 2. Grounded sample values.
-        if visible && Self::grounded_contains(grounded, &atom.correct) {
-            if rng.gen_bool(effective_grounding) {
-                return (atom.correct.clone(), true);
-            }
+        if visible
+            && Self::grounded_contains(grounded, &atom.correct)
+            && rng.gen_bool(effective_grounding)
+        {
+            return (atom.correct.clone(), true);
         }
 
         // 3. Description files in the prompt.
-        if visible && descriptions_in_prompt && Self::description_contains(schema, atom) {
-            if rng.gen_bool((effective_grounding * 0.85).min(1.0)) {
-                return (atom.correct.clone(), true);
-            }
+        if visible
+            && descriptions_in_prompt
+            && Self::description_contains(schema, atom)
+            && rng.gen_bool((effective_grounding * 0.85).min(1.0))
+        {
+            return (atom.correct.clone(), true);
         }
 
         // 4. Unaided guess.
@@ -221,10 +228,7 @@ impl LanguageModel for SimLlm {
             self.profile.value_grounding
         };
 
-        let evidence_clauses = task
-            .evidence
-            .map(parse_evidence_clauses)
-            .unwrap_or_default();
+        let evidence_clauses = task.evidence.map(parse_evidence_clauses).unwrap_or_default();
 
         // Resolve each knowledge atom and rewrite the reference SQL accordingly.
         let mut sql = task.gold_sql.to_string();
@@ -257,7 +261,7 @@ impl LanguageModel for SimLlm {
         }
 
         // Pruning that dropped a table the gold SQL needs breaks the query.
-        let missing_table = task.schema_subset.map_or(false, |keep| {
+        let missing_table = task.schema_subset.is_some_and(|keep| {
             task.atoms.iter().any(|a| {
                 !a.correct.table.is_empty()
                     && !keep.iter().any(|t| t.eq_ignore_ascii_case(&a.correct.table))
@@ -303,7 +307,13 @@ impl LanguageModel for SimLlm {
             }
         }
 
-        SqlGenOutput { sql, prompt_tokens, context_overflow, resolved_atoms: resolved, structural_error }
+        SqlGenOutput {
+            sql,
+            prompt_tokens,
+            context_overflow,
+            resolved_atoms: resolved,
+            structural_error,
+        }
     }
 
     fn generate_evidence(&self, task: &EvidenceGenTask<'_>) -> EvidenceGenOutput {
@@ -330,8 +340,12 @@ impl LanguageModel for SimLlm {
             let visible = Self::table_visible(task.schema_subset, &atom.correct.table);
             let info_available = visible
                 && (Self::grounded_contains(task.grounded_values, &atom.correct)
-                    || (task.descriptions_available && Self::description_contains(task.schema, atom))
-                    || matches!(atom.kind, KnowledgeKind::SchemaChoice | KnowledgeKind::NumericFormula));
+                    || (task.descriptions_available
+                        && Self::description_contains(task.schema, atom))
+                    || matches!(
+                        atom.kind,
+                        KnowledgeKind::SchemaChoice | KnowledgeKind::NumericFormula
+                    ));
             let mut p = if info_available {
                 0.72 + 0.23 * self.profile.value_grounding
             } else {
@@ -351,7 +365,12 @@ impl LanguageModel for SimLlm {
             } else if rng.gen_bool(0.3) {
                 // The model hallucinates a plausible but wrong grounding.
                 incorrect += 1;
-                let wrong = KnowledgeAtom::new(&atom.phrase, atom.kind, atom.naive.clone(), atom.naive.clone());
+                let wrong = KnowledgeAtom::new(
+                    &atom.phrase,
+                    atom.kind,
+                    atom.naive.clone(),
+                    atom.naive.clone(),
+                );
                 let sentence = if task.qualified_style {
                     wrong.qualified_evidence_sentence()
                 } else {
@@ -400,7 +419,8 @@ impl LanguageModel for SimLlm {
             for w in &q_words {
                 if hay.iter().any(|h| h == w) {
                     score += 1.0;
-                } else if hay.iter().any(|h| h.starts_with(w.as_str()) || w.starts_with(h.as_str())) {
+                } else if hay.iter().any(|h| h.starts_with(w.as_str()) || w.starts_with(h.as_str()))
+                {
                     score += 0.4;
                 }
             }
@@ -448,7 +468,8 @@ impl LanguageModel for SimLlm {
                 for table in &task.schema.tables {
                     for col in &table.columns {
                         let pieces = split_identifier(&col.name);
-                        let desc = format!("{} {}", col.description, col.value_description).to_lowercase();
+                        let desc =
+                            format!("{} {}", col.description, col.value_description).to_lowercase();
                         let mut score = 0.0;
                         if pieces.iter().any(|p| p == &kw_lower) {
                             score += 2.0;
@@ -464,10 +485,15 @@ impl LanguageModel for SimLlm {
                         }
                     }
                 }
-                candidates.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+                candidates
+                    .sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
                 ExtractedKeyword {
                     keyword: kw,
-                    candidate_columns: candidates.into_iter().take(3).map(|(t, c, _)| (t, c)).collect(),
+                    candidate_columns: candidates
+                        .into_iter()
+                        .take(3)
+                        .map(|(t, c, _)| (t, c))
+                        .collect(),
                 }
             })
             .collect()
@@ -522,10 +548,7 @@ mod tests {
     }
 
     fn gold_sql() -> String {
-        format!(
-            "SELECT COUNT(*) FROM account WHERE {}",
-            weekly_atom().correct.to_sql()
-        )
+        format!("SELECT COUNT(*) FROM account WHERE {}", weekly_atom().correct.to_sql())
     }
 
     fn base_task<'a>(
@@ -635,8 +658,16 @@ mod tests {
         let mut saw_difference = false;
         for i in 0..20 {
             let id = format!("s-{i}");
-            let t0 = SqlGenTask { question_id: &id, sample_index: 0, ..base_task(&schema, &gold, &atoms, None) };
-            let t1 = SqlGenTask { question_id: &id, sample_index: 1, ..base_task(&schema, &gold, &atoms, None) };
+            let t0 = SqlGenTask {
+                question_id: &id,
+                sample_index: 0,
+                ..base_task(&schema, &gold, &atoms, None)
+            };
+            let t1 = SqlGenTask {
+                question_id: &id,
+                sample_index: 1,
+                ..base_task(&schema, &gold, &atoms, None)
+            };
             if model.generate_sql(&t0).sql != model.generate_sql(&t1).sql {
                 saw_difference = true;
                 break;
@@ -728,7 +759,11 @@ mod tests {
         let model = SimLlm::new(ModelProfile::gpt_4o());
         assert_eq!(model.usage().calls, 0);
         model.extract_keywords(&KeywordExtractionTask { question: "loans?", schema: &schema });
-        model.summarize_schema(&SchemaSummaryTask { question: "loans?", schema: &schema, max_tables: 1 });
+        model.summarize_schema(&SchemaSummaryTask {
+            question: "loans?",
+            schema: &schema,
+            max_tables: 1,
+        });
         let u = model.usage();
         assert_eq!(u.calls, 2);
         assert!(u.prompt_tokens > 0);

@@ -68,7 +68,7 @@ mod tests {
     #[test]
     fn words_and_punctuation_counted() {
         let n = count_tokens("SELECT COUNT(*) FROM client WHERE gender = 'F'");
-        assert!(n >= 10 && n <= 25, "got {n}");
+        assert!((10..=25).contains(&n), "got {n}");
     }
 
     #[test]

@@ -4,13 +4,13 @@
 /// on purpose: question keywords like "more", "than" are removed while domain
 /// terms survive.
 const STOP_WORDS: &[&str] = &[
-    "a", "an", "the", "of", "in", "on", "at", "for", "to", "from", "by", "with", "and", "or",
-    "is", "are", "was", "were", "be", "been", "do", "does", "did", "have", "has", "had", "how",
-    "what", "which", "who", "whom", "whose", "when", "where", "why", "list", "show", "give",
-    "find", "name", "names", "number", "many", "much", "all", "please", "me", "their", "there",
-    "that", "this", "these", "those", "than", "then", "as", "it", "its", "his", "her", "they",
-    "them", "out", "down", "up", "more", "most", "least", "per", "each", "between", "among",
-    "also", "state", "whether", "if", "not", "no",
+    "a", "an", "the", "of", "in", "on", "at", "for", "to", "from", "by", "with", "and", "or", "is",
+    "are", "was", "were", "be", "been", "do", "does", "did", "have", "has", "had", "how", "what",
+    "which", "who", "whom", "whose", "when", "where", "why", "list", "show", "give", "find",
+    "name", "names", "number", "many", "much", "all", "please", "me", "their", "there", "that",
+    "this", "these", "those", "than", "then", "as", "it", "its", "his", "her", "they", "them",
+    "out", "down", "up", "more", "most", "least", "per", "each", "between", "among", "also",
+    "state", "whether", "if", "not", "no",
 ];
 
 /// Lowercases and splits text into alphanumeric word tokens.
@@ -44,9 +44,7 @@ pub fn ngrams(text: &str, n: usize) -> Vec<String> {
     if chars.len() < n || n == 0 {
         return vec![chars.iter().collect()];
     }
-    (0..=chars.len() - n)
-        .map(|i| chars[i..i + n].iter().collect())
-        .collect()
+    (0..=chars.len() - n).map(|i| chars[i..i + n].iter().collect()).collect()
 }
 
 /// Splits an identifier like `NumTstTakr` or `free_meal_count` into lowercase
@@ -65,11 +63,12 @@ pub fn split_identifier(ident: &str) -> Vec<String> {
         if ch.is_uppercase()
             && i > 0
             && (chars[i - 1].is_lowercase()
-                || (i + 1 < chars.len() && chars[i + 1].is_lowercase() && chars[i - 1].is_uppercase()))
+                || (i + 1 < chars.len()
+                    && chars[i + 1].is_lowercase()
+                    && chars[i - 1].is_uppercase()))
+            && !cur.is_empty()
         {
-            if !cur.is_empty() {
-                words.push(std::mem::take(&mut cur));
-            }
+            words.push(std::mem::take(&mut cur));
         }
         cur.extend(ch.to_lowercase());
     }

@@ -84,15 +84,10 @@ mod tests {
         assert_eq!(examples.len(), FEW_SHOT_TOTAL);
         // At least the same-database slots should exist: count training
         // questions whose text matches a financial training question.
-        let financial_texts: Vec<&str> = train
-            .iter()
-            .filter(|t| t.db_id == "financial")
-            .map(|t| t.text.as_str())
-            .collect();
-        let from_financial = examples
-            .iter()
-            .filter(|e| financial_texts.contains(&e.question.as_str()))
-            .count();
+        let financial_texts: Vec<&str> =
+            train.iter().filter(|t| t.db_id == "financial").map(|t| t.text.as_str()).collect();
+        let from_financial =
+            examples.iter().filter(|e| financial_texts.contains(&e.question.as_str())).count();
         assert!(from_financial >= 3, "only {from_financial} examples from the same database");
     }
 

@@ -149,7 +149,8 @@ impl SeedPipeline {
         trace.kept_tables = summary.kept_tables.clone();
 
         // Stage 2: sample SQL execution.
-        let samples = run_sample_sql(&self.sampler, &question.text, db, summary.kept_tables.as_deref());
+        let samples =
+            run_sample_sql(&self.sampler, &question.text, db, summary.kept_tables.as_deref());
         trace.stages.push(format!("sample SQL execution ({} probes)", samples.probes.len()));
         trace.sample_queries = samples.probes.len();
         trace.grounded_columns = samples.grounded.len();
@@ -162,9 +163,7 @@ impl SeedPipeline {
         // Stage 4: evidence generation.
         let (qualified_style, join_hints) = match self.variant {
             SeedVariant::Gpt => (false, Vec::new()),
-            SeedVariant::Deepseek | SeedVariant::Revised => {
-                (true, join_hints_for(question, db))
-            }
+            SeedVariant::Deepseek | SeedVariant::Revised => (true, join_hints_for(question, db)),
         };
         let task = EvidenceGenTask {
             question_id: &question.id,

@@ -10,14 +10,16 @@
 /// backtick qualification, yielding BIRD-shaped evidence.
 pub fn remove_join_information(evidence: &str) -> String {
     let kept: Vec<String> = evidence
-        .split(|c| c == ';' || c == '\n')
+        .split([';', '\n'])
         .map(str::trim)
         .filter(|s| !s.is_empty())
         .filter(|s| {
             let lower = s.to_lowercase();
-            !(lower.starts_with("join on") || lower.starts_with("join ") || lower.contains(" join on "))
+            !(lower.starts_with("join on")
+                || lower.starts_with("join ")
+                || lower.contains(" join on "))
         })
-        .map(|s| strip_qualification(s))
+        .map(strip_qualification)
         .collect();
     kept.join("; ")
 }
@@ -78,7 +80,8 @@ mod tests {
 
     #[test]
     fn plain_bird_evidence_is_unchanged_in_content() {
-        let e = "restricted refers to status = 'Restricted'; have text boxes refers to isTextless = 0";
+        let e =
+            "restricted refers to status = 'Restricted'; have text boxes refers to isTextless = 0";
         assert_eq!(remove_join_information(e), e);
     }
 

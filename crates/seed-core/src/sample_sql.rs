@@ -108,14 +108,14 @@ pub fn ground_keywords(
             if selected.is_empty() {
                 continue;
             }
-            match result
-                .grounded
-                .iter_mut()
-                .find(|g| g.table.eq_ignore_ascii_case(table) && g.column.eq_ignore_ascii_case(column))
-            {
+            match result.grounded.iter_mut().find(|g| {
+                g.table.eq_ignore_ascii_case(table) && g.column.eq_ignore_ascii_case(column)
+            }) {
                 Some(existing) => {
                     for v in selected {
-                        if !existing.values.contains(&v) && existing.values.len() < VALUES_PER_COLUMN {
+                        if !existing.values.contains(&v)
+                            && existing.values.len() < VALUES_PER_COLUMN
+                        {
                             existing.values.push(v);
                         }
                     }
@@ -170,7 +170,12 @@ mod tests {
     fn probe_queries_are_recorded() {
         let (bench, model) = financial();
         let db = bench.database("card_games").unwrap();
-        let out = run_sample_sql(&model, "How many cards are restricted in the vintage format?", db, None);
+        let out = run_sample_sql(
+            &model,
+            "How many cards are restricted in the vintage format?",
+            db,
+            None,
+        );
         assert!(out.probes.iter().any(|p| p.sql.contains("LIKE")));
         assert!(out.probes.iter().any(|p| p.sql.starts_with("SELECT DISTINCT")));
     }

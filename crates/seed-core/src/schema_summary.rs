@@ -53,7 +53,12 @@ mod tests {
         let bench = build_bird(&CorpusConfig::tiny());
         let db = bench.database("financial").unwrap();
         let model = SimLlm::new(ModelProfile::gpt_4o());
-        let s = summarize_if_needed(&model, "How many weekly issuance accounts are there?", db.schema(), 2_000);
+        let s = summarize_if_needed(
+            &model,
+            "How many weekly issuance accounts are there?",
+            db.schema(),
+            2_000,
+        );
         assert!(s.kept_tables.is_none());
     }
 
@@ -65,7 +70,12 @@ mod tests {
         // Shrink the window below the schema size to force summarization.
         profile.context_window = 120;
         let model = SimLlm::new(profile);
-        let s = summarize_if_needed(&model, "What is the total loan amount of weekly issuance accounts?", db.schema(), 50);
+        let s = summarize_if_needed(
+            &model,
+            "What is the total loan amount of weekly issuance accounts?",
+            db.schema(),
+            50,
+        );
         let kept = s.kept_tables.expect("summarization must trigger");
         assert!(!kept.is_empty());
         assert!(kept.len() < db.schema().tables.len());

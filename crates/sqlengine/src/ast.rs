@@ -4,6 +4,7 @@ use crate::schema::DataType;
 use crate::value::{ArithOp, Value};
 
 /// A parsed SQL statement.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Statement {
     Select(SelectStatement),
@@ -170,19 +171,37 @@ impl AggregateKind {
     }
 }
 
+/// A borrowed `(qualifier, column)` reference, as extracted from predicate
+/// shapes by the planner helpers below.
+pub type ColumnRefStr<'a> = (Option<&'a str>, &'a str);
+
 /// Expressions.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Expr {
     /// Literal value.
     Literal(Value),
     /// Column reference, optionally qualified by table/alias.
-    Column { table: Option<String>, column: String },
+    Column {
+        table: Option<String>,
+        column: String,
+    },
     /// Binary comparison.
-    Compare { op: CompareOp, left: Box<Expr>, right: Box<Expr> },
+    Compare {
+        op: CompareOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Arithmetic.
-    Arith { op: ArithOp, left: Box<Expr>, right: Box<Expr> },
+    Arith {
+        op: ArithOp,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// String concatenation (`||`).
-    Concat { left: Box<Expr>, right: Box<Expr> },
+    Concat {
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
     /// Logical AND / OR.
     And(Box<Expr>, Box<Expr>),
     Or(Box<Expr>, Box<Expr>),
@@ -190,24 +209,57 @@ pub enum Expr {
     /// Unary minus.
     Neg(Box<Expr>),
     /// `expr [NOT] LIKE pattern`
-    Like { negated: bool, expr: Box<Expr>, pattern: Box<Expr> },
+    Like {
+        negated: bool,
+        expr: Box<Expr>,
+        pattern: Box<Expr>,
+    },
     /// `expr IS [NOT] NULL`
-    IsNull { negated: bool, expr: Box<Expr> },
+    IsNull {
+        negated: bool,
+        expr: Box<Expr>,
+    },
     /// `expr [NOT] IN (list)` or `expr [NOT] IN (subquery)`
-    InList { negated: bool, expr: Box<Expr>, list: Vec<Expr> },
-    InSubquery { negated: bool, expr: Box<Expr>, query: Box<SelectStatement> },
+    InList {
+        negated: bool,
+        expr: Box<Expr>,
+        list: Vec<Expr>,
+    },
+    InSubquery {
+        negated: bool,
+        expr: Box<Expr>,
+        query: Box<SelectStatement>,
+    },
     /// `expr [NOT] BETWEEN low AND high`
-    Between { negated: bool, expr: Box<Expr>, low: Box<Expr>, high: Box<Expr> },
+    Between {
+        negated: bool,
+        expr: Box<Expr>,
+        low: Box<Expr>,
+        high: Box<Expr>,
+    },
     /// `EXISTS (subquery)`
-    Exists { negated: bool, query: Box<SelectStatement> },
+    Exists {
+        negated: bool,
+        query: Box<SelectStatement>,
+    },
     /// Scalar subquery.
     ScalarSubquery(Box<SelectStatement>),
     /// Aggregate call.
-    Aggregate { kind: AggregateKind, distinct: bool, arg: Option<Box<Expr>> },
+    Aggregate {
+        kind: AggregateKind,
+        distinct: bool,
+        arg: Option<Box<Expr>>,
+    },
     /// Scalar function call.
-    Function { name: String, args: Vec<Expr> },
+    Function {
+        name: String,
+        args: Vec<Expr>,
+    },
     /// `CAST(expr AS type)`
-    Cast { expr: Box<Expr>, target: DataType },
+    Cast {
+        expr: Box<Expr>,
+        target: DataType,
+    },
     /// `CASE [operand] WHEN .. THEN .. [ELSE ..] END`
     Case {
         operand: Option<Box<Expr>>,
@@ -264,6 +316,93 @@ impl Expr {
                         .iter()
                         .any(|(w, t)| w.contains_aggregate() || t.contains_aggregate())
                     || else_branch.as_ref().is_some_and(|e| e.contains_aggregate())
+            }
+        }
+    }
+
+    /// Splits a predicate into its top-level `AND` conjuncts.
+    ///
+    /// The physical planner works conjunct-by-conjunct: each one can be pushed
+    /// below a join or matched as an equi-join key independently, because
+    /// `WHERE a AND b` filters exactly the rows where both conjuncts are
+    /// *true* (unknowns eliminate the row either way).
+    pub fn split_conjuncts(&self) -> Vec<&Expr> {
+        let mut out = Vec::new();
+        fn walk<'a>(e: &'a Expr, out: &mut Vec<&'a Expr>) {
+            match e {
+                Expr::And(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                other => out.push(other),
+            }
+        }
+        walk(self, &mut out);
+        out
+    }
+
+    /// If this expression is an equality between two column references —
+    /// the shape of an equi-join predicate like `T1.id = T2.id` — returns
+    /// both sides as `(qualifier, column)` pairs.
+    pub fn as_column_equality(&self) -> Option<(ColumnRefStr<'_>, ColumnRefStr<'_>)> {
+        if let Expr::Compare { op: CompareOp::Eq, left, right } = self {
+            if let (
+                Expr::Column { table: lt, column: lc },
+                Expr::Column { table: rt, column: rc },
+            ) = (left.as_ref(), right.as_ref())
+            {
+                return Some(((lt.as_deref(), lc), (rt.as_deref(), rc)));
+            }
+        }
+        None
+    }
+
+    /// If this expression compares a column to a literal with `=` (either
+    /// operand order), returns the column reference and the literal value —
+    /// the shape a primary-key point lookup needs.
+    pub fn as_column_literal_equality(&self) -> Option<((Option<&str>, &str), &Value)> {
+        if let Expr::Compare { op: CompareOp::Eq, left, right } = self {
+            match (left.as_ref(), right.as_ref()) {
+                (Expr::Column { table, column }, Expr::Literal(v))
+                | (Expr::Literal(v), Expr::Column { table, column }) => {
+                    return Some(((table.as_deref(), column), v));
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+
+    /// True if the expression (recursively) contains any subquery. The
+    /// planner refuses to push such predicates into scans: correlated
+    /// subqueries must be evaluated in the scope the legacy executor would
+    /// have used, after the full join row is assembled.
+    pub fn contains_subquery(&self) -> bool {
+        match self {
+            Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => true,
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Compare { left, right, .. }
+            | Expr::Arith { left, right, .. }
+            | Expr::Concat { left, right } => left.contains_subquery() || right.contains_subquery(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.contains_subquery() || b.contains_subquery(),
+            Expr::Not(e) | Expr::Neg(e) => e.contains_subquery(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_subquery() || pattern.contains_subquery()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_subquery(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_subquery() || list.iter().any(|e| e.contains_subquery())
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_subquery() || low.contains_subquery() || high.contains_subquery()
+            }
+            Expr::Aggregate { arg, .. } => arg.as_ref().is_some_and(|a| a.contains_subquery()),
+            Expr::Function { args, .. } => args.iter().any(|e| e.contains_subquery()),
+            Expr::Cast { expr, .. } => expr.contains_subquery(),
+            Expr::Case { operand, branches, else_branch } => {
+                operand.as_ref().is_some_and(|e| e.contains_subquery())
+                    || branches.iter().any(|(w, t)| w.contains_subquery() || t.contains_subquery())
+                    || else_branch.as_ref().is_some_and(|e| e.contains_subquery())
             }
         }
     }
@@ -375,6 +514,71 @@ mod tests {
         assert_eq!(r.binding_name(), "T1");
         let r = TableRef::Named { table: "satscores".into(), alias: None };
         assert_eq!(r.binding_name(), "satscores");
+    }
+
+    #[test]
+    fn split_conjuncts_flattens_nested_ands() {
+        let e = Expr::And(
+            Box::new(Expr::And(Box::new(Expr::col("a")), Box::new(Expr::col("b")))),
+            Box::new(Expr::Or(Box::new(Expr::col("c")), Box::new(Expr::col("d")))),
+        );
+        let parts = e.split_conjuncts();
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], &Expr::col("a"));
+        assert!(matches!(parts[2], Expr::Or(..)), "OR is not split");
+    }
+
+    #[test]
+    fn as_column_equality_matches_equi_join_shape() {
+        let e = Expr::Compare {
+            op: CompareOp::Eq,
+            left: Box::new(Expr::qcol("t1", "id")),
+            right: Box::new(Expr::qcol("t2", "id")),
+        };
+        let ((q1, c1), (q2, c2)) = e.as_column_equality().unwrap();
+        assert_eq!((q1, c1), (Some("t1"), "id"));
+        assert_eq!((q2, c2), (Some("t2"), "id"));
+        // Non-Eq comparisons and column-vs-literal shapes don't match.
+        let lt = Expr::Compare {
+            op: CompareOp::Lt,
+            left: Box::new(Expr::qcol("t1", "id")),
+            right: Box::new(Expr::qcol("t2", "id")),
+        };
+        assert!(lt.as_column_equality().is_none());
+        let lit = Expr::Compare {
+            op: CompareOp::Eq,
+            left: Box::new(Expr::col("id")),
+            right: Box::new(Expr::lit(3)),
+        };
+        assert!(lit.as_column_equality().is_none());
+        // ...but the literal shape is a point-lookup candidate, either way
+        // around.
+        let ((q, c), v) = lit.as_column_literal_equality().unwrap();
+        assert_eq!((q, c), (None, "id"));
+        assert_eq!(v, &Value::Integer(3));
+        let flipped = Expr::Compare {
+            op: CompareOp::Eq,
+            left: Box::new(Expr::lit(3)),
+            right: Box::new(Expr::col("id")),
+        };
+        assert!(flipped.as_column_literal_equality().is_some());
+    }
+
+    #[test]
+    fn contains_subquery_detects_all_forms() {
+        let sub = Box::new(SelectStatement::empty());
+        assert!(Expr::Exists { negated: false, query: sub.clone() }.contains_subquery());
+        assert!(Expr::ScalarSubquery(sub.clone()).contains_subquery());
+        let nested = Expr::And(
+            Box::new(Expr::col("a")),
+            Box::new(Expr::InSubquery {
+                negated: false,
+                expr: Box::new(Expr::col("b")),
+                query: sub,
+            }),
+        );
+        assert!(nested.contains_subquery());
+        assert!(!Expr::col("a").contains_subquery());
     }
 
     #[test]

@@ -60,13 +60,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            SqlError::UnknownColumn("a".into()),
-            SqlError::UnknownColumn("a".into())
-        );
-        assert_ne!(
-            SqlError::UnknownColumn("a".into()),
-            SqlError::UnknownColumn("b".into())
-        );
+        assert_eq!(SqlError::UnknownColumn("a".into()), SqlError::UnknownColumn("a".into()));
+        assert_ne!(SqlError::UnknownColumn("a".into()), SqlError::UnknownColumn("b".into()));
     }
 }

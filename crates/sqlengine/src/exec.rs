@@ -1,12 +1,15 @@
-//! Query execution: nested-loop joins, filtering, grouping, aggregation,
-//! ordering, and sub-query evaluation over in-memory tables.
+//! Query execution: planner-driven scans and joins (hash equi-join, PK
+//! point lookup, predicate pushdown), the legacy nested-loop reference
+//! path, filtering, grouping, aggregation, ordering, and sub-query
+//! evaluation over in-memory tables.
 
 use crate::ast::*;
 use crate::error::{SqlError, SqlResult};
 use crate::functions::eval_scalar_function;
+use crate::plan::{expand_projections, plan_select, PlanMode, PlanNode};
 use crate::result::{ExecStats, ResultSet};
 use crate::schema::{ColumnDef, DataType, ForeignKey, TableSchema};
-use crate::storage::Database;
+use crate::storage::{Database, EqKeyMap};
 use crate::value::{like_match, Truth, Value};
 
 /// Executes a SQL string against a database, returning the result rows.
@@ -17,8 +20,17 @@ pub fn execute(db: &Database, sql: &str) -> SqlResult<ResultSet> {
 /// Executes a SQL string and also reports deterministic execution statistics
 /// (the cost proxy used by the VES metric).
 pub fn execute_with_stats(db: &Database, sql: &str) -> SqlResult<(ResultSet, ExecStats)> {
+    execute_with_stats_mode(db, sql, PlanMode::default())
+}
+
+/// Executes a SQL string under an explicit plan mode.
+pub fn execute_with_stats_mode(
+    db: &Database,
+    sql: &str,
+    mode: PlanMode,
+) -> SqlResult<(ResultSet, ExecStats)> {
     let stmt = crate::parser::parse_select(sql)?;
-    execute_select_with_stats(db, &stmt)
+    execute_select_with_stats_mode(db, &stmt, mode)
 }
 
 /// Executes an already-parsed SELECT statement.
@@ -31,7 +43,19 @@ pub fn execute_select_with_stats(
     db: &Database,
     stmt: &SelectStatement,
 ) -> SqlResult<(ResultSet, ExecStats)> {
-    let mut exec = Executor { db, stats: ExecStats::default() };
+    execute_select_with_stats_mode(db, stmt, PlanMode::default())
+}
+
+/// Executes an already-parsed SELECT under an explicit plan mode. Subqueries
+/// inherit the mode, so `PlanMode::Optimized` routes every nesting level
+/// through the physical planner and `PlanMode::NestedLoop` reproduces the
+/// legacy executor end to end.
+pub fn execute_select_with_stats_mode(
+    db: &Database,
+    stmt: &SelectStatement,
+    mode: PlanMode,
+) -> SqlResult<(ResultSet, ExecStats)> {
+    let mut exec = Executor { db, stats: ExecStats::default(), mode };
     let rs = exec.run_select(stmt, None)?;
     Ok((rs, exec.stats))
 }
@@ -85,7 +109,8 @@ pub fn execute_statement(db: &mut Database, sql: &str) -> SqlResult<ResultSet> {
                 }
                 let mut row = vec![Value::Null; schema.columns.len()];
                 for (expr, &pos) in row_exprs.iter().zip(&positions) {
-                    let mut exec = Executor { db, stats: ExecStats::default() };
+                    let mut exec =
+                        Executor { db, stats: ExecStats::default(), mode: PlanMode::default() };
                     let scope = Scope { cols: &[], row: &[], parent: None };
                     row[pos] = exec.eval(expr, &scope, None)?;
                 }
@@ -99,14 +124,9 @@ pub fn execute_statement(db: &mut Database, sql: &str) -> SqlResult<ResultSet> {
     }
 }
 
-/// Metadata for one column of a flattened (joined) row.
-#[derive(Debug, Clone)]
-struct ColInfo {
-    /// Accepted qualifiers (alias and base-table name), lowercased.
-    quals: Vec<String>,
-    /// Original column name.
-    name: String,
-}
+/// Metadata for one column of a flattened (joined) row; defined in the
+/// planner module so static planning and execution share one layout type.
+use crate::plan::ColMeta as ColInfo;
 
 /// An intermediate relation: flattened column metadata plus rows.
 #[derive(Debug, Clone)]
@@ -131,6 +151,7 @@ struct Group<'a> {
 struct Executor<'a> {
     db: &'a Database,
     stats: ExecStats,
+    mode: PlanMode,
 }
 
 impl<'a> Executor<'a> {
@@ -139,33 +160,11 @@ impl<'a> Executor<'a> {
         stmt: &SelectStatement,
         outer: Option<&Scope<'_>>,
     ) -> SqlResult<ResultSet> {
-        // 1. FROM / JOIN
-        let mut rel = match &stmt.from {
-            Some(t) => self.load_table_ref(t, outer)?,
-            None => Rel { cols: vec![], rows: vec![vec![]] },
-        };
-        for join in &stmt.joins {
-            let right = self.load_table_ref(&join.table, outer)?;
-            rel = self.join(rel, right, join, outer)?;
-        }
-
-        // 2. WHERE
-        let filtered: Vec<Vec<Value>> = {
-            let mut keep = Vec::new();
-            for row in rel.rows {
-                self.stats.rows_scanned += 1;
-                let ok = match &stmt.where_clause {
-                    None => true,
-                    Some(pred) => {
-                        let scope = Scope { cols: &rel.cols, row: &row, parent: outer };
-                        self.eval(pred, &scope, None)?.to_truth().is_true()
-                    }
-                };
-                if ok {
-                    keep.push(row);
-                }
-            }
-            keep
+        // 1–2. FROM / JOIN / WHERE, by physical plan or by the legacy
+        // nested-loop reference path.
+        let (rel, filtered) = match self.mode {
+            PlanMode::Optimized => self.run_from_where_planned(stmt, outer)?,
+            PlanMode::NestedLoop => self.run_from_where_legacy(stmt, outer)?,
         };
 
         let grouped = !stmt.group_by.is_empty()
@@ -176,7 +175,7 @@ impl<'a> Executor<'a> {
             || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
 
         // 3. projection headers
-        let (headers, proj_exprs) = self.expand_projections(&stmt.projections, &rel.cols)?;
+        let (headers, proj_exprs) = expand_projections(&stmt.projections, &rel.cols)?;
 
         let mut out_rows: Vec<Vec<Value>> = Vec::new();
         // Each output row keeps the context row used to evaluate ORDER BY expressions.
@@ -221,11 +220,7 @@ impl<'a> Executor<'a> {
             let mut kept_rows = Vec::new();
             let mut kept_ctx = Vec::new();
             let mut kept_groups = Vec::new();
-            for ((row, ctx), grp) in out_rows
-                .into_iter()
-                .zip(order_ctx.into_iter())
-                .zip(order_groups.into_iter())
-            {
+            for ((row, ctx), grp) in out_rows.into_iter().zip(order_ctx).zip(order_groups) {
                 let dup = seen.iter().any(|s: &Vec<Value>| {
                     s.len() == row.len() && s.iter().zip(&row).all(|(a, b)| a.grouping_eq(b))
                 });
@@ -243,6 +238,7 @@ impl<'a> Executor<'a> {
 
         // 5. ORDER BY
         if !stmt.order_by.is_empty() {
+            #[allow(clippy::type_complexity)]
             let mut keyed: Vec<(Vec<Value>, Vec<(Value, bool)>)> = Vec::new();
             for (i, row) in out_rows.iter().enumerate() {
                 let mut keys = Vec::new();
@@ -287,6 +283,201 @@ impl<'a> Executor<'a> {
         Ok(ResultSet { columns: headers, rows: out_rows })
     }
 
+    /// Legacy FROM/JOIN/WHERE: load everything, nested-loop join, filter
+    /// after the fact. Kept verbatim as the semantic reference for the
+    /// planner; `PlanMode::NestedLoop` runs queries through it.
+    fn run_from_where_legacy(
+        &mut self,
+        stmt: &SelectStatement,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<(Rel, Vec<Vec<Value>>)> {
+        let mut rel = match &stmt.from {
+            Some(t) => self.load_table_ref(t, outer)?,
+            None => Rel { cols: vec![], rows: vec![vec![]] },
+        };
+        for join in &stmt.joins {
+            let right = self.load_table_ref(&join.table, outer)?;
+            rel = self.join(rel, right, join, outer)?;
+        }
+        let mut keep = Vec::new();
+        for row in std::mem::take(&mut rel.rows) {
+            self.stats.rows_scanned += 1;
+            let ok = match &stmt.where_clause {
+                None => true,
+                Some(pred) => {
+                    let scope = Scope { cols: &rel.cols, row: &row, parent: outer };
+                    self.eval(pred, &scope, None)?.to_truth().is_true()
+                }
+            };
+            if ok {
+                keep.push(row);
+            }
+        }
+        Ok((rel, keep))
+    }
+
+    /// Planner-driven FROM/JOIN/WHERE: lowers the statement to a physical
+    /// plan, executes the operator tree, then applies the post-join residue
+    /// of the WHERE clause.
+    fn run_from_where_planned(
+        &mut self,
+        stmt: &SelectStatement,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<(Rel, Vec<Vec<Value>>)> {
+        let plan = plan_select(self.db, stmt)?;
+        let mut rel = match &plan.root {
+            Some(node) => self.exec_plan_node(node, outer)?,
+            None => Rel { cols: vec![], rows: vec![vec![]] },
+        };
+        let mut keep = Vec::new();
+        for row in std::mem::take(&mut rel.rows) {
+            self.stats.rows_scanned += 1;
+            let mut ok = true;
+            for pred in &plan.where_remnant {
+                let scope = Scope { cols: &rel.cols, row: &row, parent: outer };
+                if !self.eval(pred, &scope, None)?.to_truth().is_true() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                keep.push(row);
+            }
+        }
+        Ok((rel, keep))
+    }
+
+    /// Executes one physical operator, producing a materialized relation.
+    fn exec_plan_node(&mut self, node: &PlanNode, outer: Option<&Scope<'_>>) -> SqlResult<Rel> {
+        match node {
+            PlanNode::SeqScan { table, quals, pushed, lookup } => {
+                let t = self.db.table(table)?;
+                let cols: Vec<ColInfo> = t
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| ColInfo { quals: quals.clone(), name: c.name.clone() })
+                    .collect();
+                // Fetch candidates: PK index when planned, full scan otherwise.
+                let candidates: Vec<Vec<Value>> = match lookup {
+                    Some(l) => match t.pk_lookup(&l.value) {
+                        Some(row_ids) => {
+                            self.stats.index_lookups += 1;
+                            self.stats.rows_scanned += row_ids.len() as u64;
+                            row_ids.iter().map(|&i| t.rows()[i].clone()).collect()
+                        }
+                        None => {
+                            self.stats.rows_scanned += t.rows().len() as u64;
+                            t.rows().to_vec()
+                        }
+                    },
+                    None => {
+                        self.stats.rows_scanned += t.rows().len() as u64;
+                        t.rows().to_vec()
+                    }
+                };
+                let rows = self.filter_rows(candidates, &cols, pushed, outer)?;
+                Ok(Rel { cols, rows })
+            }
+            PlanNode::SubqueryScan { query, alias, pushed } => {
+                let rs = self.run_select(query, outer)?;
+                let quals = vec![alias.to_ascii_lowercase()];
+                let cols: Vec<ColInfo> = rs
+                    .columns
+                    .iter()
+                    .map(|c| ColInfo { quals: quals.clone(), name: c.clone() })
+                    .collect();
+                let rows = self.filter_rows(rs.rows, &cols, pushed, outer)?;
+                Ok(Rel { cols, rows })
+            }
+            PlanNode::HashJoin { left, right, kind, left_key, right_key, on } => {
+                let left = self.exec_plan_node(left, outer)?;
+                let right = self.exec_plan_node(right, outer)?;
+                let mut cols = left.cols.clone();
+                cols.extend(right.cols.clone());
+                let right_width = right.cols.len();
+
+                // Build phase over the right input's key column.
+                let mut index = EqKeyMap::default();
+                for (i, rrow) in right.rows.iter().enumerate() {
+                    index.insert(&rrow[*right_key], i);
+                }
+                self.stats.hash_build_rows += right.rows.len() as u64;
+
+                // Probe phase: each left row fetches its sql_cmp-equal
+                // candidates (in right-scan order, so output ordering
+                // matches the nested-loop reference), then re-checks the
+                // full ON predicate.
+                let mut rows = Vec::new();
+                for lrow in &left.rows {
+                    self.stats.hash_probes += 1;
+                    let mut matched = false;
+                    for ridx in index.probe(&lrow[*left_key]) {
+                        let mut combined = lrow.clone();
+                        combined.extend(right.rows[ridx].iter().cloned());
+                        let ok = match on {
+                            None => true,
+                            Some(pred) => {
+                                let scope = Scope { cols: &cols, row: &combined, parent: outer };
+                                self.eval(pred, &scope, None)?.to_truth().is_true()
+                            }
+                        };
+                        if ok {
+                            matched = true;
+                            rows.push(combined);
+                        }
+                    }
+                    if !matched && *kind == JoinKind::Left {
+                        let mut combined = lrow.clone();
+                        combined.extend(std::iter::repeat_n(Value::Null, right_width));
+                        rows.push(combined);
+                    }
+                }
+                Ok(Rel { cols, rows })
+            }
+            PlanNode::NestedLoopJoin { left, right, kind, on } => {
+                let left = self.exec_plan_node(left, outer)?;
+                let right = self.exec_plan_node(right, outer)?;
+                let join = Join {
+                    kind: *kind,
+                    // The table reference is irrelevant to `join`; only the
+                    // predicate and kind drive pairing.
+                    table: TableRef::Named { table: String::new(), alias: None },
+                    on: on.clone(),
+                };
+                self.join(left, right, &join, outer)
+            }
+        }
+    }
+
+    /// Keeps the rows for which every pushed predicate is true.
+    fn filter_rows(
+        &mut self,
+        rows: Vec<Vec<Value>>,
+        cols: &[ColInfo],
+        pushed: &[Expr],
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<Vec<Vec<Value>>> {
+        if pushed.is_empty() {
+            return Ok(rows);
+        }
+        let mut keep = Vec::new();
+        for row in rows {
+            let mut ok = true;
+            for pred in pushed {
+                let scope = Scope { cols, row: &row, parent: outer };
+                if !self.eval(pred, &scope, None)?.to_truth().is_true() {
+                    ok = false;
+                    break;
+                }
+            }
+            if ok {
+                keep.push(row);
+            }
+        }
+        Ok(keep)
+    }
+
     /// Loads a named table or derived subquery into a relation.
     fn load_table_ref(&mut self, tref: &TableRef, outer: Option<&Scope<'_>>) -> SqlResult<Rel> {
         match tref {
@@ -302,8 +493,8 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|c| ColInfo { quals: quals.clone(), name: c.name.clone() })
                     .collect();
-                self.stats.rows_scanned += t.rows.len() as u64;
-                Ok(Rel { cols, rows: t.rows.clone() })
+                self.stats.rows_scanned += t.rows().len() as u64;
+                Ok(Rel { cols, rows: t.rows().to_vec() })
             }
             TableRef::Derived { query, alias } => {
                 let rs = self.run_select(query, outer)?;
@@ -350,57 +541,11 @@ impl<'a> Executor<'a> {
             }
             if !matched && join.kind == JoinKind::Left {
                 let mut combined = lrow.clone();
-                combined.extend(std::iter::repeat(Value::Null).take(right_width));
+                combined.extend(std::iter::repeat_n(Value::Null, right_width));
                 rows.push(combined);
             }
         }
         Ok(Rel { cols, rows })
-    }
-
-    /// Expands projections into output headers plus one expression per column.
-    fn expand_projections(
-        &self,
-        projections: &[Projection],
-        cols: &[ColInfo],
-    ) -> SqlResult<(Vec<String>, Vec<Expr>)> {
-        let mut headers = Vec::new();
-        let mut exprs = Vec::new();
-        for p in projections {
-            match p {
-                Projection::Wildcard => {
-                    for c in cols {
-                        headers.push(c.name.clone());
-                        exprs.push(Expr::Column {
-                            table: c.quals.first().cloned(),
-                            column: c.name.clone(),
-                        });
-                    }
-                    if cols.is_empty() {
-                        return Err(SqlError::Execution("SELECT * with no FROM clause".into()));
-                    }
-                }
-                Projection::TableWildcard(t) => {
-                    let tl = t.to_ascii_lowercase();
-                    let mut any = false;
-                    for c in cols {
-                        if c.quals.contains(&tl) {
-                            headers.push(c.name.clone());
-                            exprs.push(Expr::Column { table: Some(tl.clone()), column: c.name.clone() });
-                            any = true;
-                        }
-                    }
-                    if !any {
-                        return Err(SqlError::UnknownTable(t.clone()));
-                    }
-                }
-                Projection::Expr { expr, alias } => {
-                    let header = alias.clone().unwrap_or_else(|| describe_expr(expr));
-                    headers.push(header);
-                    exprs.push(expr.clone());
-                }
-            }
-        }
-        Ok((headers, exprs))
     }
 
     /// Groups rows by the GROUP BY keys (or a single global group if none).
@@ -422,9 +567,7 @@ impl<'a> Executor<'a> {
             for g in group_by {
                 key.push(self.eval(g, &scope, None)?);
             }
-            let pos = keys.iter().position(|k| {
-                k.iter().zip(&key).all(|(a, b)| a.grouping_eq(b))
-            });
+            let pos = keys.iter().position(|k| k.iter().zip(&key).all(|(a, b)| a.grouping_eq(b)));
             match pos {
                 Some(i) => groups[i].push(row.clone()),
                 None => {
@@ -526,7 +669,12 @@ impl<'a> Executor<'a> {
     }
 
     /// Evaluates an expression.
-    fn eval(&mut self, expr: &Expr, scope: &Scope<'_>, group: Option<&Group<'_>>) -> SqlResult<Value> {
+    fn eval(
+        &mut self,
+        expr: &Expr,
+        scope: &Scope<'_>,
+        group: Option<&Group<'_>>,
+    ) -> SqlResult<Value> {
         self.stats.evaluations += 1;
         match expr {
             Expr::Literal(v) => Ok(v.clone()),
@@ -640,18 +788,23 @@ impl<'a> Executor<'a> {
             }
             Expr::Exists { negated, query } => {
                 let rs = self.run_select(query, Some(scope))?;
-                Ok(Value::from_bool(!rs.rows.is_empty() != *negated))
+                Ok(Value::from_bool(rs.rows.is_empty() == *negated))
             }
             Expr::ScalarSubquery(query) => {
                 let rs = self.run_select(query, Some(scope))?;
                 if rs.rows.len() > 1 {
-                    return Err(SqlError::Execution("scalar subquery returned more than one row".into()));
+                    return Err(SqlError::Execution(
+                        "scalar subquery returned more than one row".into(),
+                    ));
                 }
                 Ok(rs.rows.first().and_then(|r| r.first().cloned()).unwrap_or(Value::Null))
             }
             Expr::Aggregate { kind, distinct, arg } => {
                 let group = group.ok_or_else(|| {
-                    SqlError::Execution(format!("aggregate {} used outside GROUP context", kind.name()))
+                    SqlError::Execution(format!(
+                        "aggregate {} used outside GROUP context",
+                        kind.name()
+                    ))
                 })?;
                 self.eval_aggregate(*kind, *distinct, arg.as_deref(), scope, group)
             }
@@ -742,16 +895,12 @@ impl<'a> Executor<'a> {
                     Value::Real(total / vals.len() as f64)
                 }
             }
-            AggregateKind::Min => vals
-                .iter()
-                .cloned()
-                .min_by(|a, b| a.total_cmp(b))
-                .unwrap_or(Value::Null),
-            AggregateKind::Max => vals
-                .iter()
-                .cloned()
-                .max_by(|a, b| a.total_cmp(b))
-                .unwrap_or(Value::Null),
+            AggregateKind::Min => {
+                vals.iter().cloned().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
+            }
+            AggregateKind::Max => {
+                vals.iter().cloned().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
+            }
         })
     }
 }
@@ -782,44 +931,6 @@ fn cast_value(v: &Value, target: DataType) -> Value {
             _ => Value::Real(0.0),
         },
         DataType::Text | DataType::Date => Value::Text(v.render()),
-    }
-}
-
-/// Default header for an unaliased projection expression.
-fn describe_expr(expr: &Expr) -> String {
-    match expr {
-        Expr::Column { table, column } => match table {
-            Some(t) => format!("{t}.{column}"),
-            None => column.clone(),
-        },
-        Expr::Aggregate { kind, distinct, arg } => {
-            let inner = match arg {
-                None => "*".to_string(),
-                Some(a) => describe_expr(a),
-            };
-            if *distinct {
-                format!("{}(DISTINCT {})", kind.name(), inner)
-            } else {
-                format!("{}({})", kind.name(), inner)
-            }
-        }
-        Expr::Function { name, args } => {
-            let inner: Vec<String> = args.iter().map(describe_expr).collect();
-            format!("{}({})", name, inner.join(", "))
-        }
-        Expr::Literal(v) => v.render(),
-        Expr::Arith { left, right, op } => {
-            let sym = match op {
-                crate::value::ArithOp::Add => "+",
-                crate::value::ArithOp::Sub => "-",
-                crate::value::ArithOp::Mul => "*",
-                crate::value::ArithOp::Div => "/",
-                crate::value::ArithOp::Mod => "%",
-            };
-            format!("{} {} {}", describe_expr(left), sym, describe_expr(right))
-        }
-        Expr::Cast { expr, target } => format!("CAST({} AS {})", describe_expr(expr), target.sql_name()),
-        _ => "expr".to_string(),
     }
 }
 
@@ -856,10 +967,14 @@ mod tests {
             to_table: "account".into(),
             to_column: "account_id".into(),
         });
-        let freqs = ["POPLATEK MESICNE", "POPLATEK TYDNE", "POPLATEK MESICNE", "POPLATEK PO OBRATU"];
+        let freqs =
+            ["POPLATEK MESICNE", "POPLATEK TYDNE", "POPLATEK MESICNE", "POPLATEK PO OBRATU"];
         for i in 0..4i64 {
-            db.insert("account", vec![(i + 1).into(), ((i % 2) + 1).into(), freqs[i as usize].into()])
-                .unwrap();
+            db.insert(
+                "account",
+                vec![(i + 1).into(), ((i % 2) + 1).into(), freqs[i as usize].into()],
+            )
+            .unwrap();
         }
         let loans = [
             (1i64, 1i64, 150_000.0, "A"),
@@ -894,11 +1009,9 @@ mod tests {
 
     #[test]
     fn inner_join_with_aliases() {
-        let rs = run(
-            "SELECT T1.account_id, T2.amount FROM account AS T1 \
+        let rs = run("SELECT T1.account_id, T2.amount FROM account AS T1 \
              INNER JOIN loan AS T2 ON T1.account_id = T2.account_id \
-             WHERE T1.frequency = 'POPLATEK TYDNE'",
-        );
+             WHERE T1.frequency = 'POPLATEK TYDNE'");
         assert_eq!(rs.len(), 1);
         assert_eq!(rs.rows[0][1], Value::Real(90_000.0));
     }
@@ -929,7 +1042,8 @@ mod tests {
 
     #[test]
     fn global_aggregates() {
-        let rs = run("SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM loan");
+        let rs =
+            run("SELECT COUNT(*), SUM(amount), AVG(amount), MIN(amount), MAX(amount) FROM loan");
         assert_eq!(rs.rows[0][0], Value::Integer(5));
         assert_eq!(rs.rows[0][1], Value::Real(940_000.0));
         assert_eq!(rs.rows[0][3], Value::Real(50_000.0));
@@ -972,10 +1086,8 @@ mod tests {
 
     #[test]
     fn in_subquery_and_exists() {
-        let rs = run(
-            "SELECT loan_id FROM loan WHERE account_id IN \
-             (SELECT account_id FROM account WHERE frequency = 'POPLATEK MESICNE')",
-        );
+        let rs = run("SELECT loan_id FROM loan WHERE account_id IN \
+             (SELECT account_id FROM account WHERE frequency = 'POPLATEK MESICNE')");
         assert_eq!(rs.len(), 3);
         let rs = run(
             "SELECT account_id FROM account WHERE EXISTS \
@@ -1014,10 +1126,8 @@ mod tests {
 
     #[test]
     fn comma_join_with_where() {
-        let rs = run(
-            "SELECT loan.loan_id FROM loan, account \
-             WHERE loan.account_id = account.account_id AND account.district_id = 1",
-        );
+        let rs = run("SELECT loan.loan_id FROM loan, account \
+             WHERE loan.account_id = account.account_id AND account.district_id = 1");
         assert_eq!(rs.len(), 3);
     }
 
@@ -1067,5 +1177,190 @@ mod tests {
         assert_eq!(rs.rows[0][0], Value::Integer(0));
         let rs = run("SELECT COUNT(*) FROM loan WHERE status = 'A'");
         assert_eq!(rs.rows[0][0], Value::Integer(3));
+    }
+
+    /// Runs a query in both plan modes and asserts identical rows (order
+    /// included), returning the shared result.
+    fn run_both_modes(d: &Database, sql: &str) -> ResultSet {
+        let (opt, _) = execute_with_stats_mode(d, sql, PlanMode::Optimized).unwrap();
+        let (legacy, _) = execute_with_stats_mode(d, sql, PlanMode::NestedLoop).unwrap();
+        assert_eq!(opt.rows, legacy.rows, "mode divergence for: {sql}");
+        opt
+    }
+
+    #[test]
+    fn null_join_keys_never_hash_match() {
+        let mut d = db();
+        // Two rows with NULL join keys on each side: NULL = NULL is unknown,
+        // so neither inner nor hash semantics may pair them.
+        d.insert("account", vec![10.into(), Value::Null, "X".into()]).unwrap();
+        d.insert("loan", vec![10.into(), Value::Null, 1.0.into(), "A".into()]).unwrap();
+        let rs = run_both_modes(
+            &d,
+            "SELECT loan.loan_id FROM loan \
+             INNER JOIN account ON loan.account_id = account.account_id",
+        );
+        assert_eq!(rs.len(), 5, "only the five non-NULL pairings survive");
+        assert!(rs.rows.iter().all(|r| r[0] != Value::Integer(10)));
+
+        // In a LEFT JOIN the NULL-keyed left row must survive, NULL-padded.
+        let rs = run_both_modes(
+            &d,
+            "SELECT loan.loan_id, account.account_id FROM loan \
+             LEFT JOIN account ON loan.account_id = account.account_id \
+             WHERE account.account_id IS NULL",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Integer(10));
+    }
+
+    #[test]
+    fn quoted_identifiers_flow_through_planner() {
+        let d = db();
+        // Backtick, double-quote, and bracket quoting must all plan and
+        // execute; the equi-key extraction sees the unquoted names.
+        for sql in [
+            "SELECT `loan`.`loan_id` FROM loan INNER JOIN account \
+             ON `loan`.`account_id` = `account`.`account_id` WHERE `account`.`district_id` = 1",
+            "SELECT \"loan\".\"loan_id\" FROM loan INNER JOIN account \
+             ON \"loan\".\"account_id\" = \"account\".\"account_id\" WHERE \"account\".\"district_id\" = 1",
+            "SELECT [loan].[loan_id] FROM loan INNER JOIN account \
+             ON [loan].[account_id] = [account].[account_id] WHERE [account].[district_id] = 1",
+        ] {
+            let rs = run_both_modes(&d, sql);
+            assert_eq!(rs.len(), 3, "{sql}");
+        }
+        let stmt = crate::parser::parse_select(
+            "SELECT `loan`.`loan_id` FROM loan INNER JOIN account \
+             ON `loan`.`account_id` = `account`.`account_id`",
+        )
+        .unwrap();
+        let plan = plan_select(&d, &stmt).unwrap();
+        assert!(plan.uses_hash_join(), "quoted equi-join still hashes:\n{}", plan.explain());
+    }
+
+    #[test]
+    fn nested_subqueries_execute_through_planner() {
+        let d = db();
+        // The IN-subquery contains its own join; in Optimized mode every
+        // nesting level plans independently.
+        let rs = run_both_modes(
+            &d,
+            "SELECT loan_id FROM loan WHERE account_id IN \
+             (SELECT T1.account_id FROM account AS T1 \
+              INNER JOIN loan AS T2 ON T1.account_id = T2.account_id \
+              WHERE T2.status = 'A')",
+        );
+        assert_eq!(rs.len(), 4);
+        // Correlated EXISTS over a joined subquery; the outer table needs a
+        // distinct alias because the inner join re-binds `account`.
+        let rs = run_both_modes(
+            &d,
+            "SELECT outer_a.account_id FROM account AS outer_a WHERE EXISTS \
+             (SELECT 1 FROM loan INNER JOIN account AS a2 \
+              ON loan.account_id = a2.account_id \
+              WHERE loan.account_id = outer_a.account_id AND loan.amount > 300000)",
+        );
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Integer(3));
+        // Derived table wrapping a join, joined again on the outside.
+        let rs = run_both_modes(
+            &d,
+            "SELECT t.district_id, COUNT(*) FROM \
+             (SELECT account.district_id AS district_id, loan.amount AS amount \
+              FROM account INNER JOIN loan ON account.account_id = loan.account_id) AS t \
+             WHERE t.amount > 50000 GROUP BY t.district_id ORDER BY t.district_id",
+        );
+        assert_eq!(rs.len(), 2);
+    }
+
+    #[test]
+    fn numeric_text_join_keys_match_numbers() {
+        // A text FK against an integer PK: sql_cmp compares them
+        // numerically, and the hash join must agree.
+        let mut d = Database::new("mixed");
+        d.create_table(TableSchema::new(
+            "parent",
+            vec![ColumnDef::new("id", DataType::Integer).primary_key()],
+        ))
+        .unwrap();
+        d.create_table(TableSchema::new(
+            "child",
+            vec![
+                ColumnDef::new("id", DataType::Integer).primary_key(),
+                ColumnDef::new("parent_id", DataType::Text),
+            ],
+        ))
+        .unwrap();
+        for i in 1..=3i64 {
+            d.insert("parent", vec![i.into()]).unwrap();
+        }
+        d.insert("child", vec![1.into(), "2".into()]).unwrap();
+        d.insert("child", vec![2.into(), "2.0".into()]).unwrap();
+        d.insert("child", vec![3.into(), "nope".into()]).unwrap();
+        let rs = run_both_modes(
+            &d,
+            "SELECT child.id FROM child INNER JOIN parent ON child.parent_id = parent.id",
+        );
+        assert_eq!(rs.len(), 2, "both numeric-looking texts join to parent 2");
+    }
+
+    #[test]
+    fn limit_without_order_by_is_mode_stable() {
+        // Without ORDER BY the row order is plan-defined; hash joins must
+        // preserve nested-loop emission order so LIMIT slices identically.
+        let d = db();
+        run_both_modes(
+            &d,
+            "SELECT loan.loan_id, account.frequency FROM loan \
+             INNER JOIN account ON loan.account_id = account.account_id LIMIT 3",
+        );
+        run_both_modes(
+            &d,
+            "SELECT loan.loan_id FROM loan, account \
+             WHERE loan.account_id = account.account_id LIMIT 2 OFFSET 1",
+        );
+    }
+
+    #[test]
+    fn hash_join_reports_cheaper_cost_than_nested_loop() {
+        let d = db();
+        let sql = "SELECT loan.loan_id FROM loan \
+                   INNER JOIN account ON loan.account_id = account.account_id";
+        let (rs_opt, opt) = execute_with_stats_mode(&d, sql, PlanMode::Optimized).unwrap();
+        let (rs_leg, legacy) = execute_with_stats_mode(&d, sql, PlanMode::NestedLoop).unwrap();
+        assert_eq!(rs_opt.rows, rs_leg.rows);
+        assert!(opt.hash_probes > 0 && opt.hash_build_rows > 0);
+        assert_eq!(legacy.hash_probes, 0);
+        assert!(
+            opt.cost() < legacy.cost(),
+            "hash join must cost less: {} vs {}",
+            opt.cost(),
+            legacy.cost()
+        );
+    }
+
+    #[test]
+    fn pk_point_lookup_reports_index_stats() {
+        let mut d = Database::new("big");
+        d.create_table(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Integer).primary_key(),
+                ColumnDef::new("v", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        for i in 0..500i64 {
+            d.insert("t", vec![i.into(), (i * 2).into()]).unwrap();
+        }
+        let sql = "SELECT v FROM t WHERE id = 250";
+        let (rs, opt) = execute_with_stats_mode(&d, sql, PlanMode::Optimized).unwrap();
+        assert_eq!(rs.rows, vec![vec![Value::Integer(500)]]);
+        assert_eq!(opt.index_lookups, 1);
+        assert!(opt.rows_scanned < 10, "index lookup avoids the full scan");
+        let (_, legacy) = execute_with_stats_mode(&d, sql, PlanMode::NestedLoop).unwrap();
+        assert!(legacy.rows_scanned >= 500);
+        assert!(opt.cost() < legacy.cost());
     }
 }

@@ -38,11 +38,7 @@ pub fn eval_scalar_function(name: &str, args: &[Value]) -> SqlResult<Value> {
             if args.is_empty() || args.len() > 2 {
                 return Err(SqlError::UnknownFunction("ROUND expects 1 or 2 arguments".into()));
             }
-            let digits = if args.len() == 2 {
-                args[1].as_i64().unwrap_or(0)
-            } else {
-                0
-            };
+            let digits = if args.len() == 2 { args[1].as_i64().unwrap_or(0) } else { 0 };
             Ok(match args[0].coerce_numeric() {
                 Value::Integer(i) => Value::Real(i as f64),
                 Value::Real(r) => {
@@ -125,7 +121,11 @@ pub fn eval_scalar_function(name: &str, args: &[Value]) -> SqlResult<Value> {
                 None => Value::Null,
                 Some(o) => {
                     let pick_first = if name == "MIN2" { o.is_le() } else { o.is_ge() };
-                    if pick_first { args[0].clone() } else { args[1].clone() }
+                    if pick_first {
+                        args[0].clone()
+                    } else {
+                        args[1].clone()
+                    }
                 }
             })
         }
@@ -161,10 +161,7 @@ fn strftime(format: &Value, date: &Value) -> SqlResult<Value> {
         return Ok(Value::Null);
     }
     let (year, month, day) = (parts[0], parts[1], &parts[2][..parts[2].len().min(2)]);
-    let out = fmt
-        .replace("%Y", year)
-        .replace("%m", month)
-        .replace("%d", day);
+    let out = fmt.replace("%Y", year).replace("%m", month).replace("%d", day);
     Ok(Value::Text(out))
 }
 
@@ -184,8 +181,8 @@ mod tests {
     #[test]
     fn round_and_abs() {
         assert_eq!(
-            eval_scalar_function("ROUND", &[Value::Real(3.14159), Value::Integer(2)]).unwrap(),
-            Value::Real(3.14)
+            eval_scalar_function("ROUND", &[Value::Real(1.23456), Value::Integer(2)]).unwrap(),
+            Value::Real(1.23)
         );
         assert_eq!(eval_scalar_function("ABS", &[Value::Integer(-5)]).unwrap(), Value::Integer(5));
     }
@@ -224,9 +221,9 @@ mod tests {
             eval_scalar_function("IIF", &[Value::Integer(1), "y".into(), "n".into()]).unwrap(),
             Value::text("y")
         );
-        assert!(
-            eval_scalar_function("NULLIF", &[Value::Integer(2), Value::Integer(2)]).unwrap().is_null()
-        );
+        assert!(eval_scalar_function("NULLIF", &[Value::Integer(2), Value::Integer(2)])
+            .unwrap()
+            .is_null());
     }
 
     #[test]
@@ -239,9 +236,6 @@ mod tests {
 
     #[test]
     fn unknown_function_is_error() {
-        assert!(matches!(
-            eval_scalar_function("MEDIAN", &[]),
-            Err(SqlError::UnknownFunction(_))
-        ));
+        assert!(matches!(eval_scalar_function("MEDIAN", &[]), Err(SqlError::UnknownFunction(_))));
     }
 }

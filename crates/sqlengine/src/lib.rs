@@ -14,6 +14,39 @@
 //! `CASE`, `CAST`, scalar functions, plus `CREATE TABLE` and `INSERT` for
 //! building databases from SQL scripts.
 //!
+//! ## Execution architecture
+//!
+//! Queries execute in two layers:
+//!
+//! 1. **Physical planning** ([`plan`]): each `SELECT`'s FROM/JOIN/WHERE
+//!    section is lowered into a left-deep tree of physical operators —
+//!    [`plan::PlanNode::SeqScan`] (with predicate pushdown and optional
+//!    primary-key point lookup against the hash index every table maintains
+//!    in [`storage`]), [`plan::PlanNode::SubqueryScan`],
+//!    [`plan::PlanNode::HashJoin`] for equi-joins (including comma joins
+//!    whose equality lives in `WHERE`), and
+//!    [`plan::PlanNode::NestedLoopJoin`] as the fallback for everything
+//!    else. Hash candidates are re-checked against the full `ON` predicate,
+//!    and probes return matches in scan order, so optimized plans reproduce
+//!    the legacy executor's rows *and their order* exactly.
+//! 2. **Shared pipeline** ([`exec`]): projection, grouping, `HAVING`,
+//!    `DISTINCT`, `ORDER BY`, and `LIMIT`/`OFFSET` run identically for
+//!    every plan.
+//!
+//! [`plan::PlanMode::NestedLoop`] preserves the original cross-product
+//! executor as a semantic reference; `tests/engine_conformance.rs` asserts
+//! row-identical results between both modes over every gold query of both
+//! synthetic corpora.
+//!
+//! ## Cost model
+//!
+//! [`ExecStats`] is the deterministic stand-in for wall-clock time in the
+//! VES metric: scanned rows and expression evaluations as before, plus
+//! hash-build rows, hash probes, and index lookups, each weighted cheaper
+//! than a scanned row (see the `ExecStats` weight constants). VES compares
+//! per-question cost ratios, so the scale is free but determinism and
+//! "less work ⇒ lower cost" are contractual.
+//!
 //! ```
 //! use seed_sqlengine::{Database, execute, execute_statement};
 //!
@@ -29,6 +62,7 @@ pub mod error;
 pub mod exec;
 pub mod functions;
 pub mod parser;
+pub mod plan;
 pub mod result;
 pub mod schema;
 pub mod storage;
@@ -36,9 +70,13 @@ pub mod token;
 pub mod value;
 
 pub use error::{SqlError, SqlResult};
-pub use exec::{execute, execute_select, execute_select_with_stats, execute_statement, execute_with_stats};
+pub use exec::{
+    execute, execute_select, execute_select_with_stats, execute_select_with_stats_mode,
+    execute_statement, execute_with_stats, execute_with_stats_mode,
+};
 pub use parser::{parse_select, parse_statement};
+pub use plan::{plan_select, PhysicalPlan, PlanMode, PlanNode};
 pub use result::{ExecStats, ResultSet};
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
-pub use storage::{Database, Row, Table};
+pub use storage::{Database, EqKeyMap, Row, Table};
 pub use value::{like_match, ArithOp, Truth, Value};

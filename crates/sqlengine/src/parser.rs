@@ -338,7 +338,9 @@ impl Parser {
     fn parse_unsigned(&mut self) -> SqlResult<u64> {
         match self.advance() {
             Some(Token::Integer(i)) if i >= 0 => Ok(i as u64),
-            other => Err(SqlError::Parse(format!("expected non-negative integer, found {other:?}"))),
+            other => {
+                Err(SqlError::Parse(format!("expected non-negative integer, found {other:?}")))
+            }
         }
     }
 
@@ -348,8 +350,11 @@ impl Parser {
             return Ok(Projection::Wildcard);
         }
         // table.* ?
-        if let (Some(Token::Ident(t)), Some(Token::Symbol(Symbol::Dot)), Some(Token::Symbol(Symbol::Star))) =
-            (self.peek(), self.peek_at(1), self.peek_at(2))
+        if let (
+            Some(Token::Ident(t)),
+            Some(Token::Symbol(Symbol::Dot)),
+            Some(Token::Symbol(Symbol::Star)),
+        ) = (self.peek(), self.peek_at(1), self.peek_at(2))
         {
             let table = t.clone();
             self.pos += 3;
@@ -444,10 +449,9 @@ impl Parser {
         }
 
         let negated = if self.check_keyword("NOT")
-            && self
-                .peek_at(1)
-                .is_some_and(|t| t.is_keyword("LIKE") || t.is_keyword("IN") || t.is_keyword("BETWEEN"))
-        {
+            && self.peek_at(1).is_some_and(|t| {
+                t.is_keyword("LIKE") || t.is_keyword("IN") || t.is_keyword("BETWEEN")
+            }) {
             self.advance();
             true
         } else {
@@ -463,7 +467,11 @@ impl Parser {
             if self.check_keyword("SELECT") {
                 let query = self.parse_select()?;
                 self.expect_symbol(Symbol::RParen)?;
-                return Ok(Expr::InSubquery { negated, expr: Box::new(left), query: Box::new(query) });
+                return Ok(Expr::InSubquery {
+                    negated,
+                    expr: Box::new(left),
+                    query: Box::new(query),
+                });
             }
             let mut list = Vec::new();
             loop {
@@ -513,11 +521,13 @@ impl Parser {
             if self.check_symbol(Symbol::Plus) {
                 self.advance();
                 let right = self.parse_multiplicative()?;
-                left = Expr::Arith { op: ArithOp::Add, left: Box::new(left), right: Box::new(right) };
+                left =
+                    Expr::Arith { op: ArithOp::Add, left: Box::new(left), right: Box::new(right) };
             } else if self.check_symbol(Symbol::Minus) {
                 self.advance();
                 let right = self.parse_multiplicative()?;
-                left = Expr::Arith { op: ArithOp::Sub, left: Box::new(left), right: Box::new(right) };
+                left =
+                    Expr::Arith { op: ArithOp::Sub, left: Box::new(left), right: Box::new(right) };
             } else if self.check_symbol(Symbol::Concat) {
                 self.advance();
                 let right = self.parse_multiplicative()?;
@@ -535,15 +545,18 @@ impl Parser {
             if self.check_symbol(Symbol::Star) {
                 self.advance();
                 let right = self.parse_unary()?;
-                left = Expr::Arith { op: ArithOp::Mul, left: Box::new(left), right: Box::new(right) };
+                left =
+                    Expr::Arith { op: ArithOp::Mul, left: Box::new(left), right: Box::new(right) };
             } else if self.check_symbol(Symbol::Slash) {
                 self.advance();
                 let right = self.parse_unary()?;
-                left = Expr::Arith { op: ArithOp::Div, left: Box::new(left), right: Box::new(right) };
+                left =
+                    Expr::Arith { op: ArithOp::Div, left: Box::new(left), right: Box::new(right) };
             } else if self.check_symbol(Symbol::Percent) {
                 self.advance();
                 let right = self.parse_unary()?;
-                left = Expr::Arith { op: ArithOp::Mod, left: Box::new(left), right: Box::new(right) };
+                left =
+                    Expr::Arith { op: ArithOp::Mod, left: Box::new(left), right: Box::new(right) };
             } else {
                 break;
             }
@@ -703,11 +716,8 @@ impl Parser {
     }
 
     fn parse_case(&mut self) -> SqlResult<Expr> {
-        let operand = if self.check_keyword("WHEN") {
-            None
-        } else {
-            Some(Box::new(self.parse_expr()?))
-        };
+        let operand =
+            if self.check_keyword("WHEN") { None } else { Some(Box::new(self.parse_expr()?)) };
         let mut branches = Vec::new();
         while self.eat_keyword("WHEN") {
             let when = self.parse_expr()?;
@@ -715,11 +725,8 @@ impl Parser {
             let then = self.parse_expr()?;
             branches.push((when, then));
         }
-        let else_branch = if self.eat_keyword("ELSE") {
-            Some(Box::new(self.parse_expr()?))
-        } else {
-            None
-        };
+        let else_branch =
+            if self.eat_keyword("ELSE") { Some(Box::new(self.parse_expr()?)) } else { None };
         self.expect_keyword("END")?;
         Ok(Expr::Case { operand, branches, else_branch })
     }
@@ -814,9 +821,14 @@ mod tests {
 
     #[test]
     fn parses_aggregates_and_distinct() {
-        let s = parse_select("SELECT COUNT(DISTINCT client_id), SUM(amount), AVG(T1.amount) FROM loan AS T1").unwrap();
+        let s = parse_select(
+            "SELECT COUNT(DISTINCT client_id), SUM(amount), AVG(T1.amount) FROM loan AS T1",
+        )
+        .unwrap();
         assert_eq!(s.projections.len(), 3);
-        if let Projection::Expr { expr: Expr::Aggregate { kind, distinct, .. }, .. } = &s.projections[0] {
+        if let Projection::Expr { expr: Expr::Aggregate { kind, distinct, .. }, .. } =
+            &s.projections[0]
+        {
             assert_eq!(*kind, AggregateKind::Count);
             assert!(*distinct);
         } else {
@@ -857,7 +869,8 @@ mod tests {
 
     #[test]
     fn parses_exists() {
-        let s = parse_select("SELECT 1 FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.id = a.id)").unwrap();
+        let s = parse_select("SELECT 1 FROM a WHERE EXISTS (SELECT 1 FROM b WHERE b.id = a.id)")
+            .unwrap();
         assert!(matches!(s.where_clause.unwrap(), Expr::Exists { .. }));
     }
 
@@ -879,10 +892,7 @@ mod tests {
 
     #[test]
     fn parses_derived_table() {
-        let s = parse_select(
-            "SELECT t.n FROM (SELECT COUNT(*) AS n FROM loan) AS t",
-        )
-        .unwrap();
+        let s = parse_select("SELECT t.n FROM (SELECT COUNT(*) AS n FROM loan) AS t").unwrap();
         assert!(matches!(s.from, Some(TableRef::Derived { .. })));
     }
 
@@ -901,7 +911,10 @@ mod tests {
             }
             _ => panic!("expected create table"),
         }
-        let i = parse_statement("INSERT INTO loan (loan_id, account_id, amount) VALUES (1, 2, 3.5), (2, 3, 100)").unwrap();
+        let i = parse_statement(
+            "INSERT INTO loan (loan_id, account_id, amount) VALUES (1, 2, 3.5), (2, 3, 100)",
+        )
+        .unwrap();
         match i {
             Statement::Insert(ins) => assert_eq!(ins.rows.len(), 2),
             _ => panic!("expected insert"),

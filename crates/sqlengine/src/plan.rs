@@ -1,0 +1,722 @@
+//! Physical query planning: lowering a parsed `SELECT` into a tree of
+//! physical operators.
+//!
+//! The planner replaces the legacy "cross-product everything, then filter"
+//! strategy for the FROM/JOIN/WHERE section of a query with three
+//! optimizations, while leaving projection, grouping, ordering, and limiting
+//! to the shared executor pipeline:
+//!
+//! 1. **Hash equi-joins** — a join whose `ON` clause (or, for comma joins,
+//!    the `WHERE` clause) contains a `left.col = right.col` conjunct builds
+//!    a hash table over the right relation's key and probes it with each
+//!    left row, turning an O(|L|·|R|) nested loop into O(|L| + |R|). The
+//!    full `ON` predicate is still re-evaluated on hash candidates, so the
+//!    hash phase can only *narrow* the candidate set, never change results.
+//! 2. **Predicate pushdown** — `WHERE` conjuncts that reference exactly one
+//!    base relation are evaluated while scanning that relation, shrinking
+//!    join inputs. Conjuncts on the right side of a `LEFT JOIN` are never
+//!    pushed (they must see the NULL-padded row), and conjuncts containing
+//!    subqueries or aggregates always stay post-join.
+//! 3. **Primary-key point lookups** — a pushed conjunct of the shape
+//!    `pk = literal` on an indexed table fetches matching rows from the
+//!    table's hash index instead of scanning.
+//!
+//! Plans preserve the legacy executor's row *order* as well as its row
+//! multiset: hash probes return matches in right-scan order, so
+//! `LIMIT`-without-`ORDER BY` queries stay bit-for-bit identical between
+//! [`PlanMode::Optimized`] and [`PlanMode::NestedLoop`]. The conformance
+//! suite in `tests/engine_conformance.rs` asserts this equivalence over
+//! every gold query of both synthetic corpora.
+//!
+//! **Equivalence contract, precisely:** for any query that evaluates
+//! without error, both modes return identical rows in identical order.
+//! For queries whose predicates can *error* at evaluation time (unknown
+//! function, scalar subquery with more than one row, …), which error
+//! surfaces — or whether it surfaces at all — is plan-dependent: pushdown
+//! reorders conjunct evaluation, so a pushed conjunct may filter out every
+//! row before an erroring post-join conjunct ever runs. Production engines
+//! behave the same way (predicate evaluation order is unspecified in SQL),
+//! and the eval layer always runs gold and predicted SQL under the same
+//! mode, so EX/VES comparisons are unaffected.
+
+use crate::ast::{Expr, JoinKind, Projection, SelectStatement, TableRef};
+use crate::error::{SqlError, SqlResult};
+use crate::storage::Database;
+use crate::value::Value;
+
+/// Which execution strategy the executor uses for FROM/JOIN/WHERE.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PlanMode {
+    /// Physical planner: hash equi-joins, PK lookups, predicate pushdown.
+    #[default]
+    Optimized,
+    /// Legacy executor: nested-loop joins and post-join filtering only.
+    /// Kept as the semantic reference the optimized plans are tested
+    /// against.
+    NestedLoop,
+}
+
+/// Metadata for one column of a flattened (joined) relation.
+#[derive(Debug, Clone)]
+pub struct ColMeta {
+    /// Accepted qualifiers (alias and base-table name), lowercased.
+    pub quals: Vec<String>,
+    /// Original column name.
+    pub name: String,
+}
+
+/// A primary-key point lookup planned for a scan.
+#[derive(Debug, Clone)]
+pub struct PkLookup {
+    /// Column position (within the scan's layout) of the primary key.
+    pub column: usize,
+    /// Literal the key must equal.
+    pub value: Value,
+}
+
+/// A physical operator. Joins are left-deep, mirroring the syntactic join
+/// chain; the planner chooses the operator per join, not the join order.
+#[derive(Debug, Clone)]
+pub enum PlanNode {
+    /// Scan of a named base table, with pushed-down predicates and an
+    /// optional PK point lookup.
+    SeqScan {
+        table: String,
+        /// Lowercased qualifiers (base name and alias) the scan answers to.
+        quals: Vec<String>,
+        /// Single-relation `WHERE` conjuncts evaluated during the scan.
+        pushed: Vec<Expr>,
+        /// When set, rows come from the PK index instead of a full scan.
+        lookup: Option<PkLookup>,
+    },
+    /// A derived table (subquery in FROM); the subquery is itself planned
+    /// when it executes.
+    SubqueryScan {
+        query: Box<SelectStatement>,
+        alias: String,
+        /// Single-relation `WHERE` conjuncts evaluated on the subquery rows.
+        pushed: Vec<Expr>,
+    },
+    /// Hash equi-join: builds on the right input's key column, probes with
+    /// the left input's. `on` is the complete join predicate, re-checked on
+    /// every hash candidate.
+    HashJoin {
+        left: Box<PlanNode>,
+        right: Box<PlanNode>,
+        kind: JoinKind,
+        /// Key column position in the left (probe) layout.
+        left_key: usize,
+        /// Key column position in the right (build) layout.
+        right_key: usize,
+        on: Option<Expr>,
+    },
+    /// Fallback nested-loop join for predicates with no extractable equi-key.
+    NestedLoopJoin { left: Box<PlanNode>, right: Box<PlanNode>, kind: JoinKind, on: Option<Expr> },
+}
+
+/// The physical plan for a query's FROM/JOIN/WHERE section.
+#[derive(Debug, Clone)]
+pub struct PhysicalPlan {
+    /// Operator tree; `None` for a FROM-less `SELECT`.
+    pub root: Option<PlanNode>,
+    /// Flattened column layout of the joined relation.
+    pub layout: Vec<ColMeta>,
+    /// `WHERE` conjuncts that must run after the join (multi-relation
+    /// predicates, subqueries, and everything not proven pushable).
+    pub where_remnant: Vec<Expr>,
+}
+
+impl PhysicalPlan {
+    /// Renders the operator tree, EXPLAIN-style.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        match &self.root {
+            None => out.push_str("Result (no FROM)\n"),
+            Some(node) => explain_node(node, 0, &mut out),
+        }
+        if !self.where_remnant.is_empty() {
+            out.push_str(&format!("Filter: {} post-join conjunct(s)\n", self.where_remnant.len()));
+        }
+        out
+    }
+
+    /// True if any operator in the tree is a hash join.
+    pub fn uses_hash_join(&self) -> bool {
+        fn walk(n: &PlanNode) -> bool {
+            match n {
+                PlanNode::HashJoin { .. } => true,
+                PlanNode::NestedLoopJoin { left, right, .. } => walk(left) || walk(right),
+                _ => false,
+            }
+        }
+        self.root.as_ref().is_some_and(walk)
+    }
+
+    /// True if any scan in the tree is a PK point lookup.
+    pub fn uses_index_lookup(&self) -> bool {
+        fn walk(n: &PlanNode) -> bool {
+            match n {
+                PlanNode::SeqScan { lookup, .. } => lookup.is_some(),
+                PlanNode::HashJoin { left, right, .. }
+                | PlanNode::NestedLoopJoin { left, right, .. } => walk(left) || walk(right),
+                PlanNode::SubqueryScan { .. } => false,
+            }
+        }
+        self.root.as_ref().is_some_and(walk)
+    }
+}
+
+fn explain_node(node: &PlanNode, depth: usize, out: &mut String) {
+    let pad = "  ".repeat(depth);
+    match node {
+        PlanNode::SeqScan { table, pushed, lookup, .. } => {
+            out.push_str(&pad);
+            match lookup {
+                Some(l) => out.push_str(&format!(
+                    "IndexLookup {table} (pk #{} = {})",
+                    l.column,
+                    l.value.render()
+                )),
+                None => out.push_str(&format!("SeqScan {table}")),
+            }
+            if !pushed.is_empty() {
+                out.push_str(&format!(" [{} pushed predicate(s)]", pushed.len()));
+            }
+            out.push('\n');
+        }
+        PlanNode::SubqueryScan { alias, pushed, .. } => {
+            out.push_str(&format!("{pad}SubqueryScan {alias}"));
+            if !pushed.is_empty() {
+                out.push_str(&format!(" [{} pushed predicate(s)]", pushed.len()));
+            }
+            out.push('\n');
+        }
+        PlanNode::HashJoin { left, right, kind, left_key, right_key, .. } => {
+            out.push_str(&format!(
+                "{pad}HashJoin ({kind:?}) probe=#{left_key} build=#{right_key}\n"
+            ));
+            explain_node(left, depth + 1, out);
+            explain_node(right, depth + 1, out);
+        }
+        PlanNode::NestedLoopJoin { left, right, kind, .. } => {
+            out.push_str(&format!("{pad}NestedLoopJoin ({kind:?})\n"));
+            explain_node(left, depth + 1, out);
+            explain_node(right, depth + 1, out);
+        }
+    }
+}
+
+/// Column positions in `layout` matching a `qualifier.name` reference, in
+/// layout order. Mirrors the executor's scope resolution (case-insensitive
+/// names, lowercased qualifiers) so planning decisions agree with runtime
+/// resolution.
+fn resolve_in(layout: &[ColMeta], qual: Option<&str>, name: &str) -> Vec<usize> {
+    let qual = qual.map(str::to_ascii_lowercase);
+    layout
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            c.name.eq_ignore_ascii_case(name)
+                && match &qual {
+                    Some(q) => c.quals.contains(q),
+                    None => true,
+                }
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Lowercased qualifiers a table reference answers to.
+fn ref_quals(tref: &TableRef) -> Vec<String> {
+    match tref {
+        TableRef::Named { table, alias } => {
+            let mut quals = vec![table.to_ascii_lowercase()];
+            if let Some(a) = alias {
+                quals.push(a.to_ascii_lowercase());
+            }
+            quals
+        }
+        TableRef::Derived { alias, .. } => vec![alias.to_ascii_lowercase()],
+    }
+}
+
+/// Static column layout of a table reference, without executing anything.
+///
+/// For derived tables this re-derives the subquery's output headers from its
+/// projections, recursing for wildcards. It must agree with the executor's
+/// `expand_projections`; the engine conformance suite holds the two together.
+fn table_ref_layout(db: &Database, tref: &TableRef) -> SqlResult<Vec<ColMeta>> {
+    let quals = ref_quals(tref);
+    match tref {
+        TableRef::Named { table, .. } => {
+            let t = db.table(table)?;
+            Ok(t.schema
+                .columns
+                .iter()
+                .map(|c| ColMeta { quals: quals.clone(), name: c.name.clone() })
+                .collect())
+        }
+        TableRef::Derived { query, .. } => {
+            let headers = select_headers(db, query)?;
+            Ok(headers.into_iter().map(|name| ColMeta { quals: quals.clone(), name }).collect())
+        }
+    }
+}
+
+/// Expands a projection list against a column layout into output headers
+/// plus one expression per output column.
+///
+/// This is the *single* source of truth for projection expansion: the
+/// executor calls it at runtime with the materialized relation's layout,
+/// and the planner calls it (via [`select_headers`]) with the statically
+/// derived layout — so the two can never disagree on a derived table's
+/// output columns.
+pub(crate) fn expand_projections(
+    projections: &[Projection],
+    cols: &[ColMeta],
+) -> SqlResult<(Vec<String>, Vec<Expr>)> {
+    let mut headers = Vec::new();
+    let mut exprs = Vec::new();
+    for p in projections {
+        match p {
+            Projection::Wildcard => {
+                for c in cols {
+                    headers.push(c.name.clone());
+                    exprs.push(Expr::Column {
+                        table: c.quals.first().cloned(),
+                        column: c.name.clone(),
+                    });
+                }
+                if cols.is_empty() {
+                    return Err(SqlError::Execution("SELECT * with no FROM clause".into()));
+                }
+            }
+            Projection::TableWildcard(t) => {
+                let tl = t.to_ascii_lowercase();
+                let mut any = false;
+                for c in cols {
+                    if c.quals.contains(&tl) {
+                        headers.push(c.name.clone());
+                        exprs
+                            .push(Expr::Column { table: Some(tl.clone()), column: c.name.clone() });
+                        any = true;
+                    }
+                }
+                if !any {
+                    return Err(SqlError::UnknownTable(t.clone()));
+                }
+            }
+            Projection::Expr { expr, alias } => {
+                let header = alias.clone().unwrap_or_else(|| describe_expr(expr));
+                headers.push(header);
+                exprs.push(expr.clone());
+            }
+        }
+    }
+    Ok((headers, exprs))
+}
+
+/// Static output headers of a `SELECT`, computed by running the shared
+/// projection expansion over the statically derived input layout.
+fn select_headers(db: &Database, stmt: &SelectStatement) -> SqlResult<Vec<String>> {
+    let mut inner: Vec<ColMeta> = Vec::new();
+    if let Some(from) = &stmt.from {
+        inner.extend(table_ref_layout(db, from)?);
+    }
+    for join in &stmt.joins {
+        inner.extend(table_ref_layout(db, &join.table)?);
+    }
+    let (headers, _) = expand_projections(&stmt.projections, &inner)?;
+    Ok(headers)
+}
+
+/// Default header for an unaliased projection expression (shared with the
+/// executor's projection expansion).
+pub(crate) fn describe_expr(expr: &Expr) -> String {
+    match expr {
+        Expr::Column { table, column } => match table {
+            Some(t) => format!("{t}.{column}"),
+            None => column.clone(),
+        },
+        Expr::Aggregate { kind, distinct, arg } => {
+            let inner = match arg {
+                None => "*".to_string(),
+                Some(a) => describe_expr(a),
+            };
+            if *distinct {
+                format!("{}(DISTINCT {})", kind.name(), inner)
+            } else {
+                format!("{}({})", kind.name(), inner)
+            }
+        }
+        Expr::Function { name, args } => {
+            let inner: Vec<String> = args.iter().map(describe_expr).collect();
+            format!("{}({})", name, inner.join(", "))
+        }
+        Expr::Literal(v) => v.render(),
+        Expr::Arith { left, right, op } => {
+            let sym = match op {
+                crate::value::ArithOp::Add => "+",
+                crate::value::ArithOp::Sub => "-",
+                crate::value::ArithOp::Mul => "*",
+                crate::value::ArithOp::Div => "/",
+                crate::value::ArithOp::Mod => "%",
+            };
+            format!("{} {} {}", describe_expr(left), sym, describe_expr(right))
+        }
+        Expr::Cast { expr, target } => {
+            format!("CAST({} AS {})", describe_expr(expr), target.sql_name())
+        }
+        _ => "expr".to_string(),
+    }
+}
+
+/// Per-relation bookkeeping while planning.
+struct RelPlan<'a> {
+    tref: &'a TableRef,
+    offset: usize,
+    width: usize,
+    /// Whether `WHERE` conjuncts may be pushed into this relation's scan:
+    /// true for the FROM relation and inner-joined relations, false for the
+    /// right side of a LEFT JOIN (its rows must reach the NULL-padding
+    /// stage unfiltered).
+    pushable: bool,
+    pushed: Vec<Expr>,
+}
+
+/// Lowers a `SELECT`'s FROM/JOIN/WHERE section into a physical plan.
+///
+/// Planning is purely schema-driven (no data access beyond table metadata),
+/// deterministic, and cheap relative to execution. Subqueries are *not*
+/// planned here — each runs through its own `plan_select` when the executor
+/// reaches it.
+pub fn plan_select(db: &Database, stmt: &SelectStatement) -> SqlResult<PhysicalPlan> {
+    let where_conjuncts: Vec<Expr> = match &stmt.where_clause {
+        Some(w) => w.split_conjuncts().into_iter().cloned().collect(),
+        None => Vec::new(),
+    };
+    let Some(from) = &stmt.from else {
+        return Ok(PhysicalPlan { root: None, layout: Vec::new(), where_remnant: where_conjuncts });
+    };
+
+    // 1. Flattened layout and per-relation spans.
+    let mut layout: Vec<ColMeta> = Vec::new();
+    let mut rels: Vec<RelPlan<'_>> = Vec::new();
+    let trefs = std::iter::once(from).chain(stmt.joins.iter().map(|j| &j.table));
+    for (i, tref) in trefs.enumerate() {
+        let cols = table_ref_layout(db, tref)?;
+        let pushable = i == 0 || stmt.joins[i - 1].kind == JoinKind::Inner;
+        rels.push(RelPlan {
+            tref,
+            offset: layout.len(),
+            width: cols.len(),
+            pushable,
+            pushed: Vec::new(),
+        });
+        layout.extend(cols);
+    }
+
+    // 2. Predicate pushdown: a conjunct goes to a scan when every column it
+    // references resolves uniquely in the full layout, all of them land in
+    // the same relation, and that relation may be filtered early.
+    let mut remnant: Vec<Expr> = Vec::new();
+    'conjunct: for conj in where_conjuncts {
+        if conj.contains_subquery() || conj.contains_aggregate() {
+            remnant.push(conj);
+            continue;
+        }
+        let mut refs = Vec::new();
+        conj.referenced_columns(&mut refs);
+        if refs.is_empty() {
+            remnant.push(conj);
+            continue;
+        }
+        let mut target: Option<usize> = None;
+        for (qual, name) in &refs {
+            let matches = resolve_in(&layout, qual.as_deref(), name);
+            if matches.len() != 1 {
+                // Unresolved (outer-scope reference) or ambiguous: leave it
+                // for the executor's scope-chain resolution.
+                remnant.push(conj);
+                continue 'conjunct;
+            }
+            let idx = matches[0];
+            let rel = rels
+                .iter()
+                .position(|r| idx >= r.offset && idx < r.offset + r.width)
+                .expect("resolved column must lie in some relation span");
+            match target {
+                None => target = Some(rel),
+                Some(t) if t == rel => {}
+                Some(_) => {
+                    remnant.push(conj);
+                    continue 'conjunct;
+                }
+            }
+        }
+        let t = target.expect("non-empty refs imply a target relation");
+        if rels[t].pushable {
+            rels[t].pushed.push(conj);
+        } else {
+            remnant.push(conj);
+        }
+    }
+
+    // 3. Scan nodes, detecting PK point lookups among pushed predicates.
+    let mut nodes: Vec<PlanNode> = Vec::new();
+    for rel in &rels {
+        nodes.push(make_scan_node(db, rel)?);
+    }
+
+    // 4. Left-deep join tree with per-join operator choice.
+    let mut nodes = nodes.into_iter();
+    let mut root = nodes.next().expect("at least the FROM relation");
+    let mut split = rels[0].width;
+    for (join, (right_node, right_rel)) in stmt.joins.iter().zip(nodes.zip(rels[1..].iter())) {
+        let combined = &layout[..split + right_rel.width];
+        // Try the ON clause first; for inner joins, fall back to promoting a
+        // WHERE equality (the comma-join idiom `FROM a, b WHERE a.x = b.x`).
+        let mut key = join
+            .on
+            .as_ref()
+            .and_then(|on| extract_equi_key(on.split_conjuncts().into_iter(), combined, split));
+        if key.is_none() && join.kind == JoinKind::Inner {
+            key = extract_equi_key(remnant.iter(), combined, split);
+        }
+        root = match key {
+            Some((left_key, right_key)) => PlanNode::HashJoin {
+                left: Box::new(root),
+                right: Box::new(right_node),
+                kind: join.kind,
+                left_key,
+                right_key: right_key - split,
+                on: join.on.clone(),
+            },
+            None => PlanNode::NestedLoopJoin {
+                left: Box::new(root),
+                right: Box::new(right_node),
+                kind: join.kind,
+                on: join.on.clone(),
+            },
+        };
+        split += right_rel.width;
+    }
+
+    Ok(PhysicalPlan { root: Some(root), layout, where_remnant: remnant })
+}
+
+/// Finds the first conjunct of the shape `col = col` whose sides resolve
+/// uniquely in `combined` and fall on opposite sides of `split`. Returns
+/// (left position, absolute right position).
+fn extract_equi_key<'a>(
+    conjuncts: impl Iterator<Item = &'a Expr>,
+    combined: &[ColMeta],
+    split: usize,
+) -> Option<(usize, usize)> {
+    for conj in conjuncts {
+        let Some(((q1, c1), (q2, c2))) = conj.as_column_equality() else { continue };
+        let m1 = resolve_in(combined, q1, c1);
+        let m2 = resolve_in(combined, q2, c2);
+        if m1.len() != 1 || m2.len() != 1 {
+            continue;
+        }
+        let (a, b) = (m1[0], m2[0]);
+        if a < split && b >= split {
+            return Some((a, b));
+        }
+        if b < split && a >= split {
+            return Some((b, a));
+        }
+    }
+    None
+}
+
+/// Builds the scan node for one relation, detecting a PK point lookup among
+/// its pushed predicates.
+fn make_scan_node(db: &Database, rel: &RelPlan<'_>) -> SqlResult<PlanNode> {
+    match rel.tref {
+        TableRef::Named { table, .. } => {
+            let quals = ref_quals(rel.tref);
+            let t = db.table(table)?;
+            let mut lookup = None;
+            if let Some(pk) = t.primary_key_column() {
+                // Resolve against this scan's own layout: the lookup column
+                // must be the primary key, unambiguously.
+                let local: Vec<ColMeta> = t
+                    .schema
+                    .columns
+                    .iter()
+                    .map(|c| ColMeta { quals: quals.clone(), name: c.name.clone() })
+                    .collect();
+                for conj in &rel.pushed {
+                    let Some(((qual, name), value)) = conj.as_column_literal_equality() else {
+                        continue;
+                    };
+                    let m = resolve_in(&local, qual, name);
+                    if m.len() == 1 && m[0] == pk {
+                        lookup = Some(PkLookup { column: pk, value: value.clone() });
+                        break;
+                    }
+                }
+            }
+            Ok(PlanNode::SeqScan {
+                table: table.clone(),
+                quals,
+                pushed: rel.pushed.clone(),
+                lookup,
+            })
+        }
+        TableRef::Derived { query, alias } => Ok(PlanNode::SubqueryScan {
+            query: query.clone(),
+            alias: alias.clone(),
+            pushed: rel.pushed.clone(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_select;
+    use crate::schema::{ColumnDef, DataType, TableSchema};
+
+    fn db() -> Database {
+        let mut db = Database::new("plans");
+        db.create_table(TableSchema::new(
+            "account",
+            vec![
+                ColumnDef::new("account_id", DataType::Integer).primary_key(),
+                ColumnDef::new("district_id", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        db.create_table(TableSchema::new(
+            "loan",
+            vec![
+                ColumnDef::new("loan_id", DataType::Integer).primary_key(),
+                ColumnDef::new("account_id", DataType::Integer),
+                ColumnDef::new("amount", DataType::Real),
+            ],
+        ))
+        .unwrap();
+        db
+    }
+
+    fn plan(sql: &str) -> PhysicalPlan {
+        plan_select(&db(), &parse_select(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn on_clause_equi_join_gets_hash_plan() {
+        let p = plan(
+            "SELECT T1.account_id FROM account AS T1 \
+             INNER JOIN loan AS T2 ON T1.account_id = T2.account_id",
+        );
+        assert!(p.uses_hash_join(), "plan:\n{}", p.explain());
+        let Some(PlanNode::HashJoin { left_key, right_key, .. }) = p.root else {
+            panic!("expected hash join at root");
+        };
+        assert_eq!(left_key, 0, "probe key is account.account_id");
+        assert_eq!(right_key, 1, "build key is loan.account_id (local position)");
+    }
+
+    #[test]
+    fn comma_join_promotes_where_equality_to_hash_key() {
+        let p = plan(
+            "SELECT loan.loan_id FROM loan, account \
+             WHERE loan.account_id = account.account_id AND account.district_id = 1",
+        );
+        assert!(p.uses_hash_join(), "plan:\n{}", p.explain());
+        // The equality stays in the remnant for re-checking; the
+        // single-table conjunct was pushed into the account scan.
+        assert_eq!(p.where_remnant.len(), 1);
+    }
+
+    #[test]
+    fn non_equi_join_falls_back_to_nested_loop() {
+        let p = plan(
+            "SELECT loan.loan_id FROM loan \
+             INNER JOIN account ON loan.amount > account.district_id",
+        );
+        assert!(!p.uses_hash_join());
+        assert!(matches!(p.root, Some(PlanNode::NestedLoopJoin { .. })));
+    }
+
+    #[test]
+    fn where_conjunct_pushes_into_from_scan() {
+        let p = plan("SELECT loan_id FROM loan WHERE amount > 100000 AND loan_id < 10");
+        let Some(PlanNode::SeqScan { pushed, .. }) = &p.root else { panic!("expected scan") };
+        assert_eq!(pushed.len(), 2);
+        assert!(p.where_remnant.is_empty());
+    }
+
+    #[test]
+    fn left_join_right_side_predicate_is_not_pushed() {
+        let p = plan(
+            "SELECT account.account_id FROM account \
+             LEFT JOIN loan ON account.account_id = loan.account_id \
+             WHERE loan.amount > 1000",
+        );
+        // The conjunct must see NULL-padded rows, so it stays post-join.
+        assert_eq!(p.where_remnant.len(), 1);
+        assert!(p.uses_hash_join(), "LEFT equi-joins still hash: {}", p.explain());
+    }
+
+    #[test]
+    fn ambiguous_column_is_never_pushed() {
+        // account_id exists in both tables: resolution is ambiguous, so the
+        // conjunct stays in the remnant for the executor's scope chain.
+        let p = plan(
+            "SELECT loan.loan_id FROM loan \
+             INNER JOIN account ON loan.account_id = account.account_id \
+             WHERE account_id = 3",
+        );
+        assert_eq!(p.where_remnant.len(), 1);
+    }
+
+    #[test]
+    fn pk_literal_equality_becomes_index_lookup() {
+        let p = plan("SELECT * FROM loan WHERE loan_id = 3");
+        assert!(p.uses_index_lookup(), "plan:\n{}", p.explain());
+        let Some(PlanNode::SeqScan { lookup: Some(l), .. }) = &p.root else {
+            panic!("expected index lookup scan");
+        };
+        assert_eq!(l.column, 0);
+        assert_eq!(l.value, Value::Integer(3));
+        // Reversed operand order plans the same lookup.
+        assert!(plan("SELECT * FROM loan WHERE 3 = loan_id").uses_index_lookup());
+        // Non-PK equality does not.
+        assert!(!plan("SELECT * FROM loan WHERE account_id = 3").uses_index_lookup());
+    }
+
+    #[test]
+    fn subquery_in_where_stays_post_join() {
+        let p = plan("SELECT loan_id FROM loan WHERE amount > (SELECT AVG(amount) FROM loan)");
+        let Some(PlanNode::SeqScan { pushed, .. }) = &p.root else { panic!("expected scan") };
+        assert!(pushed.is_empty());
+        assert_eq!(p.where_remnant.len(), 1);
+    }
+
+    #[test]
+    fn derived_table_plans_subquery_scan_with_pushdown() {
+        let p = plan("SELECT t.n FROM (SELECT account_id AS n FROM loan) AS t WHERE t.n > 2");
+        let Some(PlanNode::SubqueryScan { pushed, alias, .. }) = &p.root else {
+            panic!("expected subquery scan, got {:?}", p.root);
+        };
+        assert_eq!(alias, "t");
+        assert_eq!(pushed.len(), 1, "derived-table filter is pushed onto its rows");
+    }
+
+    #[test]
+    fn explain_renders_operators() {
+        let text = plan(
+            "SELECT T1.account_id FROM account AS T1 \
+             INNER JOIN loan AS T2 ON T1.account_id = T2.account_id \
+             WHERE T2.loan_id = 3",
+        )
+        .explain();
+        assert!(text.contains("HashJoin"), "{text}");
+        assert!(text.contains("SeqScan account"), "{text}");
+        assert!(text.contains("IndexLookup loan"), "{text}");
+    }
+}

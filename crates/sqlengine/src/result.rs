@@ -40,12 +40,7 @@ impl ResultSet {
         let mut rows: Vec<String> = self
             .rows
             .iter()
-            .map(|r| {
-                r.iter()
-                    .map(render_for_comparison)
-                    .collect::<Vec<_>>()
-                    .join("\u{1}")
-            })
+            .map(|r| r.iter().map(render_for_comparison).collect::<Vec<_>>().join("\u{1}"))
             .collect();
         rows.sort();
         rows
@@ -90,26 +85,54 @@ fn render_for_comparison(v: &Value) -> String {
 /// Execution statistics used by the valid-efficiency-score (VES) metric.
 ///
 /// The paper measures wall-clock execution time on SQLite; a synthetic engine
-/// measures deterministic work instead (rows scanned and comparisons made),
-/// which preserves the "reward cheaper queries" behaviour without timing noise.
+/// measures deterministic work instead (rows scanned, comparisons made, and
+/// index/hash operations), which preserves the "reward cheaper queries"
+/// behaviour without timing noise.
+///
+/// Per-unit weights mirror relative hardware cost: a full-scan row visit is
+/// the unit, an expression evaluation is cheap, a hash-table insert or probe
+/// is cheaper than re-scanning, and a primary-key index lookup costs a small
+/// constant regardless of table size. VES compares costs as ratios per
+/// question, so the absolute scale is irrelevant — only determinism and
+/// monotonicity ("less work ⇒ lower cost") matter.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExecStats {
     /// Rows visited across all scans and join loops.
     pub rows_scanned: u64,
     /// Predicate/expression evaluations performed.
     pub evaluations: u64,
+    /// Primary-key index point lookups.
+    pub index_lookups: u64,
+    /// Rows inserted into join hash tables.
+    pub hash_build_rows: u64,
+    /// Join hash-table probe operations.
+    pub hash_probes: u64,
 }
 
 impl ExecStats {
+    /// Per-probe weight relative to a scanned row.
+    pub const HASH_PROBE_WEIGHT: f64 = 0.3;
+    /// Per-build-row weight relative to a scanned row.
+    pub const HASH_BUILD_WEIGHT: f64 = 0.5;
+    /// Flat cost of one PK index lookup.
+    pub const INDEX_LOOKUP_WEIGHT: f64 = 2.0;
+
     /// Scalar cost used as the VES time proxy (never zero).
     pub fn cost(&self) -> f64 {
-        1.0 + self.rows_scanned as f64 + 0.1 * self.evaluations as f64
+        1.0 + self.rows_scanned as f64
+            + 0.1 * self.evaluations as f64
+            + Self::INDEX_LOOKUP_WEIGHT * self.index_lookups as f64
+            + Self::HASH_BUILD_WEIGHT * self.hash_build_rows as f64
+            + Self::HASH_PROBE_WEIGHT * self.hash_probes as f64
     }
 
     /// Accumulates another stats block into this one.
     pub fn absorb(&mut self, other: ExecStats) {
         self.rows_scanned += other.rows_scanned;
         self.evaluations += other.evaluations;
+        self.index_lookups += other.index_lookups;
+        self.hash_build_rows += other.hash_build_rows;
+        self.hash_probes += other.hash_probes;
     }
 }
 
@@ -159,21 +182,34 @@ mod tests {
 
     #[test]
     fn render_table_truncates() {
-        let a = rs(
-            &["x"],
-            (0..10).map(|i| vec![Value::Integer(i)]).collect(),
-        );
+        let a = rs(&["x"], (0..10).map(|i| vec![Value::Integer(i)]).collect());
         let s = a.render_table(3);
         assert!(s.contains("7 more rows"));
     }
 
     #[test]
     fn exec_stats_cost_monotone() {
-        let cheap = ExecStats { rows_scanned: 10, evaluations: 5 };
-        let pricey = ExecStats { rows_scanned: 10_000, evaluations: 5_000 };
+        let cheap = ExecStats { rows_scanned: 10, evaluations: 5, ..Default::default() };
+        let pricey = ExecStats { rows_scanned: 10_000, evaluations: 5_000, ..Default::default() };
         assert!(pricey.cost() > cheap.cost());
         let mut total = cheap;
         total.absorb(pricey);
         assert_eq!(total.rows_scanned, 10_010);
+    }
+
+    #[test]
+    fn exec_stats_hash_and_index_units_are_cheaper_than_scans() {
+        // A hash probe or build row must undercut a scanned row, and all
+        // new units must contribute to cost and absorb.
+        let scan = ExecStats { rows_scanned: 100, ..Default::default() };
+        let hashed = ExecStats { hash_build_rows: 50, hash_probes: 50, ..Default::default() };
+        assert!(hashed.cost() < scan.cost());
+        let lookup = ExecStats { index_lookups: 1, rows_scanned: 1, ..Default::default() };
+        assert!(lookup.cost() < scan.cost());
+        let mut total = hashed;
+        total.absorb(lookup);
+        assert_eq!(total.index_lookups, 1);
+        assert_eq!(total.hash_build_rows, 50);
+        assert_eq!(total.hash_probes, 50);
     }
 }

@@ -33,8 +33,11 @@ impl DataType {
         let upper = name.to_ascii_uppercase();
         if upper.contains("INT") {
             DataType::Integer
-        } else if upper.contains("REAL") || upper.contains("FLOA") || upper.contains("DOUB")
-            || upper.contains("NUMERIC") || upper.contains("DECIMAL")
+        } else if upper.contains("REAL")
+            || upper.contains("FLOA")
+            || upper.contains("DOUB")
+            || upper.contains("NUMERIC")
+            || upper.contains("DECIMAL")
         {
             DataType::Real
         } else if upper.contains("DATE") || upper.contains("TIME") {
@@ -116,9 +119,7 @@ impl TableSchema {
 
     /// Index of a column by case-insensitive name.
     pub fn column_index(&self, name: &str) -> Option<usize> {
-        self.columns
-            .iter()
-            .position(|c| c.name.eq_ignore_ascii_case(name))
+        self.columns.iter().position(|c| c.name.eq_ignore_ascii_case(name))
     }
 
     /// Looks a column up by case-insensitive name.

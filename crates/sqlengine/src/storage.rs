@@ -1,6 +1,7 @@
-//! Row storage: in-memory tables and databases.
+//! Row storage: in-memory tables and databases, plus the hash indexes the
+//! physical planner uses for primary-key point lookups and hash joins.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crate::error::{SqlError, SqlResult};
 use crate::schema::{DatabaseSchema, TableSchema};
@@ -9,19 +10,170 @@ use crate::value::Value;
 /// A single row of values, positionally aligned with the table schema.
 pub type Row = Vec<Value>;
 
-/// An in-memory table: schema plus row store.
+/// A multimap from SQL values to row positions whose probe semantics match
+/// [`Value::sql_cmp`] equality exactly.
+///
+/// `sql_cmp` equality is not an equivalence relation — `2 = '2'` and
+/// `2 = '2.0'` but `'2' <> '2.0'` — so a single hash key cannot represent
+/// it. The map therefore keeps layered stores:
+///
+/// * finite numbers, hashed by normalized `f64` bits (`-0.0` folded into
+///   `0.0`);
+/// * text, hashed byte-exact;
+/// * a side list of text entries that parse as numbers, scanned linearly
+///   when probing with a number (empty for typical corpora, so probes stay
+///   O(1));
+/// * NaN corner-case lists: under `sql_cmp`'s `partial_cmp` fallback a NaN
+///   compares *equal* to every number, so NaN-keyed rows join every numeric
+///   probe and a NaN probe joins every numeric row.
+///
+/// `NULL` keys are never stored and never match — SQL three-valued logic
+/// makes `NULL = NULL` unknown, which a join treats as false.
+#[derive(Debug, Clone, Default)]
+pub struct EqKeyMap {
+    /// Finite `Integer`/`Real` rows by normalized bit pattern.
+    num: HashMap<u64, Vec<usize>>,
+    /// Every `Integer`/`Real` row (including NaN), for NaN probes.
+    all_num_rows: Vec<usize>,
+    /// `Real` rows whose value is NaN.
+    nan_num_rows: Vec<usize>,
+    /// Text rows by exact content.
+    text: HashMap<String, Vec<usize>>,
+    /// Text rows whose content parses as a finite number.
+    numeric_texts: Vec<(f64, usize)>,
+    /// Text rows whose content parses as NaN.
+    nan_text_rows: Vec<usize>,
+    len: usize,
+}
+
+/// Normalizes a float for key hashing: `-0.0` and `0.0` compare equal under
+/// `sql_cmp`, so they must share a bucket.
+fn num_key_bits(x: f64) -> u64 {
+    if x == 0.0 {
+        0.0f64.to_bits()
+    } else {
+        x.to_bits()
+    }
+}
+
+impl EqKeyMap {
+    /// Records `row` under key `v`. `NULL` keys are dropped (they can never
+    /// match). Rows must be inserted in ascending position order for probes
+    /// to preserve scan order.
+    pub fn insert(&mut self, v: &Value, row: usize) {
+        match v {
+            Value::Null => return,
+            Value::Integer(i) => {
+                self.num.entry(num_key_bits(*i as f64)).or_default().push(row);
+                self.all_num_rows.push(row);
+            }
+            Value::Real(r) => {
+                if r.is_nan() {
+                    self.nan_num_rows.push(row);
+                } else {
+                    self.num.entry(num_key_bits(*r)).or_default().push(row);
+                }
+                self.all_num_rows.push(row);
+            }
+            Value::Text(s) => {
+                self.text.entry(s.clone()).or_default().push(row);
+                match s.parse::<f64>() {
+                    Ok(x) if x.is_nan() => self.nan_text_rows.push(row),
+                    Ok(x) => self.numeric_texts.push((x, row)),
+                    Err(_) => {}
+                }
+            }
+        }
+        self.len += 1;
+    }
+
+    /// Number of (non-NULL) entries stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Row positions whose key is `sql_cmp`-equal to `v`, in ascending order
+    /// (matching the emission order of a plain scan). A `NULL` probe matches
+    /// nothing.
+    pub fn probe(&self, v: &Value) -> Vec<usize> {
+        let mut out: Vec<usize> = Vec::new();
+        match v {
+            Value::Null => {}
+            Value::Integer(_) | Value::Real(_) => {
+                let x = v.as_f64().expect("numeric value");
+                if x.is_nan() {
+                    // NaN compares equal to every number and numeric text.
+                    out.extend_from_slice(&self.all_num_rows);
+                    out.extend(self.numeric_texts.iter().map(|(_, r)| *r));
+                    out.extend_from_slice(&self.nan_text_rows);
+                } else {
+                    if let Some(rows) = self.num.get(&num_key_bits(x)) {
+                        out.extend_from_slice(rows);
+                    }
+                    out.extend(
+                        self.numeric_texts.iter().filter(|(tx, _)| *tx == x).map(|(_, r)| *r),
+                    );
+                    out.extend_from_slice(&self.nan_num_rows);
+                    out.extend_from_slice(&self.nan_text_rows);
+                }
+            }
+            Value::Text(s) => {
+                if let Some(rows) = self.text.get(s) {
+                    out.extend_from_slice(rows);
+                }
+                // Numeric-looking text compares numerically against numbers
+                // (but byte-exact against other text, handled above).
+                match s.parse::<f64>() {
+                    Ok(x) if x.is_nan() => out.extend_from_slice(&self.all_num_rows),
+                    Ok(x) => {
+                        if let Some(rows) = self.num.get(&num_key_bits(x)) {
+                            out.extend_from_slice(rows);
+                        }
+                        out.extend_from_slice(&self.nan_num_rows);
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// An in-memory table: schema, row store, and (when the schema declares a
+/// single-column primary key) a hash index over that key, maintained on
+/// every insert.
 #[derive(Debug, Clone)]
 pub struct Table {
     pub schema: TableSchema,
-    pub rows: Vec<Row>,
+    /// Row store. Private so every mutation flows through [`Table::insert`],
+    /// which keeps the PK hash index in sync; read access is via
+    /// [`Table::rows`].
+    rows: Vec<Row>,
+    pk_col: Option<usize>,
+    pk_index: EqKeyMap,
 }
 
 impl Table {
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: Vec::new() }
+        let pk_cols: Vec<usize> = schema
+            .columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.primary_key)
+            .map(|(i, _)| i)
+            .collect();
+        // Only single-column keys are indexed; composite keys fall back to scans.
+        let pk_col = if pk_cols.len() == 1 { Some(pk_cols[0]) } else { None };
+        Table { schema, rows: Vec::new(), pk_col, pk_index: EqKeyMap::default() }
     }
 
-    /// Appends a row, validating arity.
+    /// Appends a row, validating arity and maintaining the PK index.
     pub fn insert(&mut self, row: Row) -> SqlResult<()> {
         if row.len() != self.schema.columns.len() {
             return Err(SqlError::Schema(format!(
@@ -31,8 +183,30 @@ impl Table {
                 row.len()
             )));
         }
+        if let Some(pk) = self.pk_col {
+            self.pk_index.insert(&row[pk], self.rows.len());
+        }
         self.rows.push(row);
         Ok(())
+    }
+
+    /// The stored rows, in insertion order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Position of the single-column primary key, if the schema declares one.
+    pub fn primary_key_column(&self) -> Option<usize> {
+        self.pk_col
+    }
+
+    /// Row positions whose primary key is `sql_cmp`-equal to `v`, ascending.
+    ///
+    /// `None` when the table has no single-column primary key to index —
+    /// callers fall back to a full scan.
+    pub fn pk_lookup(&self, v: &Value) -> Option<Vec<usize>> {
+        self.pk_col?;
+        Some(self.pk_index.probe(v))
     }
 
     /// Number of rows.
@@ -214,5 +388,84 @@ mod tests {
         let db = Database::from_schema(schema);
         assert!(db.table("client").unwrap().is_empty());
         assert_eq!(db.table_names(), vec!["client".to_string()]);
+    }
+
+    #[test]
+    fn eq_key_map_null_keys_never_match() {
+        let mut m = EqKeyMap::default();
+        m.insert(&Value::Null, 0);
+        m.insert(&Value::Integer(1), 1);
+        assert_eq!(m.len(), 1, "NULL keys are not stored");
+        assert!(m.probe(&Value::Null).is_empty(), "NULL probes match nothing, not even NULL");
+        assert_eq!(m.probe(&Value::Integer(1)), vec![1]);
+    }
+
+    #[test]
+    fn eq_key_map_integer_real_cross_match() {
+        let mut m = EqKeyMap::default();
+        m.insert(&Value::Integer(2), 0);
+        m.insert(&Value::Real(2.0), 1);
+        m.insert(&Value::Real(-0.0), 2);
+        assert_eq!(m.probe(&Value::Integer(2)), vec![0, 1]);
+        assert_eq!(m.probe(&Value::Real(2.0)), vec![0, 1]);
+        // -0.0 and 0.0 compare equal under sql_cmp, so they share a bucket.
+        assert_eq!(m.probe(&Value::Integer(0)), vec![2]);
+        assert_eq!(m.probe(&Value::Real(0.0)), vec![2]);
+    }
+
+    #[test]
+    fn eq_key_map_numeric_text_matches_sql_cmp() {
+        let mut m = EqKeyMap::default();
+        m.insert(&Value::text("2"), 0);
+        m.insert(&Value::text("2.0"), 1);
+        m.insert(&Value::Integer(2), 2);
+        m.insert(&Value::text("abc"), 3);
+        // Numbers compare numerically against numeric-looking text...
+        assert_eq!(m.probe(&Value::Integer(2)), vec![0, 1, 2]);
+        // ...but text compares byte-exact against text: '2' matches the
+        // stored '2' and the number, never '2.0'.
+        assert_eq!(m.probe(&Value::text("2")), vec![0, 2]);
+        assert_eq!(m.probe(&Value::text("2.0")), vec![1, 2]);
+        // Non-numeric text only matches exactly.
+        assert_eq!(m.probe(&Value::text("abc")), vec![3]);
+        assert!(m.probe(&Value::text("ab")).is_empty());
+    }
+
+    #[test]
+    fn eq_key_map_probe_order_is_ascending() {
+        let mut m = EqKeyMap::default();
+        for i in 0..5 {
+            m.insert(&Value::Integer(7), i);
+        }
+        m.insert(&Value::text("7"), 5);
+        assert_eq!(m.probe(&Value::Integer(7)), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn pk_lookup_uses_index() {
+        let mut db = Database::new("d");
+        db.create_table(client_table()).unwrap();
+        for i in 0..10i64 {
+            db.insert("client", vec![i.into(), "F".into(), Value::Null]).unwrap();
+        }
+        let t = db.table("client").unwrap();
+        assert_eq!(t.primary_key_column(), Some(0));
+        assert_eq!(t.pk_lookup(&Value::Integer(7)), Some(vec![7]));
+        assert_eq!(t.pk_lookup(&Value::Integer(99)), Some(vec![]));
+        assert_eq!(t.pk_lookup(&Value::Null), Some(vec![]));
+    }
+
+    #[test]
+    fn pk_lookup_absent_without_single_pk() {
+        let mut db = Database::new("d");
+        db.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("a", DataType::Integer), ColumnDef::new("b", DataType::Text)],
+        ))
+        .unwrap();
+        db.insert("t", vec![1.into(), "x".into()]).unwrap();
+        let t = db.table("t").unwrap();
+        assert_eq!(t.primary_key_column(), None);
+        assert!(t.pk_lookup(&Value::Integer(1)).is_none());
     }
 }

@@ -259,7 +259,8 @@ mod tests {
 
     #[test]
     fn tokenizes_quoted_identifiers_and_strings() {
-        let toks = tokenize("SELECT `Free Meal Count (K-12)` FROM \"frpm\" WHERE x = 'it''s'").unwrap();
+        let toks =
+            tokenize("SELECT `Free Meal Count (K-12)` FROM \"frpm\" WHERE x = 'it''s'").unwrap();
         assert_eq!(toks[1], Token::QuotedIdent("Free Meal Count (K-12)".into()));
         assert_eq!(toks[3], Token::QuotedIdent("frpm".into()));
         assert_eq!(*toks.last().unwrap(), Token::String("it's".into()));

@@ -306,6 +306,7 @@ impl Truth {
         }
     }
 
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Truth {
         match self {
             Truth::True => Truth::False,
@@ -382,9 +383,7 @@ pub fn like_match(pattern: &str, text: &str) -> bool {
             }
             '_' => !t.is_empty() && inner(&p[1..], &t[1..]),
             c => {
-                !t.is_empty()
-                    && c.to_lowercase().eq(t[0].to_lowercase())
-                    && inner(&p[1..], &t[1..])
+                !t.is_empty() && c.to_lowercase().eq(t[0].to_lowercase()) && inner(&p[1..], &t[1..])
             }
         }
     }
@@ -405,22 +404,13 @@ mod tests {
 
     #[test]
     fn numeric_comparison_across_types() {
-        assert_eq!(
-            Value::Integer(2).sql_cmp(&Value::Real(2.0)),
-            Some(Ordering::Equal)
-        );
-        assert_eq!(
-            Value::Real(1.5).sql_cmp(&Value::Integer(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Integer(2).sql_cmp(&Value::Real(2.0)), Some(Ordering::Equal));
+        assert_eq!(Value::Real(1.5).sql_cmp(&Value::Integer(2)), Some(Ordering::Less));
     }
 
     #[test]
     fn text_comparison_is_lexicographic() {
-        assert_eq!(
-            Value::text("Alameda").sql_cmp(&Value::text("Fresno")),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::text("Alameda").sql_cmp(&Value::text("Fresno")), Some(Ordering::Less));
         assert_eq!(
             Value::text("restricted").sql_cmp(&Value::text("Restricted")),
             Some(Ordering::Greater),
@@ -490,7 +480,7 @@ mod tests {
 
     #[test]
     fn total_order_ranks_null_numbers_text() {
-        let mut vals = vec![Value::text("z"), Value::Integer(3), Value::Null, Value::Real(1.5)];
+        let mut vals = [Value::text("z"), Value::Integer(3), Value::Null, Value::Real(1.5)];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Real(1.5));

@@ -97,7 +97,8 @@ mod tests {
         let mut total = 0usize;
         for (q, db) in dev_cases(&bench).into_iter().take(20) {
             total += 1;
-            let ctx = GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
+            let ctx =
+                GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
             if execute(db, &system.generate(&ctx)).is_ok() {
                 executable += 1;
             }

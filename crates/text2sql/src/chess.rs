@@ -133,7 +133,10 @@ mod tests {
     use crate::test_support::*;
     use seed_datasets::Split;
 
-    fn accuracy(system: &Chess, evidence_for: impl Fn(&seed_datasets::Question) -> Option<String>) -> f64 {
+    fn accuracy(
+        system: &Chess,
+        evidence_for: impl Fn(&seed_datasets::Question) -> Option<String>,
+    ) -> f64 {
         let bench = tiny_bird();
         let train: Vec<&seed_datasets::Question> = bench.split(Split::Train);
         let mut ok = 0usize;
@@ -142,7 +145,12 @@ mod tests {
             total += 1;
             let gold = execute(db, &q.gold_sql).unwrap();
             let ev = evidence_for(q);
-            let ctx = GenerationContext { question: q, database: db, evidence: ev.as_deref(), train_pool: &train };
+            let ctx = GenerationContext {
+                question: q,
+                database: db,
+                evidence: ev.as_deref(),
+                train_pool: &train,
+            };
             if execute(db, &system.generate(&ctx)).map(|r| r.result_eq(&gold)).unwrap_or(false) {
                 ok += 1;
             }

@@ -76,8 +76,14 @@ mod tests {
         for (q, db) in dev_cases(&bench) {
             let gold = execute(db, &q.gold_sql).unwrap();
             for (system, counter) in [(&small, &mut small_ok), (&large, &mut large_ok)] {
-                let ctx = GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
-                if execute(db, &system.generate(&ctx)).map(|r| r.result_eq(&gold)).unwrap_or(false) {
+                let ctx = GenerationContext {
+                    question: q,
+                    database: db,
+                    evidence: None,
+                    train_pool: &train,
+                };
+                if execute(db, &system.generate(&ctx)).map(|r| r.result_eq(&gold)).unwrap_or(false)
+                {
                     *counter += 1;
                 }
             }
@@ -91,7 +97,8 @@ mod tests {
         let train: Vec<&seed_datasets::Question> = bench.split(Split::Train);
         let system = CodeS::new(7);
         let (q, db) = dev_cases(&bench)[0];
-        let ctx = GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
+        let ctx =
+            GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
         assert_eq!(system.generate(&ctx), system.generate(&ctx));
     }
 

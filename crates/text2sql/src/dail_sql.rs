@@ -103,11 +103,9 @@ mod tests {
         let bench = tiny_bird();
         let train: Vec<&seed_datasets::Question> = bench.split(Split::Train);
         let system = DailSql::new();
-        let (q, db) = dev_cases(&bench)
-            .into_iter()
-            .find(|(q, _)| q.db_id == "financial")
-            .unwrap();
-        let ctx = GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
+        let (q, db) = dev_cases(&bench).into_iter().find(|(q, _)| q.db_id == "financial").unwrap();
+        let ctx =
+            GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
         let examples = system.select_examples(&ctx);
         assert!(!examples.is_empty());
         assert!(examples.len() <= FEW_SHOT);
@@ -128,9 +126,12 @@ mod tests {
             total += 1;
             let gold = execute(db, &q.gold_sql).unwrap();
             let ev = q.oracle_evidence();
-            for (evidence, counter) in [(Some(ev.as_str()), &mut with_ev), (None, &mut without_ev)] {
-                let ctx = GenerationContext { question: q, database: db, evidence, train_pool: &train };
-                if execute(db, &system.generate(&ctx)).map(|r| r.result_eq(&gold)).unwrap_or(false) {
+            for (evidence, counter) in [(Some(ev.as_str()), &mut with_ev), (None, &mut without_ev)]
+            {
+                let ctx =
+                    GenerationContext { question: q, database: db, evidence, train_pool: &train };
+                if execute(db, &system.generate(&ctx)).map(|r| r.result_eq(&gold)).unwrap_or(false)
+                {
                     *counter += 1;
                 }
             }

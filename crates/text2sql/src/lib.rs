@@ -105,12 +105,22 @@ mod tests {
                     evidence: Some(&oracle),
                     train_pool: &train,
                 };
-                let ctx_no =
-                    GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
-                if execute(db, &system.generate(&ctx_ev)).map(|r| r.result_eq(&gold)).unwrap_or(false) {
+                let ctx_no = GenerationContext {
+                    question: q,
+                    database: db,
+                    evidence: None,
+                    train_pool: &train,
+                };
+                if execute(db, &system.generate(&ctx_ev))
+                    .map(|r| r.result_eq(&gold))
+                    .unwrap_or(false)
+                {
                     with_ev += 1;
                 }
-                if execute(db, &system.generate(&ctx_no)).map(|r| r.result_eq(&gold)).unwrap_or(false) {
+                if execute(db, &system.generate(&ctx_no))
+                    .map(|r| r.result_eq(&gold))
+                    .unwrap_or(false)
+                {
                     without_ev += 1;
                 }
             }

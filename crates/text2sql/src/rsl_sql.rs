@@ -117,7 +117,12 @@ mod tests {
             total += 1;
             let gold = execute(db, &q.gold_sql).unwrap();
             let ev = q.oracle_evidence();
-            let ctx = GenerationContext { question: q, database: db, evidence: Some(&ev), train_pool: &train };
+            let ctx = GenerationContext {
+                question: q,
+                database: db,
+                evidence: Some(&ev),
+                train_pool: &train,
+            };
             if execute(db, &system.generate(&ctx)).map(|r| r.result_eq(&gold)).unwrap_or(false) {
                 ok += 1;
             }

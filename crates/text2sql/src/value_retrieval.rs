@@ -94,7 +94,8 @@ mod tests {
     fn does_not_recover_opaque_codes() {
         let bench = build_bird(&CorpusConfig::tiny());
         let db = bench.database("financial").unwrap();
-        let grounded = retrieve_values("Among the weekly issuance accounts, how many have a loan?", db);
+        let grounded =
+            retrieve_values("Among the weekly issuance accounts, how many have a loan?", db);
         let freq_values: Vec<&String> = grounded
             .iter()
             .filter(|g| g.column == "frequency")
@@ -110,7 +111,8 @@ mod tests {
     fn district_names_are_recovered() {
         let bench = build_bird(&CorpusConfig::tiny());
         let db = bench.database("financial").unwrap();
-        let grounded = retrieve_values("How many clients opened accounts in the Jesenik branch?", db);
+        let grounded =
+            retrieve_values("How many clients opened accounts in the Jesenik branch?", db);
         assert!(grounded
             .iter()
             .any(|g| g.column == "district_name" && g.values.iter().any(|v| v == "Jesenik")));

@@ -7,7 +7,9 @@
 //! ```
 
 use seed_datasets::{bird::build_bird, CorpusConfig, EvidenceStatus, Split};
-use seed_eval::{analyze_evidence_defects, error_analysis::defect_examples, EvidenceSetting, ExperimentRunner};
+use seed_eval::{
+    analyze_evidence_defects, error_analysis::defect_examples, EvidenceSetting, ExperimentRunner,
+};
 use seed_text2sql::{CodeS, Text2SqlSystem};
 
 fn main() {
@@ -28,14 +30,19 @@ fn main() {
     println!("\nexample defects:");
     for (q, error) in defect_examples(dev.iter().copied()).into_iter().take(3) {
         println!("  [{}] {}", error.label(), q.text);
-        println!("    shipped  : {}", if q.human_evidence.text.is_empty() { "(none)" } else { &q.human_evidence.text });
+        println!(
+            "    shipped  : {}",
+            if q.human_evidence.text.is_empty() { "(none)" } else { &q.human_evidence.text }
+        );
         println!("    corrected: {}", q.human_evidence.corrected);
     }
 
     // 3. Table-II-style impact measurement on the erroneous subset.
     let runner = ExperimentRunner::new(&bench, Split::Dev);
     let system = CodeS::new(7);
-    let erroneous = |q: &seed_datasets::Question| matches!(q.human_evidence.status, EvidenceStatus::Erroneous(_));
+    let erroneous = |q: &seed_datasets::Question| {
+        matches!(q.human_evidence.status, EvidenceStatus::Erroneous(_))
+    };
     let defective = runner.evaluate_filtered(&system, EvidenceSetting::BirdEvidence, erroneous);
     let corrected = runner.evaluate_filtered(&system, EvidenceSetting::BirdCorrected, erroneous);
     println!(

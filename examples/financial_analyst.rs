@@ -6,9 +6,9 @@
 //! cargo run --release --example financial_analyst
 //! ```
 
-use seed_repro::core::SeedPipeline;
 use seed_datasets::{bird::build_bird, CorpusConfig, Question, Split};
 use seed_eval::{evaluate_pair, score_set};
+use seed_repro::core::SeedPipeline;
 use seed_text2sql::{Chess, ChessConfig, GenerationContext, Text2SqlSystem};
 
 fn main() {
@@ -24,7 +24,8 @@ fn main() {
     let mut with_seed = Vec::new();
     for q in &questions {
         let evidence = seed.generate(q, db, &train, true);
-        let ctx_no = GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
+        let ctx_no =
+            GenerationContext { question: q, database: db, evidence: None, train_pool: &train };
         let ctx_seed = GenerationContext {
             question: q,
             database: db,
@@ -37,7 +38,11 @@ fn main() {
 
     let s_no = score_set(&without);
     let s_seed = score_set(&with_seed);
-    println!("financial-analyst workload ({} questions) with {}:", questions.len(), analyst_system.name());
+    println!(
+        "financial-analyst workload ({} questions) with {}:",
+        questions.len(),
+        analyst_system.name()
+    );
     println!("  without evidence : EX {:.1}%  VES {:.1}%", s_no.ex, s_no.ves);
     println!("  with SEED        : EX {:.1}%  VES {:.1}%", s_seed.ex, s_seed.ves);
     println!("\nExample of generated evidence for the first question:");

@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use seed_repro::core::SeedPipeline;
 use seed_datasets::{bird::build_bird, CorpusConfig, Question, Split};
 use seed_eval::evaluate_pair;
+use seed_repro::core::SeedPipeline;
 use seed_text2sql::{CodeS, GenerationContext, Text2SqlSystem};
 
 fn main() {
@@ -32,7 +32,9 @@ fn main() {
 
     // 4. Translate the question with CodeS, with and without that evidence.
     let system = CodeS::new(7);
-    for (label, evidence) in [("without evidence", None), ("with SEED evidence", Some(generated.evidence.as_str()))] {
+    for (label, evidence) in
+        [("without evidence", None), ("with SEED evidence", Some(generated.evidence.as_str()))]
+    {
         let ctx = GenerationContext { question, database: db, evidence, train_pool: &train };
         let sql = system.generate(&ctx);
         let eval = evaluate_pair(db, &question.gold_sql, &sql);

@@ -7,15 +7,19 @@
 //! cargo run --release --example spider_no_descriptions
 //! ```
 
-use seed_repro::core::SeedVariant;
 use seed_datasets::{spider::build_spider, spider::synthesize_descriptions, CorpusConfig, Split};
 use seed_eval::{EvidenceSetting, ExperimentRunner};
-use seed_text2sql::{C3, Text2SqlSystem};
+use seed_repro::core::SeedVariant;
+use seed_text2sql::{Text2SqlSystem, C3};
 
 fn main() {
     let mut bench = build_spider(&CorpusConfig::tiny());
-    println!("Spider-style corpus: {} databases, {} questions, descriptions shipped: {}",
-        bench.databases.len(), bench.questions.len(), bench.has_descriptions);
+    println!(
+        "Spider-style corpus: {} databases, {} questions, descriptions shipped: {}",
+        bench.databases.len(),
+        bench.questions.len(),
+        bench.has_descriptions
+    );
 
     // Step 1: synthesize description files from the data itself.
     synthesize_descriptions(&mut bench);

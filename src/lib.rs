@@ -9,7 +9,7 @@
 //!
 //! | crate | role |
 //! |---|---|
-//! | [`sqlengine`] | in-memory relational SQL engine (the SQLite stand-in) |
+//! | [`sqlengine`] | in-memory relational SQL engine (the SQLite stand-in) with a physical planner: hash equi-joins, PK hash-index lookups, predicate pushdown, and a deterministic cost model feeding VES |
 //! | [`retrieval`] | BM25 / edit distance / longest common substring |
 //! | [`embedding`] | deterministic sentence embeddings (all-mpnet stand-in) |
 //! | [`llm`] | simulated language models, prompts, token budgets |

@@ -3,7 +3,9 @@
 //! experiments do.
 
 use seed_repro::core::{SeedPipeline, SeedVariant};
-use seed_repro::datasets::{bird::build_bird, spider::build_spider, spider::synthesize_descriptions, CorpusConfig, Split};
+use seed_repro::datasets::{
+    bird::build_bird, spider::build_spider, spider::synthesize_descriptions, CorpusConfig, Split,
+};
 use seed_repro::eval::{analyze_evidence_defects, EvidenceSetting, ExperimentRunner};
 use seed_repro::text2sql::{CodeS, DailSql};
 
@@ -55,7 +57,7 @@ fn dail_sql_shows_largest_no_evidence_degradation() {
 #[test]
 fn evidence_defect_rates_track_the_paper() {
     let bench = build_bird(&CorpusConfig::default());
-    let b = analyze_evidence_defects(bench.split(Split::Dev).into_iter());
+    let b = analyze_evidence_defects(bench.split(Split::Dev));
     assert!((b.missing_rate() - 9.65).abs() < 2.5);
     assert!((b.erroneous_rate() - 6.84).abs() < 2.5);
 }

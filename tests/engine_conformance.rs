@@ -1,9 +1,13 @@
 //! Engine conformance tests over the synthetic corpora: every gold query of
 //! every benchmark must parse, execute, and be stable across repeated runs,
-//! and the execution-accuracy comparator must behave as a congruence.
+//! the execution-accuracy comparator must behave as a congruence, and the
+//! physical planner (hash joins, PK lookups, predicate pushdown) must be
+//! result-identical to the legacy nested-loop executor on every query.
 
 use seed_repro::datasets::{bird::build_bird, spider::build_spider, CorpusConfig};
-use seed_repro::sqlengine::{execute, execute_with_stats};
+use seed_repro::sqlengine::{
+    execute, execute_with_stats, execute_with_stats_mode, parse_select, plan_select, PlanMode,
+};
 
 #[test]
 fn every_gold_query_in_both_benchmarks_executes() {
@@ -31,12 +35,110 @@ fn execution_is_deterministic_and_costed() {
     }
 }
 
+/// The planner-equivalence property: for every gold query of both corpora,
+/// the optimized plan (hash joins, PK lookups, pushdown) must produce the
+/// same rows as the legacy nested-loop executor — not just the same multiset
+/// (`result_eq`), but the same row *order*, so that LIMIT-without-ORDER-BY
+/// queries cannot diverge between plans.
+#[test]
+fn optimized_plans_match_nested_loop_on_every_gold_query() {
+    let bird = build_bird(&CorpusConfig::tiny());
+    let spider = build_spider(&CorpusConfig::tiny());
+    let mut checked = 0usize;
+    for bench in [&bird, &spider] {
+        for q in &bench.questions {
+            let db = bench.database(&q.db_id).unwrap();
+            let (opt, _) = execute_with_stats_mode(db, &q.gold_sql, PlanMode::Optimized)
+                .unwrap_or_else(|e| panic!("{}: optimized failed: {e:?} ({})", q.id, q.gold_sql));
+            let (legacy, _) = execute_with_stats_mode(db, &q.gold_sql, PlanMode::NestedLoop)
+                .unwrap_or_else(|e| panic!("{}: legacy failed: {e:?} ({})", q.id, q.gold_sql));
+            assert!(
+                opt.result_eq(&legacy),
+                "{}: result mismatch\nsql: {}\noptimized: {:?}\nlegacy: {:?}",
+                q.id,
+                q.gold_sql,
+                opt.rows,
+                legacy.rows
+            );
+            assert_eq!(
+                opt.rows.len(),
+                legacy.rows.len(),
+                "{}: row-count mismatch ({})",
+                q.id,
+                q.gold_sql
+            );
+            assert_eq!(opt.rows, legacy.rows, "{}: row-order mismatch ({})", q.id, q.gold_sql);
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "expected a substantive corpus, checked only {checked}");
+}
+
+/// Hash-join plans must be strictly cheaper than their nested-loop
+/// equivalents under the deterministic cost model — this is the VES-facing
+/// payoff of the physical planner.
+#[test]
+fn hash_join_plans_cost_less_than_nested_loop() {
+    let bird = build_bird(&CorpusConfig::tiny());
+    let spider = build_spider(&CorpusConfig::tiny());
+    let mut hash_cases = 0usize;
+    for bench in [&bird, &spider] {
+        for q in &bench.questions {
+            let db = bench.database(&q.db_id).unwrap();
+            let Ok(stmt) = parse_select(&q.gold_sql) else { continue };
+            let plan = plan_select(db, &stmt).unwrap();
+            if !plan.uses_hash_join() {
+                continue;
+            }
+            hash_cases += 1;
+            let (_, opt) = execute_with_stats_mode(db, &q.gold_sql, PlanMode::Optimized).unwrap();
+            let (_, legacy) =
+                execute_with_stats_mode(db, &q.gold_sql, PlanMode::NestedLoop).unwrap();
+            assert!(
+                opt.cost() < legacy.cost(),
+                "{}: hash plan not cheaper ({} vs {})\nsql: {}\nplan:\n{}",
+                q.id,
+                opt.cost(),
+                legacy.cost(),
+                q.gold_sql,
+                plan.explain()
+            );
+        }
+    }
+    assert!(
+        hash_cases >= 20,
+        "expected the corpora to exercise hash joins broadly, found {hash_cases}"
+    );
+}
+
+/// The optimized executor's stats are part of the VES contract: repeated
+/// runs of the same query must report identical statistics in both modes.
+#[test]
+fn optimized_stats_are_deterministic() {
+    let bird = build_bird(&CorpusConfig::tiny());
+    for q in bird.questions.iter().take(40) {
+        let db = bird.database(&q.db_id).unwrap();
+        for mode in [PlanMode::Optimized, PlanMode::NestedLoop] {
+            let (a, stats_a) = execute_with_stats_mode(db, &q.gold_sql, mode).unwrap();
+            let (b, stats_b) = execute_with_stats_mode(db, &q.gold_sql, mode).unwrap();
+            assert!(a.result_eq(&b));
+            assert_eq!(stats_a, stats_b, "{}: stats must be deterministic ({mode:?})", q.id);
+            assert!(stats_a.cost() > 0.0);
+        }
+    }
+}
+
 #[test]
 fn result_comparison_ignores_projection_order_of_rows_only() {
     let bird = build_bird(&CorpusConfig::tiny());
     let db = bird.database("financial").unwrap();
-    let a = execute(db, "SELECT account_id FROM account WHERE district_id = 1 ORDER BY account_id").unwrap();
-    let b = execute(db, "SELECT account_id FROM account WHERE district_id = 1 ORDER BY account_id DESC").unwrap();
+    let a = execute(db, "SELECT account_id FROM account WHERE district_id = 1 ORDER BY account_id")
+        .unwrap();
+    let b = execute(
+        db,
+        "SELECT account_id FROM account WHERE district_id = 1 ORDER BY account_id DESC",
+    )
+    .unwrap();
     assert!(a.result_eq(&b), "row order must not matter");
     let c = execute(db, "SELECT account_id FROM account WHERE district_id = 2").unwrap();
     assert!(!a.result_eq(&c), "different contents must not compare equal");

@@ -1,0 +1,135 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the slice of the criterion API the workspace's benches use —
+//! `Criterion::bench_function`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — on top of a simple
+//! wall-clock measurement loop. Reports median and mean per-iteration time
+//! to stdout. No statistics engine, plotting, or baseline comparison; swap
+//! for the real crate when the build environment has registry access.
+
+use std::time::Instant;
+
+/// Re-export shape of criterion's `black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Minimal benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 50 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark: a warm-up pass, then `sample_size` timed samples.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up / calibration pass sizes each sample to roughly 5 ms.
+        let mut b = Bencher { iters: 1, elapsed_ns: 0 };
+        f(&mut b);
+        let per_iter = b.elapsed_ns.max(1);
+        let iters_per_sample = (5_000_000 / per_iter).clamp(1, 1_000_000);
+
+        let mut samples_ns: Vec<u64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher { iters: iters_per_sample, elapsed_ns: 0 };
+            f(&mut b);
+            samples_ns.push(b.elapsed_ns / iters_per_sample);
+        }
+        samples_ns.sort_unstable();
+        let median = samples_ns[samples_ns.len() / 2];
+        let mean = samples_ns.iter().sum::<u64>() / samples_ns.len() as u64;
+        println!(
+            "bench {name:<40} median {:>12} mean {:>12} ({} samples x {} iters)",
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.sample_size,
+            iters_per_sample,
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Handed to the benchmark closure; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it the sample's iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as u64;
+    }
+}
+
+/// Declares a benchmark group; supports both the plain and `name =`/`config =`
+/// forms of the upstream macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates the `main` that runs each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0u64;
+        c.bench_function("smoke", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Offline stand-in for `proptest`.
+//!
+//! The workspace's property tests only use string strategies of the shape
+//! `"[chars]{m,n}"` (a single character class with a repetition bound), so
+//! this crate implements exactly that: the [`proptest!`] macro expands each
+//! case into a deterministic loop of [`CASES`] generated inputs, and
+//! `prop_assert*` macros forward to the std assertions. No shrinking, no
+//! persistence, no general regex engine — swap for the real crate when the
+//! build environment has registry access.
+
+/// Number of generated inputs per property.
+pub const CASES: usize = 128;
+
+/// Deterministic input generator for one property-test function.
+///
+/// Seeded from the property name so every run of the suite exercises the
+/// same inputs (failures are reproducible), while distinct properties see
+/// distinct streams.
+pub struct Runner {
+    state: u64,
+}
+
+impl Runner {
+    pub fn new(name: &str) -> Self {
+        // FNV-1a over the property name.
+        let mut h = 0xcbf29ce484222325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Runner { state: h }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64.
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// Generates a string matching a `[class]{m,n}` / `[class]{n}` pattern.
+    ///
+    /// Panics on any pattern outside that subset, so an unsupported strategy
+    /// fails loudly rather than silently testing nothing.
+    pub fn gen_string(&mut self, pattern: &str) -> String {
+        let (alphabet, lo, hi) = parse_pattern(pattern);
+        let len = lo + (self.next_u64() as usize) % (hi - lo + 1);
+        (0..len).map(|_| alphabet[(self.next_u64() as usize) % alphabet.len()]).collect()
+    }
+}
+
+/// Parses `[class]{m,n}` into (alphabet, min_len, max_len).
+fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+    fn bad(pattern: &str) -> ! {
+        panic!("unsupported proptest pattern {pattern:?}: expected \"[class]{{m,n}}\"")
+    }
+    let Some(rest) = pattern.strip_prefix('[') else { bad(pattern) };
+    let Some((class, rep)) = rest.split_once(']') else { bad(pattern) };
+    let Some(rep) = rep.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else { bad(pattern) };
+    let (lo, hi): (usize, usize) = match rep.split_once(',') {
+        Some((a, b)) => match (a.parse(), b.parse()) {
+            (Ok(a), Ok(b)) => (a, b),
+            _ => bad(pattern),
+        },
+        None => match rep.parse() {
+            Ok(n) => (n, n),
+            Err(_) => bad(pattern),
+        },
+    };
+    if hi < lo {
+        bad(pattern);
+    }
+    let mut alphabet = Vec::new();
+    let chars: Vec<char> = class.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        if i + 2 < chars.len() && chars[i + 1] == '-' {
+            let (a, b) = (chars[i], chars[i + 2]);
+            if b < a {
+                bad(pattern);
+            }
+            alphabet.extend(a..=b);
+            i += 3;
+        } else {
+            alphabet.push(chars[i]);
+            i += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        bad(pattern);
+    }
+    (alphabet, lo, hi)
+}
+
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest, Runner, CASES};
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Expands each property into a `#[test]` that loops over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:ident in $pat:literal),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut runner = $crate::Runner::new(stringify!($name));
+                for _ in 0..$crate::CASES {
+                    $(let $arg: String = runner.gen_string($pat);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_subset_parses_and_generates() {
+        let mut r = Runner::new("t");
+        for _ in 0..200 {
+            let s = r.gen_string("[a-z0-9 ]{2,5}");
+            assert!((2..=5).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == ' '));
+        }
+        let s = r.gen_string("[xy]{3}");
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn runner_is_deterministic_per_name() {
+        let a: Vec<String> = {
+            let mut r = Runner::new("p");
+            (0..10).map(|_| r.gen_string("[a-z]{0,8}")).collect()
+        };
+        let mut r = Runner::new("p");
+        let b: Vec<String> = (0..10).map(|_| r.gen_string("[a-z]{0,8}")).collect();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(a in "[a-c]{1,4}") {
+            prop_assert!(!a.is_empty());
+        }
+    }
+}

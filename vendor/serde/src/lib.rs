@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without network access, so the real serde framework
+//! cannot be fetched. The only serde surface the workspace uses is
+//! `#[derive(Serialize, Deserialize)]` annotations on a handful of types in
+//! `seed-sqlengine` (nothing actually serializes them yet — they mark the
+//! wire-format boundary for a future persistence layer). These no-op derive
+//! macros let those annotations compile; swap this vendored crate for the
+//! real dependency once the build environment has registry access.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
