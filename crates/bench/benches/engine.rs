@@ -1,10 +1,76 @@
 //! Criterion micro-benchmarks for the SQL engine substrate: the per-query cost
-//! model that backs the VES metric, and the physical planner's hash-join /
-//! index-lookup paths against the legacy nested-loop executor.
+//! model that backs the VES metric, the physical planner's hash-join /
+//! index-lookup paths against the legacy nested-loop executor, and the
+//! scaling benches behind `BENCH_engine.json` — GROUP BY / DISTINCT and BM25
+//! search at 1x vs 10x input sizes (hash grouping and the inverted index
+//! must scale ~linearly, not quadratically), plus a correlated-subquery
+//! workload whose per-outer-row re-planning is eliminated by the plan cache.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use seed_datasets::{bird::build_bird, CorpusConfig, Split};
-use seed_sqlengine::{execute, execute_with_stats_mode, parse_select, plan_select, PlanMode};
+use seed_retrieval::Bm25Index;
+use seed_sqlengine::{
+    execute, execute_with_stats_mode, parse_select, plan_select, ColumnDef, DataType, Database,
+    PlanMode, TableSchema,
+};
+
+/// Rows in the 1x synthetic table; the 10x variants multiply this.
+const BASE_ROWS: usize = 1_000;
+/// Outer rows in the 1x correlated-subquery workload (each outer row
+/// re-executes the subquery, so work grows quadratically in this knob).
+const BASE_CORRELATED_ROWS: usize = 150;
+/// Documents in the 1x BM25 corpus.
+const BASE_DOCS: usize = 500;
+
+/// A synthetic table whose group and distinct-value counts scale with the
+/// row count, so a quadratic grouping path would cost ~100x at 10x rows
+/// while the hashed path costs ~10x.
+fn synthetic_db(rows: usize) -> Database {
+    let mut db = Database::new("synthetic");
+    db.create_table(TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Integer).primary_key(),
+            ColumnDef::new("g", DataType::Integer),
+            ColumnDef::new("v", DataType::Text),
+            ColumnDef::new("amount", DataType::Real),
+        ],
+    ))
+    .unwrap();
+    let groups = (rows / 10).max(1);
+    let distinct = (rows / 5).max(1);
+    for i in 0..rows {
+        db.insert(
+            "t",
+            vec![
+                (i as i64).into(),
+                ((i % groups) as i64).into(),
+                format!("v{}", i % distinct).into(),
+                (((i * 37) % 997) as f64).into(),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// A synthetic BM25 corpus: short multi-token documents over a vocabulary
+/// that scales with the corpus, so any per-query full-corpus rescan is
+/// visible at 10x while postings stay small.
+fn synthetic_docs(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| {
+            format!(
+                "record {} category{} region{} status{} note{}",
+                i,
+                i % 23,
+                i % 47,
+                i % 11,
+                i % (n / 10).max(1)
+            )
+        })
+        .collect()
+}
 
 fn engine_benches(c: &mut Criterion) {
     let bench = build_bird(&CorpusConfig::tiny());
@@ -71,6 +137,51 @@ fn engine_benches(c: &mut Criterion) {
             })
         });
     }
+
+    // GROUP BY / DISTINCT scaling: 10x rows (with 10x groups and 10x
+    // distinct values) must cost ~10x, not ~100x — the payoff of hashing
+    // the grouping keys instead of scanning previously-seen keys per row.
+    let group_sql = "SELECT g, COUNT(*), SUM(amount) FROM t GROUP BY g";
+    let distinct_sql = "SELECT DISTINCT v FROM t";
+    for (scale, rows) in [("1x", BASE_ROWS), ("10x", BASE_ROWS * 10)] {
+        let db = synthetic_db(rows);
+        c.bench_function(&format!("engine/group_by_{scale}"), |b| {
+            b.iter(|| execute(&db, group_sql).unwrap())
+        });
+        c.bench_function(&format!("engine/distinct_{scale}"), |b| {
+            b.iter(|| execute(&db, distinct_sql).unwrap())
+        });
+    }
+
+    // Correlated scalar subquery: re-executed per outer row (inherently
+    // quadratic in rows), but *planned* once — the plan cache serves every
+    // re-execution after the first.
+    let correlated_sql = "SELECT a.id FROM t AS a \
+                          WHERE a.amount > (SELECT AVG(b.amount) FROM t AS b WHERE b.g = a.g)";
+    for (scale, rows) in [("1x", BASE_CORRELATED_ROWS), ("10x", BASE_CORRELATED_ROWS * 10)] {
+        let db = synthetic_db(rows);
+        c.bench_function(&format!("engine/correlated_subquery_{scale}"), |b| {
+            b.iter(|| execute(&db, correlated_sql).unwrap())
+        });
+        let (_, stats) = execute_with_stats_mode(&db, correlated_sql, PlanMode::Optimized).unwrap();
+        assert!(stats.plan_cache_hits > 0, "correlated workload must replay cached subquery plans");
+        println!(
+            "stats engine/correlated_subquery_{scale}       plan_cache_hits {} plan_cache_misses {}",
+            stats.plan_cache_hits, stats.plan_cache_misses
+        );
+    }
+
+    // BM25 search: query cost scales with matching postings, not corpus
+    // size; a 10x corpus with a 10x vocabulary must search in ~10x.
+    for (scale, n) in [("1x", BASE_DOCS), ("10x", BASE_DOCS * 10)] {
+        let index = Bm25Index::build(synthetic_docs(n));
+        c.bench_function(&format!("retrieval/bm25_search_{scale}"), |b| {
+            b.iter(|| index.search("category7 region12 status3", 10))
+        });
+    }
+    c.bench_function("retrieval/bm25_build_10x", |b| {
+        b.iter(|| Bm25Index::build(synthetic_docs(BASE_DOCS * 10)))
+    });
 
     // PK point lookup vs full scan on the largest base table.
     c.bench_function("engine/pk_lookup_hash_index", |b| {

@@ -1,9 +1,20 @@
-//! A small BM25 index over short text documents.
+//! An inverted-index BM25 engine over short text documents.
 //!
 //! CodeS uses a BM25 index over database values and column descriptions for
 //! schema linking; SEED's keyword grounding reuses the same machinery.
+//!
+//! The index is built at [`Bm25Index::add_document`] time: each document is
+//! tokenized once into a term-frequency map, and every distinct term is
+//! appended to a postings list (`term -> [(doc_id, tf)]`, doc ids ascending
+//! by construction). A query then touches only the postings of its own
+//! terms, so search cost scales with the number of *matching* postings
+//! rather than with corpus size — the old implementation rescanned every
+//! document's full token list per query term, which was quadratic in
+//! practice. Top-k selection uses a bounded binary heap, so ranking costs
+//! O(matches · log k) instead of sorting every scored document.
 
-use std::collections::HashMap;
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
 
 use crate::tokenize::tokenize_words;
 
@@ -20,15 +31,48 @@ pub struct SearchHit {
     pub score: f64,
 }
 
-/// An in-memory BM25 index.
+/// Heap entry ordered so the *worst* hit (lowest score, ties broken toward
+/// the larger doc id) sits at the top of a max-heap and is evicted first.
+struct WorstFirst(SearchHit);
+
+impl PartialEq for WorstFirst {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for WorstFirst {}
+
+impl PartialOrd for WorstFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WorstFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Lower score is "greater" (evicted first); on equal scores the
+        // larger doc id is evicted first, preserving the stable
+        // score-descending / doc-id-ascending output order of a full sort.
+        other
+            .0
+            .score
+            .partial_cmp(&self.0.score)
+            .unwrap_or(Ordering::Equal)
+            .then(self.0.doc_id.cmp(&other.0.doc_id))
+    }
+}
+
+/// An in-memory BM25 index with postings lists.
 #[derive(Debug, Clone, Default)]
 pub struct Bm25Index {
     /// Raw documents, in insertion order.
     docs: Vec<String>,
-    /// Tokenized documents.
-    doc_tokens: Vec<Vec<String>>,
-    /// term -> number of documents containing it.
-    doc_freq: HashMap<String, usize>,
+    /// Token count per document (the BM25 `|d|`).
+    doc_lens: Vec<usize>,
+    /// Per-document term frequencies, computed once at indexing time.
+    doc_tfs: Vec<HashMap<String, usize>>,
+    /// term -> (doc id, term frequency), doc ids ascending.
+    postings: HashMap<String, Vec<(usize, usize)>>,
     /// Total token count, for average document length.
     total_len: usize,
 }
@@ -52,20 +96,24 @@ impl Bm25Index {
         index
     }
 
-    /// Adds one document and returns its id.
+    /// Adds one document and returns its id. Tokenization, the document's
+    /// term-frequency map, and its postings entries are all computed here,
+    /// so `search` never re-reads document text.
     pub fn add_document(&mut self, doc: String) -> usize {
+        let doc_id = self.docs.len();
         let tokens = tokenize_words(&doc);
-        let mut seen: Vec<&String> = Vec::new();
-        for t in &tokens {
-            if !seen.contains(&t) {
-                *self.doc_freq.entry(t.clone()).or_insert(0) += 1;
-                seen.push(t);
-            }
-        }
         self.total_len += tokens.len();
-        self.doc_tokens.push(tokens);
+        self.doc_lens.push(tokens.len());
+        let mut tf: HashMap<String, usize> = HashMap::new();
+        for t in tokens {
+            *tf.entry(t).or_insert(0) += 1;
+        }
+        for (term, &count) in &tf {
+            self.postings.entry(term.clone()).or_default().push((doc_id, count));
+        }
+        self.doc_tfs.push(tf);
         self.docs.push(doc);
-        self.docs.len() - 1
+        doc_id
     }
 
     /// Number of indexed documents.
@@ -83,34 +131,59 @@ impl Bm25Index {
         self.docs.get(doc_id).map(|s| s.as_str())
     }
 
-    /// Scores every document against the query and returns the top `k` hits
-    /// with positive scores, best first.
+    /// How often `term` (already normalized the way [`tokenize_words`]
+    /// normalizes) occurs in a document.
+    pub fn term_frequency(&self, doc_id: usize, term: &str) -> usize {
+        self.doc_tfs.get(doc_id).and_then(|tf| tf.get(term)).copied().unwrap_or(0)
+    }
+
+    /// Number of documents containing `term`.
+    pub fn document_frequency(&self, term: &str) -> usize {
+        self.postings.get(term).map_or(0, Vec::len)
+    }
+
+    /// Scores the documents matching the query and returns the top `k` hits
+    /// with positive scores, best first (ties broken by ascending doc id).
+    ///
+    /// Only the postings of the query's terms are visited; documents sharing
+    /// no term with the query are never touched.
     pub fn search(&self, query: &str, k: usize) -> Vec<SearchHit> {
-        if self.docs.is_empty() {
+        if self.docs.is_empty() || k == 0 {
             return Vec::new();
         }
         let q_tokens = tokenize_words(query);
         let n = self.docs.len() as f64;
         let avg_len = (self.total_len as f64 / self.docs.len() as f64).max(1.0);
-        let mut hits: Vec<SearchHit> = Vec::new();
-        for (doc_id, tokens) in self.doc_tokens.iter().enumerate() {
-            let dl = tokens.len() as f64;
-            let mut score = 0.0;
-            for q in &q_tokens {
-                let tf = tokens.iter().filter(|t| *t == q).count() as f64;
-                if tf == 0.0 {
-                    continue;
-                }
-                let df = *self.doc_freq.get(q).unwrap_or(&0) as f64;
-                let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
-                score += idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avg_len));
-            }
-            if score > 0.0 {
-                hits.push(SearchHit { doc_id, score });
+
+        // Accumulate per-document scores term by term, in query order (a
+        // repeated query term contributes once per occurrence, as before).
+        let mut scores: HashMap<usize, f64> = HashMap::new();
+        for q in &q_tokens {
+            let Some(postings) = self.postings.get(q) else { continue };
+            let df = postings.len() as f64;
+            let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+            for &(doc_id, tf) in postings {
+                let tf = tf as f64;
+                let dl = self.doc_lens[doc_id] as f64;
+                let term_score = idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avg_len));
+                *scores.entry(doc_id).or_insert(0.0) += term_score;
             }
         }
-        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
-        hits.truncate(k);
+
+        // Bounded top-k: a k-sized heap keyed worst-first.
+        let mut heap: BinaryHeap<WorstFirst> = BinaryHeap::with_capacity(k + 1);
+        for (doc_id, score) in scores {
+            if score > 0.0 {
+                heap.push(WorstFirst(SearchHit { doc_id, score }));
+                if heap.len() > k {
+                    heap.pop();
+                }
+            }
+        }
+        let mut hits: Vec<SearchHit> = heap.into_iter().map(|w| w.0).collect();
+        hits.sort_by(|a, b| {
+            b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal).then(a.doc_id.cmp(&b.doc_id))
+        });
         hits
     }
 }
@@ -127,6 +200,37 @@ mod tests {
             "monthly issuance POPLATEK MESICNE",
             "weekly issuance POPLATEK TYDNE",
         ])
+    }
+
+    /// The pre-inverted-index scorer, kept as the semantic reference: scan
+    /// every document, score every query token against its full token list.
+    fn reference_search(idx: &Bm25Index, query: &str, k: usize) -> Vec<SearchHit> {
+        let q_tokens = tokenize_words(query);
+        let n = idx.len() as f64;
+        let total: usize =
+            (0..idx.len()).map(|d| tokenize_words(idx.document(d).unwrap()).len()).sum();
+        let avg_len = (total as f64 / idx.len() as f64).max(1.0);
+        let mut hits: Vec<SearchHit> = Vec::new();
+        for doc_id in 0..idx.len() {
+            let tokens = tokenize_words(idx.document(doc_id).unwrap());
+            let dl = tokens.len() as f64;
+            let mut score = 0.0;
+            for q in &q_tokens {
+                let tf = tokens.iter().filter(|t| *t == q).count() as f64;
+                if tf == 0.0 {
+                    continue;
+                }
+                let df = idx.document_frequency(q) as f64;
+                let idf = ((n - df + 0.5) / (df + 0.5) + 1.0).ln();
+                score += idf * (tf * (K1 + 1.0)) / (tf + K1 * (1.0 - B + B * dl / avg_len));
+            }
+            if score > 0.0 {
+                hits.push(SearchHit { doc_id, score });
+            }
+        }
+        hits.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(Ordering::Equal));
+        hits.truncate(k);
+        hits
     }
 
     #[test]
@@ -174,5 +278,56 @@ mod tests {
         for w in hits.windows(2) {
             assert!(w[0].score >= w[1].score);
         }
+    }
+
+    #[test]
+    fn postings_and_tf_accessors() {
+        let idx = index();
+        assert_eq!(idx.document_frequency("education"), 2);
+        assert_eq!(idx.document_frequency("fremont"), 1);
+        assert_eq!(idx.document_frequency("missing"), 0);
+        assert_eq!(idx.term_frequency(0, "education"), 1);
+        assert_eq!(idx.term_frequency(2, "education"), 0);
+        let idx = Bm25Index::build(["alpha alpha beta"]);
+        assert_eq!(idx.term_frequency(0, "alpha"), 2);
+    }
+
+    #[test]
+    fn inverted_index_matches_full_scan_reference() {
+        // The postings-based scorer must rank exactly like the legacy
+        // scan-every-document scorer, including duplicate query terms
+        // (each occurrence contributes again) and tie-breaking.
+        let idx = index();
+        for query in [
+            "county office education",
+            "weekly issuance",
+            "issuance issuance",
+            "fremont",
+            "education education county",
+            "POPLATEK",
+        ] {
+            for k in [1, 3, 10] {
+                let fast = idx.search(query, k);
+                let slow = reference_search(&idx, query, k);
+                assert_eq!(fast.len(), slow.len(), "{query:?} k={k}");
+                for (f, s) in fast.iter().zip(&slow) {
+                    assert_eq!(f.doc_id, s.doc_id, "{query:?} k={k}");
+                    assert!((f.score - s.score).abs() < 1e-12, "{query:?} k={k}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn search_cost_scales_with_matches_not_corpus() {
+        // Build a corpus where only a handful of documents contain the
+        // query term; the loop in `search` must only visit those postings.
+        let mut docs: Vec<String> = (0..500).map(|i| format!("filler{i} common text")).collect();
+        docs.push("needle in the haystack".into());
+        let idx = Bm25Index::build(docs);
+        assert_eq!(idx.document_frequency("needle"), 1);
+        let hits = idx.search("needle", 5);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc_id, 500);
     }
 }

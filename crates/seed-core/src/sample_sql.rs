@@ -4,10 +4,13 @@
 //! database: extract keywords from the question, pair them with candidate
 //! columns, and run probe queries — `SELECT DISTINCT col`, `LIKE '%kw%'`
 //! filters, and edit-distance similar-value retrieval — to see what the
-//! database actually contains.
+//! database actually contains. Multi-word keywords additionally run through
+//! a per-column BM25 index over the probed distinct values, which surfaces
+//! values sharing any token with the keyword even when no contiguous
+//! substring matches (the inverted index makes this probe cheap).
 
 use seed_llm::{ExtractedKeyword, GroundedColumn, KeywordExtractionTask, LanguageModel};
-use seed_retrieval::normalized_similarity;
+use seed_retrieval::{normalized_similarity, Bm25Index};
 use seed_sqlengine::{execute, Database};
 
 /// A probe query that was executed, kept for the pipeline trace.
@@ -89,9 +92,24 @@ pub fn ground_keywords(
                 .filter(|(_, s)| *s >= 0.5)
                 .collect();
             similar.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+            // BM25 over the column's distinct values: catches multi-word
+            // keywords whose tokens appear non-contiguously in a value,
+            // which both the LIKE probe and whole-string edit distance miss.
+            let bm25_hits: Vec<String> = if kw.keyword.split_whitespace().nth(1).is_some() {
+                let index = Bm25Index::build(values.iter().cloned());
+                index
+                    .search(&kw.keyword, VALUES_PER_COLUMN)
+                    .into_iter()
+                    .map(|hit| values[hit.doc_id].clone())
+                    .collect()
+            } else {
+                Vec::new()
+            };
 
             let mut selected: Vec<String> = Vec::new();
-            for v in like_hits.into_iter().chain(similar.into_iter().map(|(v, _)| v)) {
+            for v in
+                like_hits.into_iter().chain(similar.into_iter().map(|(v, _)| v)).chain(bm25_hits)
+            {
                 if !selected.contains(&v) {
                     selected.push(v);
                 }
@@ -178,6 +196,27 @@ mod tests {
         );
         assert!(out.probes.iter().any(|p| p.sql.contains("LIKE")));
         assert!(out.probes.iter().any(|p| p.sql.starts_with("SELECT DISTINCT")));
+    }
+
+    #[test]
+    fn bm25_grounds_multi_word_keywords_with_scrambled_token_order() {
+        let (bench, _) = financial();
+        let db = bench.database("financial").unwrap();
+        // "MESICNE POPLATEK" reverses the stored token order, so the LIKE
+        // probe finds no contiguous substring and whole-string edit distance
+        // stays under threshold — only the BM25 token match can ground it.
+        let kw = ExtractedKeyword {
+            keyword: "MESICNE POPLATEK".to_string(),
+            candidate_columns: vec![("account".to_string(), "frequency".to_string())],
+        };
+        let out = ground_keywords(&[kw], "irrelevant", db, None);
+        let freq = out.grounded.iter().find(|g| g.column == "frequency").expect("grounded");
+        assert_eq!(
+            freq.values.first().map(String::as_str),
+            Some("POPLATEK MESICNE"),
+            "the value containing both query tokens must rank first: {:?}",
+            freq.values
+        );
     }
 
     #[test]

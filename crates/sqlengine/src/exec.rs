@@ -6,10 +6,10 @@
 use crate::ast::*;
 use crate::error::{SqlError, SqlResult};
 use crate::functions::eval_scalar_function;
-use crate::plan::{expand_projections, plan_select, PlanMode, PlanNode};
+use crate::plan::{expand_projections, PlanCache, PlanMode, PlanNode};
 use crate::result::{ExecStats, ResultSet};
 use crate::schema::{ColumnDef, DataType, ForeignKey, TableSchema};
-use crate::storage::{Database, EqKeyMap};
+use crate::storage::{Database, EqKeyMap, GroupKeyMap};
 use crate::value::{like_match, Truth, Value};
 
 /// Executes a SQL string against a database, returning the result rows.
@@ -55,7 +55,7 @@ pub fn execute_select_with_stats_mode(
     stmt: &SelectStatement,
     mode: PlanMode,
 ) -> SqlResult<(ResultSet, ExecStats)> {
-    let mut exec = Executor { db, stats: ExecStats::default(), mode };
+    let mut exec = Executor { db, stats: ExecStats::default(), mode, plans: PlanCache::default() };
     let rs = exec.run_select(stmt, None)?;
     Ok((rs, exec.stats))
 }
@@ -109,8 +109,12 @@ pub fn execute_statement(db: &mut Database, sql: &str) -> SqlResult<ResultSet> {
                 }
                 let mut row = vec![Value::Null; schema.columns.len()];
                 for (expr, &pos) in row_exprs.iter().zip(&positions) {
-                    let mut exec =
-                        Executor { db, stats: ExecStats::default(), mode: PlanMode::default() };
+                    let mut exec = Executor {
+                        db,
+                        stats: ExecStats::default(),
+                        mode: PlanMode::default(),
+                        plans: PlanCache::default(),
+                    };
                     let scope = Scope { cols: &[], row: &[], parent: None };
                     row[pos] = exec.eval(expr, &scope, None)?;
                 }
@@ -143,15 +147,34 @@ struct Scope<'a> {
     parent: Option<&'a Scope<'a>>,
 }
 
-/// A group of rows sharing the same GROUP BY key (all over `cols`).
+/// A group of rows sharing the same GROUP BY key: row indices into the
+/// filtered relation, so grouping never clones full rows.
 struct Group<'a> {
-    rows: &'a [Vec<Value>],
+    /// The filtered relation all groups index into.
+    all: &'a [Vec<Value>],
+    /// Positions of this group's rows within `all`, in scan order.
+    idx: &'a [usize],
+}
+
+impl<'a> Group<'a> {
+    /// Number of rows in the group.
+    fn len(&self) -> usize {
+        self.idx.len()
+    }
+
+    /// The group's rows, in scan order.
+    fn rows(&self) -> impl Iterator<Item = &'a Vec<Value>> + '_ {
+        self.idx.iter().map(|&i| &self.all[i])
+    }
 }
 
 struct Executor<'a> {
     db: &'a Database,
     stats: ExecStats,
     mode: PlanMode,
+    /// Per-statement plan cache: subqueries re-executed per outer row are
+    /// planned once and replayed from here afterwards.
+    plans: PlanCache,
 }
 
 impl<'a> Executor<'a> {
@@ -178,16 +201,25 @@ impl<'a> Executor<'a> {
         let (headers, proj_exprs) = expand_projections(&stmt.projections, &rel.cols)?;
 
         let mut out_rows: Vec<Vec<Value>> = Vec::new();
-        // Each output row keeps the context row used to evaluate ORDER BY expressions.
-        let mut order_ctx: Vec<Vec<Value>> = Vec::new();
-        let mut order_groups: Vec<Vec<Vec<Value>>> = Vec::new();
+        // Each output row keeps the *index* (into `filtered`) of the context
+        // row used to evaluate ORDER BY expressions — `None` only for the
+        // empty global aggregate group, which has no underlying row. Group
+        // membership is likewise tracked as row indices; neither context nor
+        // groups clone rows.
+        let mut order_ctx: Vec<Option<usize>> = Vec::new();
+        let mut order_groups: Vec<Vec<usize>> = Vec::new();
+        let null_row: Vec<Value> = vec![Value::Null; rel.cols.len()];
 
         if grouped {
             let groups = self.group_rows(&filtered, &stmt.group_by, &rel.cols, outer)?;
             for g in groups {
-                let first = g.first().cloned().unwrap_or_else(|| vec![Value::Null; rel.cols.len()]);
-                let scope = Scope { cols: &rel.cols, row: &first, parent: outer };
-                let group = Group { rows: &g };
+                let ctx = g.first().copied();
+                let first: &[Value] = match ctx {
+                    Some(i) => &filtered[i],
+                    None => &null_row,
+                };
+                let scope = Scope { cols: &rel.cols, row: first, parent: outer };
+                let group = Group { all: &filtered, idx: &g };
                 if let Some(having) = &stmt.having {
                     if !self.eval(having, &scope, Some(&group))?.to_truth().is_true() {
                         continue;
@@ -198,37 +230,37 @@ impl<'a> Executor<'a> {
                     out.push(self.eval(e, &scope, Some(&group))?);
                 }
                 out_rows.push(out);
-                order_ctx.push(first);
+                order_ctx.push(ctx);
                 order_groups.push(g);
             }
         } else {
-            for row in &filtered {
+            for (ri, row) in filtered.iter().enumerate() {
                 let scope = Scope { cols: &rel.cols, row, parent: outer };
                 let mut out = Vec::with_capacity(proj_exprs.len());
                 for e in &proj_exprs {
                     out.push(self.eval(e, &scope, None)?);
                 }
                 out_rows.push(out);
-                order_ctx.push(row.clone());
-                order_groups.push(vec![row.clone()]);
+                order_ctx.push(Some(ri));
+                // `order_groups` stays empty: ungrouped ORDER BY keys never
+                // consult a group, so the old per-row singleton groups were
+                // pure clone overhead.
             }
         }
 
-        // 4. DISTINCT
+        // 4. DISTINCT — hashed first-seen dedup (grouping_eq semantics).
         if stmt.distinct {
-            let mut seen: Vec<Vec<Value>> = Vec::new();
+            let mut seen = GroupKeyMap::default();
             let mut kept_rows = Vec::new();
             let mut kept_ctx = Vec::new();
             let mut kept_groups = Vec::new();
-            for ((row, ctx), grp) in out_rows.into_iter().zip(order_ctx).zip(order_groups) {
-                let dup = seen.iter().any(|s: &Vec<Value>| {
-                    s.len() == row.len() && s.iter().zip(&row).all(|(a, b)| a.grouping_eq(b))
-                });
-                if !dup {
-                    seen.push(row.clone());
+            for (i, (row, ctx)) in out_rows.into_iter().zip(order_ctx).enumerate() {
+                if seen.insert_if_new(&row) {
                     kept_rows.push(row);
                     kept_ctx.push(ctx);
-                    kept_groups.push(grp);
+                    if grouped {
+                        kept_groups.push(std::mem::take(&mut order_groups[i]));
+                    }
                 }
             }
             out_rows = kept_rows;
@@ -236,11 +268,16 @@ impl<'a> Executor<'a> {
             order_groups = kept_groups;
         }
 
-        // 5. ORDER BY
+        // 5. ORDER BY — sort a permutation of row indices keyed by the
+        // evaluated sort keys, then reorder in place; no row is cloned.
         if !stmt.order_by.is_empty() {
-            #[allow(clippy::type_complexity)]
-            let mut keyed: Vec<(Vec<Value>, Vec<(Value, bool)>)> = Vec::new();
+            let mut sort_keys: Vec<Vec<(Value, bool)>> = Vec::with_capacity(out_rows.len());
             for (i, row) in out_rows.iter().enumerate() {
+                let ctx_row: &[Value] = match order_ctx[i] {
+                    Some(r) => &filtered[r],
+                    None => &null_row,
+                };
+                let group_idx: &[usize] = if grouped { &order_groups[i] } else { &[] };
                 let mut keys = Vec::new();
                 for item in &stmt.order_by {
                     let v = self.eval_order_key(
@@ -249,17 +286,18 @@ impl<'a> Executor<'a> {
                         &headers,
                         &stmt.projections,
                         &rel.cols,
-                        &order_ctx[i],
-                        &order_groups[i],
+                        ctx_row,
+                        Group { all: &filtered, idx: group_idx },
                         grouped,
                         outer,
                     )?;
                     keys.push((v, item.descending));
                 }
-                keyed.push((row.clone(), keys));
+                sort_keys.push(keys);
             }
-            keyed.sort_by(|a, b| {
-                for ((va, desc), (vb, _)) in a.1.iter().zip(b.1.iter()) {
+            let mut order: Vec<usize> = (0..out_rows.len()).collect();
+            order.sort_by(|&a, &b| {
+                for ((va, desc), (vb, _)) in sort_keys[a].iter().zip(sort_keys[b].iter()) {
                     let ord = va.total_cmp(vb);
                     let ord = if *desc { ord.reverse() } else { ord };
                     if ord != std::cmp::Ordering::Equal {
@@ -268,7 +306,7 @@ impl<'a> Executor<'a> {
                 }
                 std::cmp::Ordering::Equal
             });
-            out_rows = keyed.into_iter().map(|(r, _)| r).collect();
+            out_rows = order.into_iter().map(|i| std::mem::take(&mut out_rows[i])).collect();
         }
 
         // 6. LIMIT / OFFSET
@@ -317,14 +355,16 @@ impl<'a> Executor<'a> {
     }
 
     /// Planner-driven FROM/JOIN/WHERE: lowers the statement to a physical
-    /// plan, executes the operator tree, then applies the post-join residue
-    /// of the WHERE clause.
+    /// plan (or replays the cached plan when this statement has executed
+    /// before — correlated subqueries hit this on every outer row after the
+    /// first), executes the operator tree, then applies the post-join
+    /// residue of the WHERE clause.
     fn run_from_where_planned(
         &mut self,
         stmt: &SelectStatement,
         outer: Option<&Scope<'_>>,
     ) -> SqlResult<(Rel, Vec<Vec<Value>>)> {
-        let plan = plan_select(self.db, stmt)?;
+        let plan = self.plans.get_or_plan(self.db, stmt, &mut self.stats)?;
         let mut rel = match &plan.root {
             Some(node) => self.exec_plan_node(node, outer)?,
             None => Rel { cols: vec![], rows: vec![vec![]] },
@@ -412,7 +452,7 @@ impl<'a> Executor<'a> {
                 for lrow in &left.rows {
                     self.stats.hash_probes += 1;
                     let mut matched = false;
-                    for ridx in index.probe(&lrow[*left_key]) {
+                    for &ridx in index.probe(&lrow[*left_key]).iter() {
                         let mut combined = lrow.clone();
                         combined.extend(right.rows[ridx].iter().cloned());
                         let ok = match on {
@@ -548,33 +588,34 @@ impl<'a> Executor<'a> {
         Ok(Rel { cols, rows })
     }
 
-    /// Groups rows by the GROUP BY keys (or a single global group if none).
+    /// Groups rows by the GROUP BY keys (or a single global group if none),
+    /// returning row indices per group. Hashed via [`GroupKeyMap`]: O(rows)
+    /// instead of the old linear scan over previously-seen keys, with
+    /// identical group order (first-seen) and membership order (scan order).
     fn group_rows(
         &mut self,
         rows: &[Vec<Value>],
         group_by: &[Expr],
         cols: &[ColInfo],
         outer: Option<&Scope<'_>>,
-    ) -> SqlResult<Vec<Vec<Vec<Value>>>> {
+    ) -> SqlResult<Vec<Vec<usize>>> {
         if group_by.is_empty() {
-            return Ok(vec![rows.to_vec()]);
+            return Ok(vec![(0..rows.len()).collect()]);
         }
-        let mut keys: Vec<Vec<Value>> = Vec::new();
-        let mut groups: Vec<Vec<Vec<Value>>> = Vec::new();
-        for row in rows {
+        let mut map = GroupKeyMap::default();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut key = Vec::with_capacity(group_by.len());
+        for (ri, row) in rows.iter().enumerate() {
             let scope = Scope { cols, row, parent: outer };
-            let mut key = Vec::with_capacity(group_by.len());
+            key.clear();
             for g in group_by {
                 key.push(self.eval(g, &scope, None)?);
             }
-            let pos = keys.iter().position(|k| k.iter().zip(&key).all(|(a, b)| a.grouping_eq(b)));
-            match pos {
-                Some(i) => groups[i].push(row.clone()),
-                None => {
-                    keys.push(key);
-                    groups.push(vec![row.clone()]);
-                }
+            let (gid, new) = map.get_or_insert(&key);
+            if new {
+                groups.push(Vec::new());
             }
+            groups[gid].push(ri);
         }
         Ok(groups)
     }
@@ -589,7 +630,7 @@ impl<'a> Executor<'a> {
         projections: &[Projection],
         cols: &[ColInfo],
         ctx_row: &[Value],
-        group_rows: &[Vec<Value>],
+        group: Group<'_>,
         grouped: bool,
         outer: Option<&Scope<'_>>,
     ) -> SqlResult<Value> {
@@ -616,7 +657,6 @@ impl<'a> Executor<'a> {
         }
         let scope = Scope { cols, row: ctx_row, parent: outer };
         if grouped {
-            let group = Group { rows: group_rows };
             self.eval(expr, &scope, Some(&group))
         } else {
             self.eval(expr, &scope, None)
@@ -855,13 +895,13 @@ impl<'a> Executor<'a> {
         // COUNT(*) — no argument.
         if arg.is_none() {
             return match kind {
-                AggregateKind::Count => Ok(Value::Integer(group.rows.len() as i64)),
+                AggregateKind::Count => Ok(Value::Integer(group.len() as i64)),
                 other => Err(SqlError::Execution(format!("{} requires an argument", other.name()))),
             };
         }
         let arg = arg.unwrap();
-        let mut vals: Vec<Value> = Vec::with_capacity(group.rows.len());
-        for row in group.rows {
+        let mut vals: Vec<Value> = Vec::with_capacity(group.len());
+        for row in group.rows() {
             self.stats.evaluations += 1;
             let inner_scope = Scope { cols: scope.cols, row, parent: scope.parent };
             let v = self.eval(arg, &inner_scope, None)?;
@@ -870,13 +910,9 @@ impl<'a> Executor<'a> {
             }
         }
         if distinct {
-            let mut uniq: Vec<Value> = Vec::new();
-            for v in vals {
-                if !uniq.iter().any(|u| u.grouping_eq(&v)) {
-                    uniq.push(v);
-                }
-            }
-            vals = uniq;
+            // Hashed first-seen dedup, same order as the old linear scan.
+            let mut seen = GroupKeyMap::default();
+            vals.retain(|v| seen.insert_if_new(std::slice::from_ref(v)));
         }
         Ok(match kind {
             AggregateKind::Count => Value::Integer(vals.len() as i64),
@@ -937,6 +973,7 @@ fn cast_value(v: &Value, target: DataType) -> Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::plan::plan_select;
     use crate::schema::{ColumnDef, DataType};
 
     /// A small financial-style database used across executor tests.

@@ -31,7 +31,17 @@
 //!    the legacy executor's rows *and their order* exactly.
 //! 2. **Shared pipeline** ([`exec`]): projection, grouping, `HAVING`,
 //!    `DISTINCT`, `ORDER BY`, and `LIMIT`/`OFFSET` run identically for
-//!    every plan.
+//!    every plan. `GROUP BY`, `DISTINCT`, and `DISTINCT` aggregates are
+//!    hashed through [`storage::GroupKeyMap`] — a multi-column grouping-key
+//!    map with exact [`value::Value::grouping_eq`] semantics (NULL groups
+//!    with NULL, integers and reals cross-match, text is byte-exact, NaN
+//!    falls back to a linear side path) — so grouping is O(rows) instead of
+//!    O(rows × groups). Groups are tracked as row indices into the filtered
+//!    relation; no full-row clones.
+//!
+//! Each top-level statement executes with a [`plan::PlanCache`]: subqueries
+//! (scalar, `IN`, `EXISTS`, derived tables) are planned once and re-executed
+//! per outer row, with hit/miss counts reported in [`ExecStats`].
 //!
 //! [`plan::PlanMode::NestedLoop`] preserves the original cross-product
 //! executor as a semantic reference; `tests/engine_conformance.rs` asserts
@@ -75,8 +85,8 @@ pub use exec::{
     execute_statement, execute_with_stats, execute_with_stats_mode,
 };
 pub use parser::{parse_select, parse_statement};
-pub use plan::{plan_select, PhysicalPlan, PlanMode, PlanNode};
+pub use plan::{plan_select, PhysicalPlan, PlanCache, PlanMode, PlanNode};
 pub use result::{ExecStats, ResultSet};
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
-pub use storage::{Database, EqKeyMap, Row, Table};
+pub use storage::{Database, EqKeyMap, GroupKeyMap, ProbeHits, Row, Table};
 pub use value::{like_match, ArithOp, Truth, Value};

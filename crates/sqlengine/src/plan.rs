@@ -39,8 +39,12 @@
 //! and the eval layer always runs gold and predicted SQL under the same
 //! mode, so EX/VES comparisons are unaffected.
 
+use std::collections::HashMap;
+use std::rc::Rc;
+
 use crate::ast::{Expr, JoinKind, Projection, SelectStatement, TableRef};
 use crate::error::{SqlError, SqlResult};
+use crate::result::ExecStats;
 use crate::storage::Database;
 use crate::value::Value;
 
@@ -368,6 +372,82 @@ pub(crate) fn describe_expr(expr: &Expr) -> String {
             format!("CAST({} AS {})", describe_expr(expr), target.sql_name())
         }
         _ => "expr".to_string(),
+    }
+}
+
+/// A per-execution cache of physical plans, keyed by statement identity.
+///
+/// Planning is pure in the database and the statement, both of which are
+/// immutable for the duration of one `execute*` call — so a statement that
+/// executes many times (a correlated scalar/`IN`/`EXISTS` subquery runs once
+/// per outer row, a derived table once per enclosing execution) needs
+/// planning exactly once. The executor owns one cache per top-level
+/// statement and threads every `plan_select` call through it; hits and
+/// misses are reported in [`ExecStats`].
+///
+/// Keys are the statement's address. That is sound here because every
+/// statement planned during an execution is either reachable from the
+/// borrowed top-level AST (alive for the whole execution) or owned by a plan
+/// already in this cache (subqueries inside `SubqueryScan` nodes) — the
+/// cache never evicts, so no address can be freed and reused while the cache
+/// lives.
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    plans: HashMap<usize, CachedPlan>,
+}
+
+/// A cached plan plus a cheap structural fingerprint of the statement it was
+/// planned from, so an address accidentally reused by a *different*
+/// statement (should the lifetime invariant above ever be broken) fails a
+/// debug assertion instead of silently executing the wrong plan.
+#[derive(Debug)]
+struct CachedPlan {
+    plan: Rc<PhysicalPlan>,
+    shape: (usize, usize, usize, usize, bool),
+}
+
+fn stmt_shape(stmt: &SelectStatement) -> (usize, usize, usize, usize, bool) {
+    (
+        stmt.projections.len(),
+        stmt.joins.len(),
+        stmt.group_by.len(),
+        stmt.order_by.len(),
+        stmt.distinct,
+    )
+}
+
+impl PlanCache {
+    /// Returns the cached plan for `stmt`, planning and caching on miss.
+    pub fn get_or_plan(
+        &mut self,
+        db: &Database,
+        stmt: &SelectStatement,
+        stats: &mut ExecStats,
+    ) -> SqlResult<Rc<PhysicalPlan>> {
+        let key = stmt as *const SelectStatement as usize;
+        if let Some(cached) = self.plans.get(&key) {
+            debug_assert_eq!(
+                cached.shape,
+                stmt_shape(stmt),
+                "PlanCache address reuse: a statement was dropped while its cache entry lived"
+            );
+            stats.plan_cache_hits += 1;
+            return Ok(Rc::clone(&cached.plan));
+        }
+        stats.plan_cache_misses += 1;
+        let plan = Rc::new(plan_select(db, stmt)?);
+        self.plans.insert(key, CachedPlan { plan: Rc::clone(&plan), shape: stmt_shape(stmt) });
+        Ok(plan)
+    }
+
+    /// Number of distinct statements planned so far.
+    pub fn len(&self) -> usize {
+        self.plans.len()
+    }
+
+    /// True when nothing has been planned yet.
+    pub fn is_empty(&self) -> bool {
+        self.plans.is_empty()
     }
 }
 
@@ -705,6 +785,21 @@ mod tests {
         };
         assert_eq!(alias, "t");
         assert_eq!(pushed.len(), 1, "derived-table filter is pushed onto its rows");
+    }
+
+    #[test]
+    fn plan_cache_hits_on_repeated_statements() {
+        let d = db();
+        let stmt = parse_select("SELECT loan_id FROM loan WHERE amount > 10").unwrap();
+        let mut cache = PlanCache::default();
+        let mut stats = ExecStats::default();
+        let p1 = cache.get_or_plan(&d, &stmt, &mut stats).unwrap();
+        let p2 = cache.get_or_plan(&d, &stmt, &mut stats).unwrap();
+        assert!(Rc::ptr_eq(&p1, &p2), "repeated statements share one plan");
+        assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (1, 1));
+        let stmt2 = parse_select("SELECT loan_id FROM loan").unwrap();
+        cache.get_or_plan(&d, &stmt2, &mut stats).unwrap();
+        assert_eq!(cache.len(), 2, "distinct statements plan independently");
     }
 
     #[test]

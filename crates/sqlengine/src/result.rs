@@ -107,6 +107,12 @@ pub struct ExecStats {
     pub hash_build_rows: u64,
     /// Join hash-table probe operations.
     pub hash_probes: u64,
+    /// Physical plans served from the per-statement plan cache. Correlated
+    /// subqueries re-execute per outer row; every re-execution after the
+    /// first is a cache hit instead of a fresh planning pass.
+    pub plan_cache_hits: u64,
+    /// Physical plans actually computed (cache misses).
+    pub plan_cache_misses: u64,
 }
 
 impl ExecStats {
@@ -133,6 +139,8 @@ impl ExecStats {
         self.index_lookups += other.index_lookups;
         self.hash_build_rows += other.hash_build_rows;
         self.hash_probes += other.hash_probes;
+        self.plan_cache_hits += other.plan_cache_hits;
+        self.plan_cache_misses += other.plan_cache_misses;
     }
 }
 
@@ -211,5 +219,17 @@ mod tests {
         assert_eq!(total.index_lookups, 1);
         assert_eq!(total.hash_build_rows, 50);
         assert_eq!(total.hash_probes, 50);
+    }
+
+    #[test]
+    fn exec_stats_plan_cache_counters_absorb_without_affecting_cost() {
+        let mut a = ExecStats { plan_cache_hits: 3, plan_cache_misses: 1, ..Default::default() };
+        let b = ExecStats { plan_cache_hits: 2, plan_cache_misses: 2, ..Default::default() };
+        // Cache counters are observability, not part of the VES cost proxy:
+        // a cached plan does the same execution work as a fresh one.
+        assert_eq!(a.cost(), ExecStats::default().cost());
+        a.absorb(b);
+        assert_eq!(a.plan_cache_hits, 5);
+        assert_eq!(a.plan_cache_misses, 3);
     }
 }

@@ -2,10 +2,43 @@
 //! physical planner uses for primary-key point lookups and hash joins.
 
 use std::collections::{BTreeMap, HashMap};
+use std::ops::Deref;
 
 use crate::error::{SqlError, SqlResult};
 use crate::schema::{DatabaseSchema, TableSchema};
 use crate::value::Value;
+
+/// Row positions returned by a hash probe.
+///
+/// The common probe resolves to a single pre-sorted bucket inside the map,
+/// which is returned by reference; only probes that have to merge several
+/// stores (numeric text, NaN corner cases) allocate. Dereferences to
+/// `&[usize]`, ascending.
+#[derive(Debug, Clone)]
+pub enum ProbeHits<'a> {
+    /// A borrowed bucket, already in ascending row order.
+    Borrowed(&'a [usize]),
+    /// A merged result owned by the probe.
+    Owned(Vec<usize>),
+}
+
+impl Deref for ProbeHits<'_> {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        match self {
+            ProbeHits::Borrowed(s) => s,
+            ProbeHits::Owned(v) => v,
+        }
+    }
+}
+
+impl ProbeHits<'_> {
+    /// The matching row positions, ascending.
+    pub fn as_slice(&self) -> &[usize] {
+        self
+    }
+}
 
 /// A single row of values, positionally aligned with the table schema.
 pub type Row = Vec<Value>;
@@ -100,48 +133,205 @@ impl EqKeyMap {
     /// Row positions whose key is `sql_cmp`-equal to `v`, in ascending order
     /// (matching the emission order of a plain scan). A `NULL` probe matches
     /// nothing.
-    pub fn probe(&self, v: &Value) -> Vec<usize> {
-        let mut out: Vec<usize> = Vec::new();
+    ///
+    /// When a single internal bucket answers the probe — the overwhelmingly
+    /// common case, since numeric text and NaN keys are rare — the bucket is
+    /// borrowed rather than copied; see [`ProbeHits`].
+    pub fn probe(&self, v: &Value) -> ProbeHits<'_> {
+        const EMPTY: &[usize] = &[];
+        fn bucket(rows: Option<&Vec<usize>>) -> &[usize] {
+            rows.map_or(EMPTY, Vec::as_slice)
+        }
         match v {
-            Value::Null => {}
+            Value::Null => ProbeHits::Borrowed(EMPTY),
             Value::Integer(_) | Value::Real(_) => {
                 let x = v.as_f64().expect("numeric value");
                 if x.is_nan() {
                     // NaN compares equal to every number and numeric text.
-                    out.extend_from_slice(&self.all_num_rows);
+                    let mut out = self.all_num_rows.clone();
                     out.extend(self.numeric_texts.iter().map(|(_, r)| *r));
                     out.extend_from_slice(&self.nan_text_rows);
+                    out.sort_unstable();
+                    ProbeHits::Owned(out)
+                } else if self.numeric_texts.is_empty()
+                    && self.nan_num_rows.is_empty()
+                    && self.nan_text_rows.is_empty()
+                {
+                    ProbeHits::Borrowed(bucket(self.num.get(&num_key_bits(x))))
                 } else {
-                    if let Some(rows) = self.num.get(&num_key_bits(x)) {
-                        out.extend_from_slice(rows);
-                    }
+                    let mut out: Vec<usize> = Vec::new();
+                    out.extend_from_slice(bucket(self.num.get(&num_key_bits(x))));
                     out.extend(
                         self.numeric_texts.iter().filter(|(tx, _)| *tx == x).map(|(_, r)| *r),
                     );
                     out.extend_from_slice(&self.nan_num_rows);
                     out.extend_from_slice(&self.nan_text_rows);
+                    out.sort_unstable();
+                    ProbeHits::Owned(out)
                 }
             }
             Value::Text(s) => {
-                if let Some(rows) = self.text.get(s) {
-                    out.extend_from_slice(rows);
-                }
                 // Numeric-looking text compares numerically against numbers
-                // (but byte-exact against other text, handled above).
+                // (but byte-exact against other text).
                 match s.parse::<f64>() {
-                    Ok(x) if x.is_nan() => out.extend_from_slice(&self.all_num_rows),
-                    Ok(x) => {
-                        if let Some(rows) = self.num.get(&num_key_bits(x)) {
-                            out.extend_from_slice(rows);
-                        }
-                        out.extend_from_slice(&self.nan_num_rows);
+                    Err(_) => ProbeHits::Borrowed(bucket(self.text.get(s))),
+                    Ok(x) if x.is_nan() => {
+                        let mut out: Vec<usize> = Vec::new();
+                        out.extend_from_slice(bucket(self.text.get(s)));
+                        out.extend_from_slice(&self.all_num_rows);
+                        out.sort_unstable();
+                        ProbeHits::Owned(out)
                     }
-                    Err(_) => {}
+                    Ok(x) => {
+                        let texts = bucket(self.text.get(s));
+                        let nums = bucket(self.num.get(&num_key_bits(x)));
+                        match (texts.is_empty(), nums.is_empty(), self.nan_num_rows.is_empty()) {
+                            (true, true, true) => ProbeHits::Borrowed(EMPTY),
+                            (false, true, true) => ProbeHits::Borrowed(texts),
+                            (true, false, true) => ProbeHits::Borrowed(nums),
+                            _ => {
+                                let mut out: Vec<usize> = Vec::new();
+                                out.extend_from_slice(texts);
+                                out.extend_from_slice(nums);
+                                out.extend_from_slice(&self.nan_num_rows);
+                                out.sort_unstable();
+                                ProbeHits::Owned(out)
+                            }
+                        }
+                    }
                 }
             }
         }
-        out.sort_unstable();
-        out
+    }
+}
+
+/// Hashes a grouping key component-wise into a normalized `u64`, or `None`
+/// when the key cannot be hashed (a NaN component: under `total_cmp`'s
+/// `partial_cmp` fallback NaN compares equal to *every* number, which breaks
+/// the equivalence relation hashing requires).
+///
+/// Unlike `sql_cmp` equality (which [`EqKeyMap`] serves), the grouping
+/// equality used by `GROUP BY`/`DISTINCT` — [`Value::grouping_eq`], i.e.
+/// [`Value::total_cmp`]` == Equal` — *is* an equivalence relation for every
+/// non-NaN value: NULL groups with NULL, integers and reals compare
+/// numerically (`-0.0` folded into `0.0`, so `2` groups with `2.0`), text
+/// compares byte-exact, and ranks never cross. Components are hashed
+/// directly off the borrowed values — no per-probe allocation; grouping-equal
+/// keys hash identically, and collisions between different keys are resolved
+/// by the bucket's candidate list.
+fn group_key_hash(key: &[Value]) -> Option<u64> {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in key {
+        match v {
+            Value::Null => h.write_u8(0),
+            Value::Integer(i) => {
+                h.write_u8(1);
+                h.write_u64(num_key_bits(*i as f64));
+            }
+            Value::Real(r) if r.is_nan() => return None,
+            Value::Real(r) => {
+                h.write_u8(1);
+                h.write_u64(num_key_bits(*r));
+            }
+            Value::Text(s) => {
+                h.write_u8(2);
+                s.hash(&mut h);
+            }
+        }
+    }
+    Some(h.finish())
+}
+
+/// True when two keys are component-wise [`Value::grouping_eq`].
+fn group_keys_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.grouping_eq(y))
+}
+
+/// A map from multi-column grouping keys to dense group ids, with the exact
+/// first-match semantics of the legacy linear scan
+/// (`keys.iter().position(|k| k.grouping_eq-all(key))`) but O(1) per probe.
+///
+/// Keys are hashed component-wise ([`group_key_hash`]) into buckets of
+/// candidate group ids, confirmed by [`group_keys_eq`] — probing is
+/// allocation-free. NaN components cannot be hashed (NaN groups with every
+/// number under `total_cmp`), so NaN-containing keys live on a linear side
+/// list and NaN probes fall back to a scan in group order — empty for real
+/// corpora, so the hash path stays O(1). When a probe matches both a hashed
+/// group and a NaN side group, the *earliest-inserted* group wins, which is
+/// precisely what the linear reference returns.
+#[derive(Debug, Clone, Default)]
+pub struct GroupKeyMap {
+    /// Key hash to candidate group ids (insertion order; almost always one).
+    exact: HashMap<u64, Vec<usize>>,
+    /// Ids of groups whose key contains a NaN, in insertion order.
+    fuzzy: Vec<usize>,
+    /// Every group's key, by id (also the NaN-probe fallback scan list).
+    keys: Vec<Vec<Value>>,
+}
+
+impl GroupKeyMap {
+    /// Number of distinct groups.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no group has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Every group's key, indexed by group id (insertion order).
+    pub fn keys(&self) -> &[Vec<Value>] {
+        &self.keys
+    }
+
+    /// Returns the id of the group `key` belongs to, inserting a new group
+    /// when no existing key is grouping-equal. The flag is `true` when the
+    /// group was newly created. Ids are dense and assigned in first-seen
+    /// order, matching the legacy linear scan exactly.
+    pub fn get_or_insert(&mut self, key: &[Value]) -> (usize, bool) {
+        match group_key_hash(key) {
+            Some(hash) => {
+                let exact_hit = self.exact.get(&hash).and_then(|bucket| {
+                    bucket.iter().copied().find(|&g| group_keys_eq(&self.keys[g], key))
+                });
+                // A NaN-keyed group inserted earlier can also claim this key
+                // (its NaN components group with any number); the earliest
+                // matching group in insertion order wins.
+                let fuzzy_hit =
+                    self.fuzzy.iter().copied().find(|&g| group_keys_eq(&self.keys[g], key));
+                let hit = match (exact_hit, fuzzy_hit) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, None) => a,
+                    (None, b) => b,
+                };
+                if let Some(g) = hit {
+                    return (g, false);
+                }
+                let id = self.keys.len();
+                self.exact.entry(hash).or_default().push(id);
+                self.keys.push(key.to_vec());
+                (id, true)
+            }
+            None => {
+                // NaN in the probe key: it can group with any numeric key, so
+                // scan all groups in insertion order (the reference order).
+                if let Some(g) = (0..self.keys.len()).find(|&g| group_keys_eq(&self.keys[g], key)) {
+                    return (g, false);
+                }
+                let id = self.keys.len();
+                self.fuzzy.push(id);
+                self.keys.push(key.to_vec());
+                (id, true)
+            }
+        }
+    }
+
+    /// Convenience for DISTINCT-style dedup: true when `key` had not been
+    /// seen before (and records it).
+    pub fn insert_if_new(&mut self, key: &[Value]) -> bool {
+        self.get_or_insert(key).1
     }
 }
 
@@ -204,7 +394,7 @@ impl Table {
     ///
     /// `None` when the table has no single-column primary key to index —
     /// callers fall back to a full scan.
-    pub fn pk_lookup(&self, v: &Value) -> Option<Vec<usize>> {
+    pub fn pk_lookup(&self, v: &Value) -> Option<ProbeHits<'_>> {
         self.pk_col?;
         Some(self.pk_index.probe(v))
     }
@@ -225,20 +415,21 @@ impl Table {
             .schema
             .column_index(column)
             .ok_or_else(|| SqlError::UnknownColumn(format!("{}.{}", self.schema.name, column)))?;
-        let mut seen: Vec<Value> = Vec::new();
+        let mut seen = GroupKeyMap::default();
+        let mut out: Vec<Value> = Vec::new();
         for row in &self.rows {
             let v = &row[idx];
             if v.is_null() {
                 continue;
             }
-            if !seen.iter().any(|s| s.grouping_eq(v)) {
-                seen.push(v.clone());
-                if seen.len() >= limit {
+            if seen.insert_if_new(std::slice::from_ref(v)) {
+                out.push(v.clone());
+                if out.len() >= limit {
                     break;
                 }
             }
         }
-        Ok(seen)
+        Ok(out)
     }
 }
 
@@ -397,7 +588,7 @@ mod tests {
         m.insert(&Value::Integer(1), 1);
         assert_eq!(m.len(), 1, "NULL keys are not stored");
         assert!(m.probe(&Value::Null).is_empty(), "NULL probes match nothing, not even NULL");
-        assert_eq!(m.probe(&Value::Integer(1)), vec![1]);
+        assert_eq!(m.probe(&Value::Integer(1)).as_slice(), &[1]);
     }
 
     #[test]
@@ -406,11 +597,13 @@ mod tests {
         m.insert(&Value::Integer(2), 0);
         m.insert(&Value::Real(2.0), 1);
         m.insert(&Value::Real(-0.0), 2);
-        assert_eq!(m.probe(&Value::Integer(2)), vec![0, 1]);
-        assert_eq!(m.probe(&Value::Real(2.0)), vec![0, 1]);
+        assert_eq!(m.probe(&Value::Integer(2)).as_slice(), &[0, 1]);
+        assert_eq!(m.probe(&Value::Real(2.0)).as_slice(), &[0, 1]);
         // -0.0 and 0.0 compare equal under sql_cmp, so they share a bucket.
-        assert_eq!(m.probe(&Value::Integer(0)), vec![2]);
-        assert_eq!(m.probe(&Value::Real(0.0)), vec![2]);
+        assert_eq!(m.probe(&Value::Integer(0)).as_slice(), &[2]);
+        assert_eq!(m.probe(&Value::Real(0.0)).as_slice(), &[2]);
+        // No numeric text and no NaNs stored: probes borrow the bucket.
+        assert!(matches!(m.probe(&Value::Integer(2)), ProbeHits::Borrowed(_)));
     }
 
     #[test]
@@ -421,13 +614,14 @@ mod tests {
         m.insert(&Value::Integer(2), 2);
         m.insert(&Value::text("abc"), 3);
         // Numbers compare numerically against numeric-looking text...
-        assert_eq!(m.probe(&Value::Integer(2)), vec![0, 1, 2]);
+        assert_eq!(m.probe(&Value::Integer(2)).as_slice(), &[0, 1, 2]);
         // ...but text compares byte-exact against text: '2' matches the
         // stored '2' and the number, never '2.0'.
-        assert_eq!(m.probe(&Value::text("2")), vec![0, 2]);
-        assert_eq!(m.probe(&Value::text("2.0")), vec![1, 2]);
-        // Non-numeric text only matches exactly.
-        assert_eq!(m.probe(&Value::text("abc")), vec![3]);
+        assert_eq!(m.probe(&Value::text("2")).as_slice(), &[0, 2]);
+        assert_eq!(m.probe(&Value::text("2.0")).as_slice(), &[1, 2]);
+        // Non-numeric text only matches exactly, borrowing its bucket.
+        assert_eq!(m.probe(&Value::text("abc")).as_slice(), &[3]);
+        assert!(matches!(m.probe(&Value::text("abc")), ProbeHits::Borrowed(_)));
         assert!(m.probe(&Value::text("ab")).is_empty());
     }
 
@@ -438,7 +632,7 @@ mod tests {
             m.insert(&Value::Integer(7), i);
         }
         m.insert(&Value::text("7"), 5);
-        assert_eq!(m.probe(&Value::Integer(7)), vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(m.probe(&Value::Integer(7)).as_slice(), &[0, 1, 2, 3, 4, 5]);
     }
 
     #[test]
@@ -450,9 +644,40 @@ mod tests {
         }
         let t = db.table("client").unwrap();
         assert_eq!(t.primary_key_column(), Some(0));
-        assert_eq!(t.pk_lookup(&Value::Integer(7)), Some(vec![7]));
-        assert_eq!(t.pk_lookup(&Value::Integer(99)), Some(vec![]));
-        assert_eq!(t.pk_lookup(&Value::Null), Some(vec![]));
+        assert_eq!(t.pk_lookup(&Value::Integer(7)).unwrap().as_slice(), &[7]);
+        assert!(t.pk_lookup(&Value::Integer(99)).unwrap().is_empty());
+        assert!(t.pk_lookup(&Value::Null).unwrap().is_empty());
+    }
+
+    #[test]
+    fn group_key_map_first_seen_ids_and_cross_type_numbers() {
+        let mut m = GroupKeyMap::default();
+        assert_eq!(m.get_or_insert(&[Value::Integer(2), Value::text("a")]), (0, true));
+        // 2.0 groups with 2; -0.0 with 0; NULL with NULL.
+        assert_eq!(m.get_or_insert(&[Value::Real(2.0), Value::text("a")]), (0, false));
+        assert_eq!(m.get_or_insert(&[Value::Null, Value::Null]), (1, true));
+        assert_eq!(m.get_or_insert(&[Value::Null, Value::Null]), (1, false));
+        assert_eq!(m.get_or_insert(&[Value::Real(-0.0), Value::text("a")]), (2, true));
+        assert_eq!(m.get_or_insert(&[Value::Integer(0), Value::text("a")]), (2, false));
+        // Text is byte-exact: '2' never groups with 2.
+        assert_eq!(m.get_or_insert(&[Value::text("2"), Value::text("a")]), (3, true));
+        assert_eq!(m.len(), 4);
+        assert_eq!(m.keys()[0], vec![Value::Integer(2), Value::text("a")]);
+    }
+
+    #[test]
+    fn group_key_map_nan_matches_the_linear_reference() {
+        // Under total_cmp NaN compares equal to every number, so a NaN key
+        // must join the earliest numeric group — in either insertion order.
+        let mut m = GroupKeyMap::default();
+        assert_eq!(m.get_or_insert(&[Value::Real(5.0)]), (0, true));
+        assert_eq!(m.get_or_insert(&[Value::Real(f64::NAN)]), (0, false));
+
+        let mut m = GroupKeyMap::default();
+        assert_eq!(m.get_or_insert(&[Value::Real(f64::NAN)]), (0, true));
+        assert_eq!(m.get_or_insert(&[Value::Real(5.0)]), (0, false));
+        assert_eq!(m.get_or_insert(&[Value::text("x")]), (1, true));
+        assert_eq!(m.get_or_insert(&[Value::Null]), (2, true));
     }
 
     #[test]
