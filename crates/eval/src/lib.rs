@@ -11,6 +11,6 @@ pub mod report;
 pub mod runner;
 
 pub use error_analysis::{analyze_evidence_defects, DefectBreakdown};
-pub use metrics::{evaluate_pair, score_set, PairEval, Scores};
+pub use metrics::{evaluate_pair, evaluate_pair_cached, score_set, PairEval, Scores};
 pub use report::Table;
 pub use runner::{EvidenceSetting, ExperimentRunner, SeedEvidenceCache, SystemScores};

@@ -8,7 +8,9 @@
 //! ([`seed_sqlengine::ExecStats`]), which preserves the ranking behaviour
 //! without timing noise.
 
-use seed_sqlengine::{execute_with_stats, Database};
+use seed_sqlengine::{
+    execute_with_stats, Database, ExecStats, PlanMode, ResultSet, SharedPlanCache, SqlResult,
+};
 
 /// Evaluation of one (gold, predicted) pair.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,23 +39,58 @@ impl PairEval {
 
 /// Evaluates one predicted query against the gold query.
 pub fn evaluate_pair(db: &Database, gold_sql: &str, pred_sql: &str) -> PairEval {
-    let (gold_rs, gold_stats) = match execute_with_stats(db, gold_sql) {
+    evaluate_pair_impl(|sql| execute_with_stats(db, sql), gold_sql, pred_sql).0
+}
+
+/// Like [`evaluate_pair`], but executes through a [`SharedPlanCache`], so
+/// gold queries repeated across an eval run (one execution per system ×
+/// setting) parse and plan once per run instead of once per evaluation.
+///
+/// The returned [`ExecStats`] merges the gold and predicted executions'
+/// stats ([`ExecStats::merge`]), letting runners aggregate run totals
+/// without double counting. The [`PairEval`] is identical to the uncached
+/// path: plan reuse changes only the cache observability counters, which
+/// [`ExecStats::cost`] — and therefore EX/VES — never reads.
+pub fn evaluate_pair_cached(
+    db: &Database,
+    plans: &SharedPlanCache,
+    gold_sql: &str,
+    pred_sql: &str,
+) -> (PairEval, ExecStats) {
+    evaluate_pair_impl(|sql| plans.execute(db, sql, PlanMode::default()), gold_sql, pred_sql)
+}
+
+fn evaluate_pair_impl(
+    mut run: impl FnMut(&str) -> SqlResult<(ResultSet, ExecStats)>,
+    gold_sql: &str,
+    pred_sql: &str,
+) -> (PairEval, ExecStats) {
+    let mut work = ExecStats::default();
+    let (gold_rs, gold_stats) = match run(gold_sql) {
         Ok(x) => x,
         Err(_) => {
             // A broken gold query would be a corpus bug; treat the pair as wrong.
-            return PairEval { correct: false, valid: false, gold_cost: 1.0, pred_cost: 1.0 };
+            return (
+                PairEval { correct: false, valid: false, gold_cost: 1.0, pred_cost: 1.0 },
+                work,
+            );
         }
     };
+    work.merge(&gold_stats);
     let gold_cost = gold_stats.cost();
-    match execute_with_stats(db, pred_sql) {
-        Ok((pred_rs, pred_stats)) => PairEval {
-            correct: pred_rs.result_eq(&gold_rs),
-            valid: true,
-            gold_cost,
-            pred_cost: pred_stats.cost(),
-        },
+    let pair = match run(pred_sql) {
+        Ok((pred_rs, pred_stats)) => {
+            work.merge(&pred_stats);
+            PairEval {
+                correct: pred_rs.result_eq(&gold_rs),
+                valid: true,
+                gold_cost,
+                pred_cost: pred_stats.cost(),
+            }
+        }
         Err(_) => PairEval { correct: false, valid: false, gold_cost, pred_cost: gold_cost },
-    }
+    };
+    (pair, work)
 }
 
 /// Aggregate scores over a question set.

@@ -1,0 +1,398 @@
+//! # seed-serve
+//!
+//! A concurrent query-serving runtime for the SEED reproduction's SQL
+//! engine: submit a batch of SQL statements (or a whole eval workload) and
+//! get per-statement results back **in submission order**, executed by a
+//! fixed-size worker pool against an `Arc`-shared, read-only
+//! [`Database`] snapshot.
+//!
+//! ## Snapshot / borrow model
+//!
+//! The engine executes reads through `&Database` — no executor mutates
+//! storage — so any number of worker threads may run queries against one
+//! snapshot simultaneously. A [`Server`] takes `Arc<Database>` at
+//! construction: holding the snapshot behind `Arc` means *nobody* can
+//! obtain `&mut Database` while the server lives, which is exactly the
+//! freeze that makes the shared caches sound. Writes (DDL/DML) stay on the
+//! engine's exclusive `&mut Database` path ([`seed_sqlengine::execute_statement`])
+//! and happen before a snapshot is served, never through a server.
+//!
+//! ## Shared caches
+//!
+//! * **Plans** — one process-wide [`SharedPlanCache`] per server: a repeated
+//!   statement parses and plans once, then every execution (any worker, any
+//!   session) replays the pinned plan. Reuse is visible as
+//!   `plan_cache_hits` in each statement's [`ExecStats`].
+//! * **Results** — because the snapshot is immutable, a statement's result
+//!   is a pure function of its text. With [`ServeConfig::cache_results`]
+//!   on (the default), each distinct statement *executes* at most once per
+//!   racing window and repeats are served from the result cache, carrying
+//!   the canonical execution's stats so costs stay deterministic.
+//!
+//! ## Determinism contract
+//!
+//! For a given snapshot and statement list, the returned rows, columns,
+//! errors, and every cost-bearing work counter (`rows_scanned`,
+//! `evaluations`, hash/index units — hence [`ExecStats::cost`]) are
+//! byte-identical regardless of worker count, submission order of *other*
+//! statements, or scheduling. The plan/result cache observability counters
+//! are excluded from that contract: which concrete execution warmed a cache
+//! is scheduling-dependent (and already excluded from `cost()`). The
+//! workspace determinism suite (`tests/serve_determinism.rs`) pins this
+//! contract against both gold corpora at 1, 2, and 8 workers.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+use seed_sqlengine::{Database, ExecStats, PlanMode, ResultSet, SharedPlanCache, SqlResult};
+
+/// Configuration for a [`Server`].
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads used by [`Server::execute_batch`]. `1` serves
+    /// strictly serially (no threads are spawned). Values are clamped to
+    /// the batch size at execution time.
+    pub workers: usize,
+    /// Plan mode every statement executes under.
+    pub mode: PlanMode,
+    /// Serve repeated statements from the shared result cache. Sound
+    /// because the snapshot is frozen for the server's lifetime; disable
+    /// only to measure raw execution throughput.
+    pub cache_results: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 4, mode: PlanMode::default(), cache_results: true }
+    }
+}
+
+impl ServeConfig {
+    /// A serial configuration (one worker), otherwise default.
+    pub fn serial() -> Self {
+        ServeConfig { workers: 1, ..Default::default() }
+    }
+
+    /// Same configuration with a different worker count.
+    pub fn with_workers(self, workers: usize) -> Self {
+        ServeConfig { workers: workers.max(1), ..self }
+    }
+}
+
+/// The outcome of one served statement.
+#[derive(Debug, Clone)]
+pub struct StatementOutcome {
+    /// The rows, exactly as a direct `execute_with_stats` would produce.
+    pub result: ResultSet,
+    /// Execution statistics. For a result-cache hit these are the cached
+    /// execution's stats (the work the statement costs), keeping VES-style
+    /// cost accounting independent of cache luck.
+    pub stats: ExecStats,
+    /// Whether the result came from the shared result cache. Observability
+    /// only — scheduling-dependent under concurrency.
+    pub from_result_cache: bool,
+}
+
+/// Aggregate serving counters, reported by [`Server::snapshot_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Statements served (cache hits included), across all sessions.
+    pub statements: u64,
+    /// Statements answered from the shared result cache.
+    pub result_cache_hits: u64,
+    /// Distinct statements pinned in the shared plan cache.
+    pub prepared_statements: usize,
+    /// Sum of every served statement's [`ExecStats`], merged without double
+    /// counting via [`ExecStats::merge`].
+    pub totals: ExecStats,
+}
+
+/// A query server over one frozen database snapshot.
+pub struct Server {
+    db: Arc<Database>,
+    config: ServeConfig,
+    plans: SharedPlanCache,
+    results: RwLock<HashMap<String, Arc<(ResultSet, ExecStats)>>>,
+    statements: AtomicU64,
+    result_hits: AtomicU64,
+    totals: Mutex<ExecStats>,
+}
+
+impl Server {
+    /// Creates a server over a snapshot. The `Arc` is the freeze: as long
+    /// as the server (or any clone of the `Arc`) is alive, no `&mut
+    /// Database` can exist, so every cache entry stays valid.
+    pub fn new(db: Arc<Database>, config: ServeConfig) -> Self {
+        Server {
+            db,
+            config,
+            plans: SharedPlanCache::new(),
+            results: RwLock::new(HashMap::new()),
+            statements: AtomicU64::new(0),
+            result_hits: AtomicU64::new(0),
+            totals: Mutex::new(ExecStats::default()),
+        }
+    }
+
+    /// The served snapshot.
+    pub fn database(&self) -> &Database {
+        &self.db
+    }
+
+    /// The server configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.config
+    }
+
+    /// Opens a session: a lightweight per-client handle that accumulates
+    /// its own statistics on top of the shared server state.
+    pub fn session(&self) -> Session<'_> {
+        Session { server: self, stats: ExecStats::default(), executed: 0 }
+    }
+
+    /// Serves one statement through the shared caches.
+    pub fn execute(&self, sql: &str) -> SqlResult<StatementOutcome> {
+        let outcome = self.execute_uncounted(sql);
+        self.count(&outcome);
+        outcome
+    }
+
+    /// Executes a batch, returning one outcome per statement **in
+    /// submission order**. With `workers > 1` the batch is spread over a
+    /// scoped thread pool pulling statements off a shared cursor; results
+    /// land in their submission slots, so the output order never depends on
+    /// scheduling.
+    pub fn execute_batch(&self, stmts: &[String]) -> Vec<SqlResult<StatementOutcome>> {
+        let workers = self.config.workers.clamp(1, stmts.len().max(1));
+        let outcomes: Vec<SqlResult<StatementOutcome>> = if workers <= 1 {
+            stmts.iter().map(|sql| self.execute_uncounted(sql)).collect()
+        } else {
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<Mutex<Option<SqlResult<StatementOutcome>>>> =
+                stmts.iter().map(|_| Mutex::new(None)).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= stmts.len() {
+                            break;
+                        }
+                        *slots[i].lock() = Some(self.execute_uncounted(&stmts[i]));
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("every batch slot is filled"))
+                .collect()
+        };
+        for outcome in &outcomes {
+            self.count(outcome);
+        }
+        outcomes
+    }
+
+    /// Aggregate serving counters.
+    pub fn snapshot_stats(&self) -> ServerStats {
+        ServerStats {
+            statements: self.statements.load(Ordering::Relaxed),
+            result_cache_hits: self.result_hits.load(Ordering::Relaxed),
+            prepared_statements: self.plans.len(),
+            totals: *self.totals.lock(),
+        }
+    }
+
+    fn execute_uncounted(&self, sql: &str) -> SqlResult<StatementOutcome> {
+        if self.config.cache_results {
+            if let Some(hit) = self.results.read().get(sql) {
+                self.result_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(StatementOutcome {
+                    result: hit.0.clone(),
+                    stats: hit.1,
+                    from_result_cache: true,
+                });
+            }
+        }
+        let (rs, stats) = self.plans.execute(&self.db, sql, self.config.mode)?;
+        if self.config.cache_results {
+            // Two workers racing on a fresh statement both execute it
+            // (deterministically identically); the first insert wins.
+            self.results
+                .write()
+                .entry(sql.to_string())
+                .or_insert_with(|| Arc::new((rs.clone(), stats)));
+        }
+        Ok(StatementOutcome { result: rs, stats, from_result_cache: false })
+    }
+
+    fn count(&self, outcome: &SqlResult<StatementOutcome>) {
+        self.statements.fetch_add(1, Ordering::Relaxed);
+        if let Ok(o) = outcome {
+            self.totals.lock().merge(&o.stats);
+        }
+    }
+}
+
+/// A per-client handle over a [`Server`]: shares the server's snapshot and
+/// caches, accumulates its own totals.
+pub struct Session<'s> {
+    server: &'s Server,
+    stats: ExecStats,
+    executed: u64,
+}
+
+impl Session<'_> {
+    /// Serves one statement, folding its stats into the session totals.
+    pub fn execute(&mut self, sql: &str) -> SqlResult<StatementOutcome> {
+        let outcome = self.server.execute(sql);
+        self.executed += 1;
+        if let Ok(o) = &outcome {
+            self.stats.merge(&o.stats);
+        }
+        outcome
+    }
+
+    /// Serves a batch with the server's worker pool, folding every
+    /// successful statement's stats into the session totals.
+    pub fn execute_batch(&mut self, stmts: &[String]) -> Vec<SqlResult<StatementOutcome>> {
+        let outcomes = self.server.execute_batch(stmts);
+        self.executed += outcomes.len() as u64;
+        for o in outcomes.iter().flatten() {
+            self.stats.merge(&o.stats);
+        }
+        outcomes
+    }
+
+    /// Statements this session has submitted.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// The session's accumulated statistics.
+    pub fn stats(&self) -> &ExecStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use seed_sqlengine::{execute_statement, execute_with_stats, Value};
+
+    fn snapshot() -> Arc<Database> {
+        let mut db = Database::new("serve_test");
+        execute_statement(
+            &mut db,
+            "CREATE TABLE account (account_id INTEGER PRIMARY KEY, district_id INTEGER)",
+        )
+        .unwrap();
+        execute_statement(
+            &mut db,
+            "CREATE TABLE loan (loan_id INTEGER PRIMARY KEY, account_id INTEGER, amount REAL)",
+        )
+        .unwrap();
+        for i in 0..30i64 {
+            execute_statement(&mut db, &format!("INSERT INTO account VALUES ({i}, {})", i % 5))
+                .unwrap();
+            execute_statement(
+                &mut db,
+                &format!("INSERT INTO loan VALUES ({i}, {}, {}.0)", i % 30, (i * 37) % 1000),
+            )
+            .unwrap();
+        }
+        Arc::new(db)
+    }
+
+    fn workload() -> Vec<String> {
+        let stmts = [
+            "SELECT COUNT(*) FROM loan",
+            "SELECT account.district_id, SUM(loan.amount) FROM account \
+             INNER JOIN loan ON account.account_id = loan.account_id \
+             GROUP BY account.district_id ORDER BY account.district_id",
+            "SELECT loan_id FROM loan WHERE amount > (SELECT AVG(amount) FROM loan) \
+             ORDER BY loan_id",
+            "SELECT DISTINCT district_id FROM account ORDER BY district_id",
+        ];
+        // Repeat the statements the way an eval run repeats gold queries.
+        (0..3).flat_map(|_| stmts.iter().map(|s| s.to_string())).collect()
+    }
+
+    #[test]
+    fn batch_results_match_direct_execution_in_submission_order() {
+        let db = snapshot();
+        let stmts = workload();
+        for workers in [1, 2, 8] {
+            let server = Server::new(Arc::clone(&db), ServeConfig::default().with_workers(workers));
+            let outcomes = server.execute_batch(&stmts);
+            assert_eq!(outcomes.len(), stmts.len());
+            for (sql, outcome) in stmts.iter().zip(&outcomes) {
+                let o = outcome.as_ref().unwrap();
+                let (direct, direct_stats) = execute_with_stats(&db, sql).unwrap();
+                assert_eq!(o.result.rows, direct.rows, "workers={workers} sql={sql}");
+                assert_eq!(o.result.columns, direct.columns);
+                assert_eq!(o.stats.cost(), direct_stats.cost(), "workers={workers} sql={sql}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_statements_hit_the_result_cache() {
+        let server = Server::new(snapshot(), ServeConfig::serial());
+        let stmts = workload();
+        server.execute_batch(&stmts);
+        let stats = server.snapshot_stats();
+        assert_eq!(stats.statements, stmts.len() as u64);
+        assert_eq!(stats.prepared_statements, 4, "four distinct statements plan once each");
+        assert_eq!(
+            stats.result_cache_hits,
+            stmts.len() as u64 - 4,
+            "every repeat is a result-cache hit"
+        );
+    }
+
+    #[test]
+    fn result_cache_can_be_disabled() {
+        let config = ServeConfig { cache_results: false, ..ServeConfig::serial() };
+        let server = Server::new(snapshot(), config);
+        let stmts = workload();
+        let outcomes = server.execute_batch(&stmts);
+        assert!(outcomes.iter().all(|o| !o.as_ref().unwrap().from_result_cache));
+        assert_eq!(server.snapshot_stats().result_cache_hits, 0);
+        // Plans are still shared even when results are not.
+        assert_eq!(server.snapshot_stats().prepared_statements, 4);
+    }
+
+    #[test]
+    fn errors_keep_their_submission_slots() {
+        let server = Server::new(snapshot(), ServeConfig::default().with_workers(2));
+        let stmts = vec![
+            "SELECT COUNT(*) FROM loan".to_string(),
+            "SELECT nope FROM nowhere".to_string(),
+            "SELECT COUNT(*) FROM account".to_string(),
+        ];
+        let outcomes = server.execute_batch(&stmts);
+        assert!(outcomes[0].is_ok());
+        assert!(outcomes[1].is_err());
+        let ok = outcomes[2].as_ref().unwrap();
+        assert_eq!(ok.result.rows[0][0], Value::Integer(30));
+    }
+
+    #[test]
+    fn sessions_accumulate_their_own_stats() {
+        let db = snapshot();
+        let server = Server::new(db, ServeConfig::serial());
+        let mut a = server.session();
+        let mut b = server.session();
+        a.execute("SELECT COUNT(*) FROM loan").unwrap();
+        a.execute("SELECT COUNT(*) FROM loan").unwrap();
+        b.execute("SELECT COUNT(*) FROM account").unwrap();
+        assert_eq!(a.executed(), 2);
+        assert_eq!(b.executed(), 1);
+        assert!(a.stats().rows_scanned > 0);
+        // The repeat was a cache hit but still bills the canonical stats.
+        assert_eq!(a.stats().rows_scanned % 2, 0);
+        assert_eq!(server.snapshot_stats().statements, 3);
+    }
+}

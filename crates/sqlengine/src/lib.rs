@@ -73,6 +73,7 @@ pub mod exec;
 pub mod functions;
 pub mod parser;
 pub mod plan;
+pub mod prepared;
 pub mod result;
 pub mod schema;
 pub mod storage;
@@ -81,11 +82,12 @@ pub mod value;
 
 pub use error::{SqlError, SqlResult};
 pub use exec::{
-    execute, execute_select, execute_select_with_stats, execute_select_with_stats_mode,
-    execute_statement, execute_with_stats, execute_with_stats_mode,
+    execute, execute_select, execute_select_with_plan_cache, execute_select_with_stats,
+    execute_select_with_stats_mode, execute_statement, execute_with_stats, execute_with_stats_mode,
 };
 pub use parser::{parse_select, parse_statement};
-pub use plan::{plan_select, PhysicalPlan, PlanCache, PlanMode, PlanNode};
+pub use plan::{is_uncorrelated, plan_select, PhysicalPlan, PlanCache, PlanMode, PlanNode};
+pub use prepared::{PreparedStatement, SharedPlanCache};
 pub use result::{ExecStats, ResultSet};
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
 pub use storage::{Database, EqKeyMap, GroupKeyMap, ProbeHits, Row, Table};

@@ -40,7 +40,7 @@
 //! mode, so EX/VES comparisons are unaffected.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::ast::{Expr, JoinKind, Projection, SelectStatement, TableRef};
 use crate::error::{SqlError, SqlResult};
@@ -390,8 +390,11 @@ pub(crate) fn describe_expr(expr: &Expr) -> String {
 /// borrowed top-level AST (alive for the whole execution) or owned by a plan
 /// already in this cache (subqueries inside `SubqueryScan` nodes) — the
 /// cache never evicts, so no address can be freed and reused while the cache
-/// lives.
-#[derive(Debug, Default)]
+/// lives. [`crate::prepared::SharedPlanCache`] extends the same invariant
+/// across statements and threads by pinning each prepared AST for the life
+/// of the shared cache; plans are `Arc`-shared so a clone of this cache is a
+/// handful of refcount bumps, not a re-plan.
+#[derive(Debug, Default, Clone)]
 pub struct PlanCache {
     plans: HashMap<usize, CachedPlan>,
 }
@@ -400,9 +403,9 @@ pub struct PlanCache {
 /// planned from, so an address accidentally reused by a *different*
 /// statement (should the lifetime invariant above ever be broken) fails a
 /// debug assertion instead of silently executing the wrong plan.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct CachedPlan {
-    plan: Rc<PhysicalPlan>,
+    plan: Arc<PhysicalPlan>,
     shape: (usize, usize, usize, usize, bool),
 }
 
@@ -423,7 +426,7 @@ impl PlanCache {
         db: &Database,
         stmt: &SelectStatement,
         stats: &mut ExecStats,
-    ) -> SqlResult<Rc<PhysicalPlan>> {
+    ) -> SqlResult<Arc<PhysicalPlan>> {
         let key = stmt as *const SelectStatement as usize;
         if let Some(cached) = self.plans.get(&key) {
             debug_assert_eq!(
@@ -432,12 +435,21 @@ impl PlanCache {
                 "PlanCache address reuse: a statement was dropped while its cache entry lived"
             );
             stats.plan_cache_hits += 1;
-            return Ok(Rc::clone(&cached.plan));
+            return Ok(Arc::clone(&cached.plan));
         }
         stats.plan_cache_misses += 1;
-        let plan = Rc::new(plan_select(db, stmt)?);
-        self.plans.insert(key, CachedPlan { plan: Rc::clone(&plan), shape: stmt_shape(stmt) });
+        let plan = Arc::new(plan_select(db, stmt)?);
+        self.plans.insert(key, CachedPlan { plan: Arc::clone(&plan), shape: stmt_shape(stmt) });
         Ok(plan)
+    }
+
+    /// Copies every entry of `newer` this cache does not already hold.
+    /// Entries are `Arc`-shared plans, so a merge never re-plans; it is how
+    /// a shared cache folds back the plans one execution discovered.
+    pub fn merge(&mut self, newer: &PlanCache) {
+        for (key, cached) in &newer.plans {
+            self.plans.entry(*key).or_insert_with(|| cached.clone());
+        }
     }
 
     /// Number of distinct statements planned so far.
@@ -654,6 +666,151 @@ fn make_scan_node(db: &Database, rel: &RelPlan<'_>) -> SqlResult<PlanNode> {
     }
 }
 
+/// True when `stmt` is provably *uncorrelated*: every column reference
+/// inside it — including inside its nested subqueries and derived tables —
+/// resolves within the statement's own scope chain, so executing it never
+/// consults an enclosing statement's row. An uncorrelated subquery therefore
+/// returns the same result for every outer row, which is what licenses the
+/// executor's per-statement subquery *result* cache.
+///
+/// The analysis is purely schema-driven and conservative: an unknown table,
+/// an unresolvable reference, or anything else surprising yields `false`
+/// (treat as correlated — merely forgoing the cache, never changing
+/// results). A reference that resolves *ambiguously* in a local layer still
+/// counts as local, because the executor's scope-chain resolution handles
+/// ambiguity at the level that matched and never falls through to the outer
+/// scope in that case.
+pub fn is_uncorrelated(db: &Database, stmt: &SelectStatement) -> bool {
+    stmt_is_self_contained(db, stmt, &[])
+}
+
+/// Core of [`is_uncorrelated`]: `outer` holds the layouts of enclosing
+/// statements *within the unit being checked* (nearest first). References
+/// resolving in any layer are fine; a reference that falls through every
+/// layer would read the real outer scope at runtime, so the unit is
+/// correlated.
+fn stmt_is_self_contained(db: &Database, stmt: &SelectStatement, outer: &[&[ColMeta]]) -> bool {
+    fn add_relation(
+        db: &Database,
+        tref: &TableRef,
+        local: &mut Vec<ColMeta>,
+        outer: &[&[ColMeta]],
+    ) -> bool {
+        // A derived table executes against the *enclosing* statement's outer
+        // scope — it cannot see sibling FROM relations — so it is checked
+        // against `outer`, not against the chain that includes `local`.
+        if let TableRef::Derived { query, .. } = tref {
+            if !stmt_is_self_contained(db, query, outer) {
+                return false;
+            }
+        }
+        match table_ref_layout(db, tref) {
+            Ok(cols) => {
+                local.extend(cols);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+    fn chain_of<'a>(local: &'a [ColMeta], outer: &[&'a [ColMeta]]) -> Vec<&'a [ColMeta]> {
+        let mut chain: Vec<&[ColMeta]> = Vec::with_capacity(outer.len() + 1);
+        chain.push(local);
+        chain.extend_from_slice(outer);
+        chain
+    }
+
+    let mut local: Vec<ColMeta> = Vec::new();
+    if let Some(from) = &stmt.from {
+        if !add_relation(db, from, &mut local, outer) {
+            return false;
+        }
+    }
+    // Joins build left-deep: each join's ON predicate executes with only the
+    // prefix (FROM plus the joins up to and including itself) in scope, so a
+    // reference to a relation joined *later* falls through to the outer row
+    // at runtime even though it would resolve in the full FROM layout. Check
+    // every ON against exactly its runtime prefix.
+    for join in &stmt.joins {
+        if !add_relation(db, &join.table, &mut local, outer) {
+            return false;
+        }
+        let prefix_chain = chain_of(&local, outer);
+        if !join.on.iter().all(|e| expr_is_self_contained(db, e, &prefix_chain)) {
+            return false;
+        }
+    }
+    let chain = chain_of(&local, outer);
+
+    let mut exprs: Vec<&Expr> = Vec::new();
+    for p in &stmt.projections {
+        if let Projection::Expr { expr, .. } = p {
+            exprs.push(expr);
+        }
+    }
+    exprs.extend(stmt.where_clause.iter());
+    exprs.extend(stmt.group_by.iter());
+    exprs.extend(stmt.having.iter());
+    if !exprs.into_iter().all(|e| expr_is_self_contained(db, e, &chain)) {
+        return false;
+    }
+
+    // ORDER BY additionally resolves bare names against the output headers
+    // (aliases and default expression names) before consulting any scope, so
+    // a bare reference matching a header never reads the outer scope even
+    // when no input column carries that name.
+    let headers: Vec<String> = stmt
+        .projections
+        .iter()
+        .filter_map(|p| match p {
+            Projection::Expr { expr, alias } => {
+                Some(alias.clone().unwrap_or_else(|| describe_expr(expr)))
+            }
+            _ => None,
+        })
+        .collect();
+    stmt.order_by.iter().all(|item| {
+        if let Expr::Column { table: None, column } = &item.expr {
+            if headers.iter().any(|h| h.eq_ignore_ascii_case(column)) {
+                return true;
+            }
+        }
+        expr_is_self_contained(db, &item.expr, &chain)
+    })
+}
+
+/// Walks one expression: every column reference must resolve in `chain`, and
+/// nested subqueries must be self-contained relative to `chain`.
+fn expr_is_self_contained(db: &Database, expr: &Expr, chain: &[&[ColMeta]]) -> bool {
+    let sub = |q: &SelectStatement| stmt_is_self_contained(db, q, chain);
+    let walk = |e: &Expr| expr_is_self_contained(db, e, chain);
+    match expr {
+        Expr::Literal(_) => true,
+        Expr::Column { table, column } => {
+            chain.iter().any(|layer| !resolve_in(layer, table.as_deref(), column).is_empty())
+        }
+        Expr::Compare { left, right, .. }
+        | Expr::Arith { left, right, .. }
+        | Expr::Concat { left, right } => walk(left) && walk(right),
+        Expr::And(a, b) | Expr::Or(a, b) => walk(a) && walk(b),
+        Expr::Not(e) | Expr::Neg(e) => walk(e),
+        Expr::Like { expr, pattern, .. } => walk(expr) && walk(pattern),
+        Expr::IsNull { expr, .. } => walk(expr),
+        Expr::InList { expr, list, .. } => walk(expr) && list.iter().all(walk),
+        Expr::InSubquery { expr, query, .. } => walk(expr) && sub(query),
+        Expr::Between { expr, low, high, .. } => walk(expr) && walk(low) && walk(high),
+        Expr::Exists { query, .. } => sub(query),
+        Expr::ScalarSubquery(query) => sub(query),
+        Expr::Aggregate { arg, .. } => arg.as_deref().is_none_or(walk),
+        Expr::Function { args, .. } => args.iter().all(walk),
+        Expr::Cast { expr, .. } => walk(expr),
+        Expr::Case { operand, branches, else_branch } => {
+            operand.as_deref().is_none_or(walk)
+                && branches.iter().all(|(w, t)| walk(w) && walk(t))
+                && else_branch.as_deref().is_none_or(walk)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -795,11 +952,57 @@ mod tests {
         let mut stats = ExecStats::default();
         let p1 = cache.get_or_plan(&d, &stmt, &mut stats).unwrap();
         let p2 = cache.get_or_plan(&d, &stmt, &mut stats).unwrap();
-        assert!(Rc::ptr_eq(&p1, &p2), "repeated statements share one plan");
+        assert!(Arc::ptr_eq(&p1, &p2), "repeated statements share one plan");
         assert_eq!((stats.plan_cache_misses, stats.plan_cache_hits), (1, 1));
         let stmt2 = parse_select("SELECT loan_id FROM loan").unwrap();
         cache.get_or_plan(&d, &stmt2, &mut stats).unwrap();
         assert_eq!(cache.len(), 2, "distinct statements plan independently");
+    }
+
+    #[test]
+    fn plan_cache_merge_shares_entries_without_replanning() {
+        let d = db();
+        let stmt = parse_select("SELECT loan_id FROM loan WHERE amount > 10").unwrap();
+        let mut a = PlanCache::default();
+        let mut stats = ExecStats::default();
+        let p1 = a.get_or_plan(&d, &stmt, &mut stats).unwrap();
+        let mut b = PlanCache::default();
+        b.merge(&a);
+        let p2 = b.get_or_plan(&d, &stmt, &mut stats).unwrap();
+        assert!(Arc::ptr_eq(&p1, &p2), "merged cache serves the same Arc'd plan");
+        assert_eq!(stats.plan_cache_misses, 1, "the merge target never re-plans");
+        assert_eq!(stats.plan_cache_hits, 1);
+        // Merging back is idempotent.
+        a.merge(&b);
+        assert_eq!(a.len(), 1);
+    }
+
+    #[test]
+    fn uncorrelated_analysis_separates_subquery_shapes() {
+        let d = db();
+        let sub = |sql: &str| {
+            let stmt = parse_select(sql).unwrap();
+            is_uncorrelated(&d, &stmt)
+        };
+        // Self-contained aggregates and joins are uncorrelated.
+        assert!(sub("SELECT AVG(amount) FROM loan"));
+        assert!(sub("SELECT T1.account_id FROM account AS T1 \
+             INNER JOIN loan AS T2 ON T1.account_id = T2.account_id \
+             WHERE T2.amount > 100"));
+        // A reference that cannot resolve locally escapes to the outer scope.
+        assert!(!sub("SELECT 1 FROM loan WHERE loan.account_id = account.account_id"));
+        assert!(!sub("SELECT 1 FROM loan WHERE district_id = 4"));
+        // Nesting: the inner subquery's outer reference is *our* FROM —
+        // still self-contained as a unit.
+        assert!(sub("SELECT account_id FROM account WHERE EXISTS \
+             (SELECT 1 FROM loan WHERE loan.account_id = account.account_id)"));
+        // ...but a reference that escapes even the top level is correlated.
+        assert!(!sub("SELECT account_id FROM account AS a2 WHERE EXISTS \
+             (SELECT 1 FROM loan WHERE loan.account_id = outer_table.account_id)"));
+        // Unknown tables are conservatively correlated.
+        assert!(!sub("SELECT x FROM no_such_table"));
+        // ORDER BY an output alias stays self-contained.
+        assert!(sub("SELECT account_id AS k FROM account GROUP BY account_id ORDER BY k"));
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! Prepared statements and the process-wide shared plan cache.
+//!
+//! [`crate::plan::PlanCache`] shares plans *within* one statement execution
+//! (a correlated subquery plans once, runs per outer row). This module
+//! extends the same idea *across* statements, sessions, and threads: a
+//! [`SharedPlanCache`] pins each SQL string's parsed AST for its own
+//! lifetime, so the per-execution plan cache — which keys plans by statement
+//! address — can be snapshotted out, used, and folded back safely. Repeated
+//! statements (gold queries re-executed for every system/setting of an eval
+//! run, hot queries in a serving batch) parse and plan exactly once per
+//! process instead of once per execution.
+//!
+//! ## Concurrency model
+//!
+//! The cache is `Sync` and lock-cheap by construction:
+//!
+//! * the statement registry sits behind a [`parking_lot::RwLock`] — lookups
+//!   of already-prepared statements take a read lock only;
+//! * each entry's accumulated [`PlanCache`] sits behind its own
+//!   [`parking_lot::Mutex`] and is *cloned out* (a few `Arc` refcount bumps)
+//!   for the duration of execution, so no lock is held while a query runs;
+//! * executions racing on a fresh statement may both plan it; planning is
+//!   deterministic, so the last merge simply reconfirms the same plans.
+//!
+//! ## Address-key soundness
+//!
+//! `PlanCache` keys plans by `&SelectStatement` address. That is sound here
+//! because every address handed to the cache points either into an entry's
+//! `Box`-pinned AST (owned by the entry, never moved, never evicted) or into
+//! an AST owned by an already-cached plan (`SubqueryScan` nodes), and plans
+//! are `Arc`-kept by the entry's cache itself. Entries are only dropped when
+//! the whole `SharedPlanCache` drops, taking the plans with them.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
+
+use crate::ast::SelectStatement;
+use crate::error::SqlResult;
+use crate::exec::execute_select_with_plan_cache;
+use crate::plan::{PlanCache, PlanMode};
+use crate::result::{ExecStats, ResultSet};
+use crate::storage::Database;
+
+/// A parsed SELECT pinned behind a stable heap address, plus the plans its
+/// executions have accumulated so far.
+#[derive(Debug)]
+pub struct PreparedStatement {
+    sql: String,
+    /// `Box` keeps the AST's address stable for the life of the entry — the
+    /// invariant the address-keyed [`PlanCache`] depends on.
+    stmt: Box<SelectStatement>,
+    plans: Mutex<PlanCache>,
+}
+
+impl PreparedStatement {
+    /// Parses `sql` into a pinned statement with an empty plan cache.
+    pub fn parse(sql: &str) -> SqlResult<Self> {
+        let stmt = crate::parser::parse_select(sql)?;
+        Ok(PreparedStatement {
+            sql: sql.to_string(),
+            stmt: Box::new(stmt),
+            plans: Mutex::new(PlanCache::default()),
+        })
+    }
+
+    /// The original SQL text.
+    pub fn sql(&self) -> &str {
+        &self.sql
+    }
+
+    /// The parsed statement.
+    pub fn statement(&self) -> &SelectStatement {
+        &self.stmt
+    }
+
+    /// Number of distinct statements (top-level plus subqueries) planned by
+    /// executions of this prepared statement so far.
+    pub fn plans_cached(&self) -> usize {
+        self.plans.lock().len()
+    }
+
+    /// Executes against `db`, reusing every plan earlier executions of this
+    /// prepared statement produced and contributing any newly planned
+    /// subqueries back. Plan reuse shows up as `plan_cache_hits` in the
+    /// returned [`ExecStats`]; the work counters (and therefore the VES cost)
+    /// are identical to a fresh execution.
+    pub fn execute(&self, db: &Database, mode: PlanMode) -> SqlResult<(ResultSet, ExecStats)> {
+        let snapshot = self.plans.lock().clone();
+        let (rs, stats, updated) = execute_select_with_plan_cache(db, &self.stmt, mode, snapshot)?;
+        self.plans.lock().merge(&updated);
+        Ok((rs, stats))
+    }
+}
+
+/// A process-wide plan cache: SQL text in, pinned AST + accumulated plans
+/// out, shared safely across threads.
+///
+/// Keys include the database *name* so one cache can serve a whole benchmark
+/// (plans depend on schema metadata, which differs per database). Callers
+/// must not feed two different databases with the same name through one
+/// cache — within a `Benchmark` or a `seed-serve` server that cannot happen.
+#[derive(Debug, Default)]
+pub struct SharedPlanCache {
+    entries: RwLock<HashMap<(String, String), Arc<PreparedStatement>>>,
+}
+
+impl SharedPlanCache {
+    /// Creates an empty shared cache.
+    pub fn new() -> Self {
+        SharedPlanCache::default()
+    }
+
+    /// Returns the pinned prepared statement for `sql` against the named
+    /// database, parsing it on first sight. Parse errors are not cached (a
+    /// malformed statement re-reports its error each time, like the
+    /// unprepared path).
+    pub fn prepare(&self, db_name: &str, sql: &str) -> SqlResult<Arc<PreparedStatement>> {
+        let key = (db_name.to_string(), sql.to_string());
+        if let Some(entry) = self.entries.read().get(&key) {
+            return Ok(Arc::clone(entry));
+        }
+        let prepared = Arc::new(PreparedStatement::parse(sql)?);
+        let mut entries = self.entries.write();
+        // Another thread may have prepared the same statement between the
+        // read and write locks; keep the first entry so its accumulated
+        // plans are not discarded.
+        let entry = entries.entry(key).or_insert(prepared);
+        Ok(Arc::clone(entry))
+    }
+
+    /// Parses (or reuses) and executes `sql` against `db`, sharing plans
+    /// with every earlier and concurrent execution of the same statement.
+    pub fn execute(
+        &self,
+        db: &Database,
+        sql: &str,
+        mode: PlanMode,
+    ) -> SqlResult<(ResultSet, ExecStats)> {
+        self.prepare(db.name(), sql)?.execute(db, mode)
+    }
+
+    /// Number of prepared statements currently pinned.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// True when nothing has been prepared yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnDef, DataType, TableSchema};
+    use crate::value::Value;
+
+    fn db() -> Database {
+        let mut d = Database::new("prep");
+        d.create_table(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Integer).primary_key(),
+                ColumnDef::new("grp", DataType::Integer),
+                ColumnDef::new("v", DataType::Real),
+            ],
+        ))
+        .unwrap();
+        for i in 0..40i64 {
+            d.insert("t", vec![i.into(), (i % 4).into(), ((i * 7) as f64).into()]).unwrap();
+        }
+        d
+    }
+
+    #[test]
+    fn repeated_statements_plan_once_across_executions() {
+        let d = db();
+        let cache = SharedPlanCache::new();
+        let sql = "SELECT grp, COUNT(*) FROM t WHERE v > (SELECT AVG(v) FROM t) GROUP BY grp";
+        let (rs1, stats1) = cache.execute(&d, sql, PlanMode::Optimized).unwrap();
+        let (rs2, stats2) = cache.execute(&d, sql, PlanMode::Optimized).unwrap();
+        assert_eq!(rs1.rows, rs2.rows, "prepared re-execution is byte-identical");
+        assert!(stats1.plan_cache_misses >= 2, "first run plans top level + subquery");
+        assert_eq!(stats2.plan_cache_misses, 0, "second run plans nothing");
+        assert!(stats2.plan_cache_hits >= 2, "second run replays every plan");
+        // Work counters (the VES cost basis) are identical either way.
+        assert_eq!(stats1.rows_scanned, stats2.rows_scanned);
+        assert_eq!(stats1.evaluations, stats2.evaluations);
+        assert_eq!(stats1.cost(), stats2.cost());
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn statements_are_keyed_per_database_name() {
+        let d = db();
+        let mut d2 = Database::new("other");
+        d2.create_table(TableSchema::new(
+            "t",
+            vec![ColumnDef::new("id", DataType::Integer).primary_key()],
+        ))
+        .unwrap();
+        d2.insert("t", vec![1.into()]).unwrap();
+        let cache = SharedPlanCache::new();
+        let (a, _) = cache.execute(&d, "SELECT COUNT(*) FROM t", PlanMode::Optimized).unwrap();
+        let (b, _) = cache.execute(&d2, "SELECT COUNT(*) FROM t", PlanMode::Optimized).unwrap();
+        assert_eq!(a.rows[0][0], Value::Integer(40));
+        assert_eq!(b.rows[0][0], Value::Integer(1));
+        assert_eq!(cache.len(), 2, "same SQL against different databases pins two entries");
+    }
+
+    #[test]
+    fn parse_errors_surface_and_are_not_cached() {
+        let d = db();
+        let cache = SharedPlanCache::new();
+        assert!(cache.execute(&d, "SELEKT nope", PlanMode::Optimized).is_err());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn concurrent_executions_share_one_entry() {
+        let d = std::sync::Arc::new(db());
+        let cache = std::sync::Arc::new(SharedPlanCache::new());
+        let sql = "SELECT grp, SUM(v) FROM t GROUP BY grp ORDER BY grp";
+        let (reference, _) = cache.execute(&d, sql, PlanMode::Optimized).unwrap();
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let d = std::sync::Arc::clone(&d);
+            let cache = std::sync::Arc::clone(&cache);
+            let sql = sql.to_string();
+            handles.push(std::thread::spawn(move || {
+                let (rs, _) = cache.execute(&d, &sql, PlanMode::Optimized).unwrap();
+                rs.rows
+            }));
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap(), reference.rows);
+        }
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -113,6 +113,12 @@ pub struct ExecStats {
     pub plan_cache_hits: u64,
     /// Physical plans actually computed (cache misses).
     pub plan_cache_misses: u64,
+    /// Uncorrelated scalar/`IN`/`EXISTS` subquery evaluations answered from
+    /// the per-statement result cache instead of re-executing the subquery.
+    pub subquery_result_hits: u64,
+    /// Uncorrelated subqueries actually executed (result-cache misses); a
+    /// correlated subquery is never cacheable and counts in neither bucket.
+    pub subquery_result_misses: u64,
 }
 
 impl ExecStats {
@@ -132,8 +138,14 @@ impl ExecStats {
             + Self::HASH_PROBE_WEIGHT * self.hash_probes as f64
     }
 
-    /// Accumulates another stats block into this one.
-    pub fn absorb(&mut self, other: ExecStats) {
+    /// Accumulates another stats block into this one, field by field.
+    ///
+    /// This is the *single* accumulation path: every place that sums stats
+    /// blocks (per-worker totals in the parallel runners, batch totals in
+    /// `seed-serve`, report aggregation) goes through `merge`, so adding a
+    /// counter here is sufficient to make it flow everywhere without
+    /// double-counting.
+    pub fn merge(&mut self, other: &ExecStats) {
         self.rows_scanned += other.rows_scanned;
         self.evaluations += other.evaluations;
         self.index_lookups += other.index_lookups;
@@ -141,6 +153,8 @@ impl ExecStats {
         self.hash_probes += other.hash_probes;
         self.plan_cache_hits += other.plan_cache_hits;
         self.plan_cache_misses += other.plan_cache_misses;
+        self.subquery_result_hits += other.subquery_result_hits;
+        self.subquery_result_misses += other.subquery_result_misses;
     }
 }
 
@@ -201,35 +215,51 @@ mod tests {
         let pricey = ExecStats { rows_scanned: 10_000, evaluations: 5_000, ..Default::default() };
         assert!(pricey.cost() > cheap.cost());
         let mut total = cheap;
-        total.absorb(pricey);
+        total.merge(&pricey);
         assert_eq!(total.rows_scanned, 10_010);
     }
 
     #[test]
     fn exec_stats_hash_and_index_units_are_cheaper_than_scans() {
         // A hash probe or build row must undercut a scanned row, and all
-        // new units must contribute to cost and absorb.
+        // new units must contribute to cost and merge.
         let scan = ExecStats { rows_scanned: 100, ..Default::default() };
         let hashed = ExecStats { hash_build_rows: 50, hash_probes: 50, ..Default::default() };
         assert!(hashed.cost() < scan.cost());
         let lookup = ExecStats { index_lookups: 1, rows_scanned: 1, ..Default::default() };
         assert!(lookup.cost() < scan.cost());
         let mut total = hashed;
-        total.absorb(lookup);
+        total.merge(&lookup);
         assert_eq!(total.index_lookups, 1);
         assert_eq!(total.hash_build_rows, 50);
         assert_eq!(total.hash_probes, 50);
     }
 
     #[test]
-    fn exec_stats_plan_cache_counters_absorb_without_affecting_cost() {
-        let mut a = ExecStats { plan_cache_hits: 3, plan_cache_misses: 1, ..Default::default() };
-        let b = ExecStats { plan_cache_hits: 2, plan_cache_misses: 2, ..Default::default() };
+    fn exec_stats_cache_counters_merge_without_affecting_cost() {
+        let mut a = ExecStats {
+            plan_cache_hits: 3,
+            plan_cache_misses: 1,
+            subquery_result_hits: 4,
+            subquery_result_misses: 1,
+            ..Default::default()
+        };
+        let b = ExecStats {
+            plan_cache_hits: 2,
+            plan_cache_misses: 2,
+            subquery_result_hits: 1,
+            subquery_result_misses: 2,
+            ..Default::default()
+        };
         // Cache counters are observability, not part of the VES cost proxy:
-        // a cached plan does the same execution work as a fresh one.
+        // a cached plan does the same execution work as a fresh one, and a
+        // cached subquery result already reflects its (single) execution's
+        // work in the ordinary counters.
         assert_eq!(a.cost(), ExecStats::default().cost());
-        a.absorb(b);
+        a.merge(&b);
         assert_eq!(a.plan_cache_hits, 5);
         assert_eq!(a.plan_cache_misses, 3);
+        assert_eq!(a.subquery_result_hits, 5);
+        assert_eq!(a.subquery_result_misses, 3);
     }
 }

@@ -286,11 +286,13 @@ impl GroupKeyMap {
         &self.keys
     }
 
-    /// Returns the id of the group `key` belongs to, inserting a new group
-    /// when no existing key is grouping-equal. The flag is `true` when the
-    /// group was newly created. Ids are dense and assigned in first-seen
-    /// order, matching the legacy linear scan exactly.
-    pub fn get_or_insert(&mut self, key: &[Value]) -> (usize, bool) {
+    /// Read-only probe: the id of the group `key` belongs to, or `None` when
+    /// no grouping-equal key has been inserted. Takes `&self`, so any number
+    /// of threads may probe one frozen map concurrently (e.g. shared
+    /// snapshots in `seed-serve`); construction-time mutation stays confined
+    /// to [`GroupKeyMap::get_or_insert`]. Semantics match the mutating probe
+    /// exactly, including the NaN side paths.
+    pub fn lookup(&self, key: &[Value]) -> Option<usize> {
         match group_key_hash(key) {
             Some(hash) => {
                 let exact_hit = self.exact.get(&hash).and_then(|bucket| {
@@ -301,31 +303,40 @@ impl GroupKeyMap {
                 // matching group in insertion order wins.
                 let fuzzy_hit =
                     self.fuzzy.iter().copied().find(|&g| group_keys_eq(&self.keys[g], key));
-                let hit = match (exact_hit, fuzzy_hit) {
+                match (exact_hit, fuzzy_hit) {
                     (Some(a), Some(b)) => Some(a.min(b)),
                     (a, None) => a,
                     (None, b) => b,
-                };
-                if let Some(g) = hit {
-                    return (g, false);
                 }
-                let id = self.keys.len();
-                self.exact.entry(hash).or_default().push(id);
-                self.keys.push(key.to_vec());
-                (id, true)
             }
             None => {
                 // NaN in the probe key: it can group with any numeric key, so
                 // scan all groups in insertion order (the reference order).
-                if let Some(g) = (0..self.keys.len()).find(|&g| group_keys_eq(&self.keys[g], key)) {
-                    return (g, false);
-                }
-                let id = self.keys.len();
-                self.fuzzy.push(id);
-                self.keys.push(key.to_vec());
-                (id, true)
+                (0..self.keys.len()).find(|&g| group_keys_eq(&self.keys[g], key))
             }
         }
+    }
+
+    /// True when a grouping-equal key has been inserted.
+    pub fn contains(&self, key: &[Value]) -> bool {
+        self.lookup(key).is_some()
+    }
+
+    /// Returns the id of the group `key` belongs to, inserting a new group
+    /// when no existing key is grouping-equal. The flag is `true` when the
+    /// group was newly created. Ids are dense and assigned in first-seen
+    /// order, matching the legacy linear scan exactly.
+    pub fn get_or_insert(&mut self, key: &[Value]) -> (usize, bool) {
+        if let Some(g) = self.lookup(key) {
+            return (g, false);
+        }
+        let id = self.keys.len();
+        match group_key_hash(key) {
+            Some(hash) => self.exact.entry(hash).or_default().push(id),
+            None => self.fuzzy.push(id),
+        }
+        self.keys.push(key.to_vec());
+        (id, true)
     }
 
     /// Convenience for DISTINCT-style dedup: true when `key` had not been
@@ -678,6 +689,32 @@ mod tests {
         assert_eq!(m.get_or_insert(&[Value::Real(5.0)]), (0, false));
         assert_eq!(m.get_or_insert(&[Value::text("x")]), (1, true));
         assert_eq!(m.get_or_insert(&[Value::Null]), (2, true));
+    }
+
+    #[test]
+    fn group_key_map_shared_lookup_matches_mutating_probe() {
+        let mut m = GroupKeyMap::default();
+        m.get_or_insert(&[Value::Integer(2), Value::text("a")]);
+        m.get_or_insert(&[Value::Null]);
+        m.get_or_insert(&[Value::Real(f64::NAN)]);
+        // &self probes agree with the construction-time ids, including the
+        // cross-type and NaN side paths.
+        assert_eq!(m.lookup(&[Value::Real(2.0), Value::text("a")]), Some(0));
+        assert_eq!(m.lookup(&[Value::Null]), Some(1));
+        assert_eq!(m.lookup(&[Value::Real(7.5)]), Some(2), "NaN group claims every number");
+        assert_eq!(m.lookup(&[Value::text("missing")]), None);
+        assert!(m.contains(&[Value::Integer(2), Value::text("a")]));
+        // A frozen map can be probed from many threads at once.
+        let shared = std::sync::Arc::new(m);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let m = std::sync::Arc::clone(&shared);
+                std::thread::spawn(move || m.lookup(&[Value::Integer(2), Value::text("a")]))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), Some(0));
+        }
     }
 
     #[test]

@@ -16,7 +16,8 @@
 //! | [`datasets`] | synthetic BIRD- and Spider-like corpora with evidence defects |
 //! | [`text2sql`] | CodeS, CHESS, RSL-SQL, DAIL-SQL, C3 baselines |
 //! | [`core`] | SEED itself: schema summarization, sample SQL, evidence generation |
-//! | [`eval`] | EX / VES metrics, defect analysis, experiment runners |
+//! | [`eval`] | EX / VES metrics, defect analysis, experiment runners (serial + parallel) |
+//! | [`serve`] | concurrent query-serving runtime: worker-pool batches over shared snapshots with process-wide plan/result caches |
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the substitution arguments, and
 //! `EXPERIMENTS.md` for paper-vs-measured results.
@@ -39,5 +40,6 @@ pub use seed_embedding as embedding;
 pub use seed_eval as eval;
 pub use seed_llm as llm;
 pub use seed_retrieval as retrieval;
+pub use seed_serve as serve;
 pub use seed_sqlengine as sqlengine;
 pub use seed_text2sql as text2sql;

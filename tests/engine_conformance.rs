@@ -168,19 +168,44 @@ fn plan_cache_engages_on_every_gold_query() {
 fn correlated_subquery_plans_once_and_hits_thereafter() {
     let bird = build_bird(&CorpusConfig::tiny());
     let db = bird.database("financial").unwrap();
+    let outer_rows = db.table("account").unwrap().len() as u64;
+
+    // This subquery *looks* correlated, but `account.district_id` resolves
+    // against the inner scan (a table aliased `T` still answers to its base
+    // name), so the executor never reads the outer row — and the
+    // uncorrelated-subquery result cache therefore executes it exactly once,
+    // replaying the result for every other outer row.
     let sql = "SELECT account_id FROM account \
                WHERE account_id > (SELECT AVG(T.account_id) FROM account AS T \
                                    WHERE T.district_id = account.district_id)";
     let (rs, stats) = execute_with_stats_mode(db, sql, PlanMode::Optimized).unwrap();
     let (legacy, _) = execute_with_stats_mode(db, sql, PlanMode::NestedLoop).unwrap();
     assert_eq!(rs.rows, legacy.rows, "caching must not change results");
-    let outer_rows = db.table("account").unwrap().len() as u64;
+    assert_eq!(stats.plan_cache_misses, 2, "one plan for the outer query, one for the subquery");
+    assert_eq!(stats.plan_cache_hits, 0, "a result-cached subquery never replans");
+    assert_eq!(stats.subquery_result_misses, 1, "the subquery executes exactly once");
+    assert_eq!(
+        stats.subquery_result_hits,
+        outer_rows - 1,
+        "every outer row after the first replays the cached subquery result"
+    );
+
+    // A *genuinely* correlated subquery (the outer alias cannot resolve
+    // inside) still re-executes per outer row, replaying the cached plan.
+    let sql = "SELECT account_id FROM account AS outer_a \
+               WHERE account_id > (SELECT AVG(T.account_id) FROM account AS T \
+                                   WHERE T.district_id = outer_a.district_id)";
+    let (rs, stats) = execute_with_stats_mode(db, sql, PlanMode::Optimized).unwrap();
+    let (legacy, _) = execute_with_stats_mode(db, sql, PlanMode::NestedLoop).unwrap();
+    assert_eq!(rs.rows, legacy.rows);
     assert_eq!(stats.plan_cache_misses, 2, "one plan for the outer query, one for the subquery");
     assert_eq!(
         stats.plan_cache_hits,
         outer_rows - 1,
         "every outer row after the first replays the cached subquery plan"
     );
+    assert_eq!(stats.subquery_result_misses, 0, "correlated subqueries are never result-cached");
+    assert_eq!(stats.subquery_result_hits, 0);
 }
 
 #[test]

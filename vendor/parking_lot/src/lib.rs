@@ -1,9 +1,14 @@
 //! Offline stand-in for `parking_lot`.
 //!
-//! Wraps `std::sync::Mutex` behind parking_lot's API shape: `lock()` returns
-//! the guard directly instead of a `Result`, recovering from poisoning (a
-//! panicked holder) by taking the inner guard, which matches parking_lot's
-//! no-poisoning semantics.
+//! Wraps `std::sync::Mutex` / `std::sync::RwLock` behind parking_lot's API
+//! shape: `lock()` / `read()` / `write()` return the guard directly instead
+//! of a `Result`, recovering from poisoning (a panicked holder) by taking the
+//! inner guard, which matches parking_lot's no-poisoning semantics.
+//!
+//! API coverage: `Mutex::{new, lock, get_mut, into_inner}` and
+//! `RwLock::{new, read, write, get_mut, into_inner}` — exactly what the
+//! shared plan/result caches in `seed-sqlengine` and `seed-serve` need.
+//! Fairness, `try_*`, timeouts, and upgradable reads are not stubbed.
 
 use std::sync::PoisonError;
 
@@ -33,9 +38,40 @@ impl<T: ?Sized> Mutex<T> {
     }
 }
 
+pub type RwLockReadGuard<'a, T> = std::sync::RwLockReadGuard<'a, T>;
+pub type RwLockWriteGuard<'a, T> = std::sync::RwLockWriteGuard<'a, T>;
+
+/// A reader-writer lock whose `read` / `write` never fail.
+#[derive(Debug, Default)]
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        self.0.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        self.0.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
 
     #[test]
     fn lock_and_mutate() {
@@ -55,5 +91,31 @@ mod tests {
         .join();
         *m.lock() += 1;
         assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn rwlock_shared_reads_and_exclusive_write() {
+        let l = RwLock::new(vec![1u32, 2]);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(a.len() + b.len(), 4, "concurrent readers coexist");
+        }
+        l.write().push(3);
+        assert_eq!(*l.read(), vec![1, 2, 3]);
+        assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn rwlock_recovers_from_poison() {
+        let l = std::sync::Arc::new(RwLock::new(7u32));
+        let l2 = l.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write();
+            panic!("poison the rwlock");
+        })
+        .join();
+        *l.write() += 1;
+        assert_eq!(*l.read(), 8);
     }
 }
