@@ -10,8 +10,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use seed_datasets::{bird::build_bird, CorpusConfig, Split};
 use seed_retrieval::Bm25Index;
 use seed_sqlengine::{
-    execute, execute_with_stats_mode, parse_select, plan_select, ColumnDef, DataType, Database,
-    PlanMode, TableSchema,
+    execute, execute_select_with_plan_cache, execute_with_stats_mode, parse_select, plan_select,
+    ColumnDef, DataType, Database, PlanCache, PlanMode, TableSchema,
 };
 
 /// Rows in the 1x synthetic table; the 10x variants multiply this.
@@ -156,18 +156,68 @@ fn engine_benches(c: &mut Criterion) {
     // Correlated scalar subquery: re-executed per outer row (inherently
     // quadratic in rows), but *planned* once — the plan cache serves every
     // re-execution after the first.
+    // Correlated scalar-aggregate workload, both engine strategies:
+    // `decorrelated` (the default) rewrites the subquery into a hash group
+    // join — one build pass plus O(1) probes, ~linear in outer rows —
+    // while `plan_cached` pins the pre-decorrelation behaviour (subquery
+    // planned once, re-executed per outer row, quadratic in outer rows).
     let correlated_sql = "SELECT a.id FROM t AS a \
                           WHERE a.amount > (SELECT AVG(b.amount) FROM t AS b WHERE b.g = a.g)";
+    let correlated_stmt = parse_select(correlated_sql).unwrap();
     for (scale, rows) in [("1x", BASE_CORRELATED_ROWS), ("10x", BASE_CORRELATED_ROWS * 10)] {
         let db = synthetic_db(rows);
-        c.bench_function(&format!("engine/correlated_subquery_{scale}"), |b| {
-            b.iter(|| execute(&db, correlated_sql).unwrap())
+        c.bench_function(&format!("engine/correlated_decorrelated_{scale}"), |b| {
+            b.iter(|| {
+                execute_select_with_plan_cache(
+                    &db,
+                    &correlated_stmt,
+                    PlanMode::Optimized,
+                    PlanCache::default(),
+                )
+                .unwrap()
+            })
         });
-        let (_, stats) = execute_with_stats_mode(&db, correlated_sql, PlanMode::Optimized).unwrap();
-        assert!(stats.plan_cache_hits > 0, "correlated workload must replay cached subquery plans");
+        c.bench_function(&format!("engine/correlated_plan_cached_{scale}"), |b| {
+            b.iter(|| {
+                execute_select_with_plan_cache(
+                    &db,
+                    &correlated_stmt,
+                    PlanMode::Optimized,
+                    PlanCache::without_decorrelation(),
+                )
+                .unwrap()
+            })
+        });
+        let (rs, stats, _) = execute_select_with_plan_cache(
+            &db,
+            &correlated_stmt,
+            PlanMode::Optimized,
+            PlanCache::default(),
+        )
+        .unwrap();
+        assert!(
+            stats.decorrelated_subqueries >= 1,
+            "correlated workload must engage the decorrelation rewrite"
+        );
+        let (rs_cached, cached_stats, _) = execute_select_with_plan_cache(
+            &db,
+            &correlated_stmt,
+            PlanMode::Optimized,
+            PlanCache::without_decorrelation(),
+        )
+        .unwrap();
+        assert_eq!(rs.rows, rs_cached.rows, "both strategies must agree row-for-row");
+        assert!(
+            cached_stats.plan_cache_hits > 0,
+            "plan-cached workload must replay cached subquery plans"
+        );
         println!(
-            "stats engine/correlated_subquery_{scale}       plan_cache_hits {} plan_cache_misses {}",
-            stats.plan_cache_hits, stats.plan_cache_misses
+            "stats engine/correlated_decorrelated_{scale}   decorrelated_subqueries {} probes {} memo_hits {}",
+            stats.decorrelated_subqueries, stats.decorrelated_probes, stats.decorrelated_memo_hits
+        );
+        println!(
+            "stats engine/correlated_plan_cached_{scale}    plan_cache_hits {} plan_cache_misses {}",
+            cached_stats.plan_cache_hits, cached_stats.plan_cache_misses
         );
     }
 

@@ -27,7 +27,10 @@
 //!   is a pure function of its text. With [`ServeConfig::cache_results`]
 //!   on (the default), each distinct statement *executes* at most once per
 //!   racing window and repeats are served from the result cache, carrying
-//!   the canonical execution's stats so costs stay deterministic.
+//!   the canonical execution's stats so costs stay deterministic. The cache
+//!   is bounded: at most [`ServeConfig::result_cache_cap`] entries live at
+//!   once, with least-recently-served eviction, so a long-lived server's
+//!   memory does not grow with the lifetime query set.
 //!
 //! ## Determinism contract
 //!
@@ -61,11 +64,22 @@ pub struct ServeConfig {
     /// because the snapshot is frozen for the server's lifetime; disable
     /// only to measure raw execution throughput.
     pub cache_results: bool,
+    /// Maximum number of distinct statements the result cache holds. When a
+    /// fresh statement would exceed the cap, the least-recently-served entry
+    /// is evicted — a long-lived server's result memory is bounded by the
+    /// cap times the largest cached result, not by the lifetime query set.
+    /// `0` disables result caching entirely.
+    pub result_cache_cap: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 4, mode: PlanMode::default(), cache_results: true }
+        ServeConfig {
+            workers: 4,
+            mode: PlanMode::default(),
+            cache_results: true,
+            result_cache_cap: 1024,
+        }
     }
 }
 
@@ -109,14 +123,26 @@ pub struct ServerStats {
     pub totals: ExecStats,
 }
 
+/// One cached statement result plus its recency stamp. The stamp is atomic
+/// so cache *hits* (the hot path) bump recency under the map's read lock;
+/// only insertions and evictions take the write lock.
+struct CachedResult {
+    result: ResultSet,
+    stats: ExecStats,
+    last_used: AtomicU64,
+}
+
 /// A query server over one frozen database snapshot.
 pub struct Server {
     db: Arc<Database>,
     config: ServeConfig,
     plans: SharedPlanCache,
-    results: RwLock<HashMap<String, Arc<(ResultSet, ExecStats)>>>,
+    results: RwLock<HashMap<String, Arc<CachedResult>>>,
+    /// Monotonic recency clock for the result LRU.
+    result_tick: AtomicU64,
     statements: AtomicU64,
     result_hits: AtomicU64,
+    result_evictions: AtomicU64,
     totals: Mutex<ExecStats>,
 }
 
@@ -130,10 +156,23 @@ impl Server {
             config,
             plans: SharedPlanCache::new(),
             results: RwLock::new(HashMap::new()),
+            result_tick: AtomicU64::new(0),
             statements: AtomicU64::new(0),
             result_hits: AtomicU64::new(0),
+            result_evictions: AtomicU64::new(0),
             totals: Mutex::new(ExecStats::default()),
         }
+    }
+
+    /// Distinct statements currently held by the result cache (≤ the
+    /// configured [`ServeConfig::result_cache_cap`]).
+    pub fn result_cache_len(&self) -> usize {
+        self.results.read().len()
+    }
+
+    /// Result-cache entries evicted under the LRU cap so far.
+    pub fn result_cache_evictions(&self) -> u64 {
+        self.result_evictions.load(Ordering::Relaxed)
     }
 
     /// The served snapshot.
@@ -205,24 +244,48 @@ impl Server {
     }
 
     fn execute_uncounted(&self, sql: &str) -> SqlResult<StatementOutcome> {
-        if self.config.cache_results {
+        let caching = self.config.cache_results && self.config.result_cache_cap > 0;
+        if caching {
             if let Some(hit) = self.results.read().get(sql) {
+                let tick = self.result_tick.fetch_add(1, Ordering::Relaxed) + 1;
+                hit.last_used.store(tick, Ordering::Relaxed);
                 self.result_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(StatementOutcome {
-                    result: hit.0.clone(),
-                    stats: hit.1,
+                    result: hit.result.clone(),
+                    stats: hit.stats,
                     from_result_cache: true,
                 });
             }
         }
         let (rs, stats) = self.plans.execute(&self.db, sql, self.config.mode)?;
-        if self.config.cache_results {
+        if caching {
             // Two workers racing on a fresh statement both execute it
             // (deterministically identically); the first insert wins.
-            self.results
-                .write()
-                .entry(sql.to_string())
-                .or_insert_with(|| Arc::new((rs.clone(), stats)));
+            let tick = self.result_tick.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut results = self.results.write();
+            if !results.contains_key(sql) {
+                // Evict least-recently-served entries until the newcomer
+                // fits. An O(len) argmin scan per eviction is fine at the
+                // cap sizes a statement cache runs at; the hot path (hits)
+                // never reaches here.
+                while results.len() >= self.config.result_cache_cap {
+                    let coldest = results
+                        .iter()
+                        .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
+                        .map(|(k, _)| k.clone())
+                        .expect("cap > 0, so a full map has a coldest entry");
+                    results.remove(&coldest);
+                    self.result_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                results.insert(
+                    sql.to_string(),
+                    Arc::new(CachedResult {
+                        result: rs.clone(),
+                        stats,
+                        last_used: AtomicU64::new(tick),
+                    }),
+                );
+            }
         }
         Ok(StatementOutcome { result: rs, stats, from_result_cache: false })
     }
@@ -362,6 +425,46 @@ mod tests {
         assert_eq!(server.snapshot_stats().result_cache_hits, 0);
         // Plans are still shared even when results are not.
         assert_eq!(server.snapshot_stats().prepared_statements, 4);
+    }
+
+    #[test]
+    fn result_cache_evicts_least_recently_served_under_the_cap() {
+        let config = ServeConfig { result_cache_cap: 2, ..ServeConfig::serial() };
+        let server = Server::new(snapshot(), config);
+        let a = "SELECT COUNT(*) FROM loan";
+        let b = "SELECT COUNT(*) FROM account";
+        let c = "SELECT COUNT(*) FROM loan WHERE amount > 100";
+        server.execute(a).unwrap();
+        server.execute(b).unwrap();
+        assert_eq!(server.result_cache_len(), 2);
+        assert_eq!(server.result_cache_evictions(), 0);
+        // Touch `a` so `b` becomes the least-recently-served entry, then
+        // admit `c`: the cache stays at the cap and `b` is the eviction.
+        assert!(server.execute(a).unwrap().from_result_cache);
+        server.execute(c).unwrap();
+        assert_eq!(server.result_cache_len(), 2, "cap is never exceeded");
+        assert_eq!(server.result_cache_evictions(), 1);
+        assert!(server.execute(a).unwrap().from_result_cache, "recently served entry survives");
+        assert!(server.execute(c).unwrap().from_result_cache, "newcomer was admitted");
+        assert!(
+            !server.execute(b).unwrap().from_result_cache,
+            "evicted statement re-executes (and re-enters the cache, evicting again)"
+        );
+        assert_eq!(server.result_cache_evictions(), 2);
+        // Correctness is cache-independent: the re-executed statement
+        // returns the same rows it did before eviction.
+        assert_eq!(server.execute(b).unwrap().result.rows[0][0], Value::Integer(30));
+    }
+
+    #[test]
+    fn zero_result_cache_cap_disables_caching() {
+        let config = ServeConfig { result_cache_cap: 0, ..ServeConfig::serial() };
+        let server = Server::new(snapshot(), config);
+        let sql = "SELECT COUNT(*) FROM loan";
+        server.execute(sql).unwrap();
+        assert!(!server.execute(sql).unwrap().from_result_cache);
+        assert_eq!(server.result_cache_len(), 0);
+        assert_eq!(server.snapshot_stats().result_cache_hits, 0);
     }
 
     #[test]

@@ -407,6 +407,43 @@ impl Expr {
         }
     }
 
+    /// True if the expression (recursively) contains any scalar function
+    /// call. Function evaluation can error (unknown name, wrong arity), so
+    /// the decorrelation rewrite refuses to relocate such expressions to
+    /// evaluation sites the reference executor might never reach.
+    pub fn contains_function(&self) -> bool {
+        match self {
+            Expr::Function { .. } => true,
+            Expr::Literal(_) | Expr::Column { .. } => false,
+            Expr::Compare { left, right, .. }
+            | Expr::Arith { left, right, .. }
+            | Expr::Concat { left, right } => left.contains_function() || right.contains_function(),
+            Expr::And(a, b) | Expr::Or(a, b) => a.contains_function() || b.contains_function(),
+            Expr::Not(e) | Expr::Neg(e) => e.contains_function(),
+            Expr::Like { expr, pattern, .. } => {
+                expr.contains_function() || pattern.contains_function()
+            }
+            Expr::IsNull { expr, .. } => expr.contains_function(),
+            Expr::InList { expr, list, .. } => {
+                expr.contains_function() || list.iter().any(|e| e.contains_function())
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.contains_function() || low.contains_function() || high.contains_function()
+            }
+            Expr::Aggregate { arg, .. } => arg.as_ref().is_some_and(|a| a.contains_function()),
+            // Subqueries are opaque here: the rewrite gates on
+            // `contains_subquery` before this question ever matters.
+            Expr::InSubquery { expr, .. } => expr.contains_function(),
+            Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
+            Expr::Cast { expr, .. } => expr.contains_function(),
+            Expr::Case { operand, branches, else_branch } => {
+                operand.as_ref().is_some_and(|e| e.contains_function())
+                    || branches.iter().any(|(w, t)| w.contains_function() || t.contains_function())
+                    || else_branch.as_ref().is_some_and(|e| e.contains_function())
+            }
+        }
+    }
+
     /// Collects every column reference in the expression tree.
     pub fn referenced_columns(&self, out: &mut Vec<(Option<String>, String)>) {
         match self {

@@ -1,12 +1,47 @@
-//! Query execution: planner-driven scans and joins (hash equi-join, PK
-//! point lookup, predicate pushdown), the legacy nested-loop reference
-//! path, filtering, grouping, aggregation, ordering, and sub-query
-//! evaluation over in-memory tables.
+//! Query execution: the operator runtime behind every `SELECT`.
+//!
+//! An executor runs one top-level statement against a borrowed
+//! [`Database`] snapshot. The FROM/JOIN/WHERE section executes either
+//! through the physical plan ([`PlanMode::Optimized`]: hash equi-joins, PK
+//! point lookups, predicate pushdown — see [`crate::plan`]) or through the
+//! legacy cross-product path ([`PlanMode::NestedLoop`]), which is kept
+//! verbatim as the semantic reference the conformance suites compare
+//! against. Projection, grouping ([`GroupKeyMap`]-hashed), `HAVING`,
+//! `DISTINCT`, `ORDER BY`, and `LIMIT`/`OFFSET` then run identically for
+//! both modes.
+//!
+//! ## Subquery strategy
+//!
+//! Expression-position subqueries (scalar, `IN`, `EXISTS`) pick the
+//! cheapest sound strategy, in order:
+//!
+//! 1. **Uncorrelated** ([`is_uncorrelated`]): execute once per statement,
+//!    replay the result for every outer row (`subquery_result_*` counters).
+//! 2. **Correlated but decorrelatable** ([`mod@crate::decorrelate`]): rewrite
+//!    into a hash semi/anti/group join — the uncorrelated build side
+//!    executes once, an [`EqKeyMap`] is built over the correlation keys,
+//!    and every outer row becomes an O(1) probe (`decorrelated_*`
+//!    counters). Correlated scalar aggregates additionally memoize one
+//!    result per distinct outer key.
+//! 3. **Correlated, not rewritable**: re-execute per outer row, re-planning
+//!    avoided by the per-statement [`PlanCache`] (`plan_cache_*` counters).
+//!
+//! The nested-loop mode uses none of these (it re-executes every subquery
+//! per outer row unconditionally), so a defect in any cache or rewrite
+//! shows up as a mode divergence instead of bending both sides equally.
+//!
+//! All work is tallied in [`ExecStats`], the deterministic cost proxy the
+//! VES metric uses in place of wall-clock time.
 
 use std::collections::HashMap;
 use std::rc::Rc;
 
+use std::sync::Arc;
+
 use crate::ast::*;
+use crate::decorrelate::{
+    synthetic_agg_name, DecorrelatedKind, DecorrelatedSubquery, SubqueryPosition,
+};
 use crate::error::{SqlError, SqlResult};
 use crate::functions::eval_scalar_function;
 use crate::plan::{expand_projections, is_uncorrelated, PlanCache, PlanMode, PlanNode};
@@ -187,13 +222,48 @@ impl<'a> Group<'a> {
     }
 }
 
+/// A decorrelated subquery's build side, materialized once per enclosing
+/// statement execution: the build's rows plus a hash index over the first
+/// correlation key column. Multi-key correlations narrow through the index
+/// on key 0 and verify the remaining keys with [`Value::sql_cmp`] per
+/// candidate — the index implements `sql_cmp` equality exactly (NULL and
+/// NaN included), so the probe reproduces the correlation predicate's
+/// semantics bit for bit.
+struct DecorrBuild {
+    rw: Arc<DecorrelatedSubquery>,
+    rows: Vec<Vec<Value>>,
+    index: EqKeyMap,
+}
+
+impl DecorrBuild {
+    /// Verifies the correlation keys beyond the indexed first one: true when
+    /// build row `ri` is `sql_cmp`-equal to the probe keys on every
+    /// remaining key column. The single place multi-key probe semantics
+    /// live, shared by the collecting and existence probes.
+    fn tail_keys_match(&self, ri: usize, keys: &[Value]) -> bool {
+        self.rw.key_cols[1..]
+            .iter()
+            .zip(&keys[1..])
+            .all(|(&c, k)| matches!(k.sql_cmp(&self.rows[ri][c]), Some(o) if o.is_eq()))
+    }
+}
+
+/// Per-distinct-outer-key memo of a group join's scalar results: probe keys
+/// (grouped by [`Value::grouping_eq`]) map to the already-computed scalar.
+#[derive(Default)]
+struct ScalarMemo {
+    keys: GroupKeyMap,
+    results: Vec<Value>,
+}
+
 struct Executor<'a> {
     db: &'a Database,
     stats: ExecStats,
     mode: PlanMode,
     /// Per-statement plan cache: subqueries re-executed per outer row are
     /// planned once and replayed from here afterwards. May arrive pre-seeded
-    /// from a [`crate::prepared::SharedPlanCache`].
+    /// from a [`crate::prepared::SharedPlanCache`]. Also memoizes the
+    /// decorrelation analysis (see [`PlanCache::rewrite_for`]).
     plans: PlanCache,
     /// Results of *uncorrelated* expression-position subqueries (scalar,
     /// `IN`, `EXISTS`), keyed by statement address like the plan cache: an
@@ -203,6 +273,12 @@ struct Executor<'a> {
     /// Memoized [`is_uncorrelated`] verdict per subquery address, so the
     /// schema analysis also runs once per statement, not once per row.
     uncorrelated: HashMap<usize, bool>,
+    /// Materialized decorrelated build sides per subquery address. `None`
+    /// records "not rewritable", so refused shapes skip straight to the
+    /// per-outer-row path on every later row.
+    decorr_builds: HashMap<usize, Option<Rc<DecorrBuild>>>,
+    /// Group-join scalar memos per subquery address.
+    decorr_memos: HashMap<usize, ScalarMemo>,
 }
 
 impl<'a> Executor<'a> {
@@ -214,6 +290,8 @@ impl<'a> Executor<'a> {
             plans,
             subquery_results: HashMap::new(),
             uncorrelated: HashMap::new(),
+            decorr_builds: HashMap::new(),
+            decorr_memos: HashMap::new(),
         }
     }
 
@@ -258,6 +336,158 @@ impl<'a> Executor<'a> {
         }
         Ok(rs)
     }
+
+    /// Returns the materialized decorrelated build side for a correlated
+    /// subquery, rewriting and executing the build on first sight. `None`
+    /// means the shape is not rewritable (or this is the nested-loop
+    /// reference mode, which never decorrelates so it stays an independent
+    /// oracle) and the caller keeps the per-outer-row path.
+    ///
+    /// The build executes with no outer scope — the rewrite guarantees it is
+    /// self-contained — and its plan lands in the ordinary [`PlanCache`]
+    /// keyed by the build statement's address, which the `Arc`-pinned
+    /// rewrite keeps stable (see [`PlanCache::rewrite_for`]).
+    fn decorr_build(
+        &mut self,
+        query: &SelectStatement,
+        pos: SubqueryPosition,
+    ) -> SqlResult<Option<Rc<DecorrBuild>>> {
+        if self.mode == PlanMode::NestedLoop {
+            return Ok(None);
+        }
+        let key = query as *const SelectStatement as usize;
+        if let Some(cached) = self.decorr_builds.get(&key) {
+            return Ok(cached.clone());
+        }
+        let built = match self.plans.rewrite_for(self.db, query, pos) {
+            None => None,
+            Some(rw) => {
+                let rs = self.run_select(&rw.build, None)?;
+                let mut index = EqKeyMap::default();
+                for (i, row) in rs.rows.iter().enumerate() {
+                    index.insert(&row[rw.key_cols[0]], i);
+                }
+                self.stats.hash_build_rows += rs.rows.len() as u64;
+                self.stats.decorrelated_subqueries += 1;
+                Some(Rc::new(DecorrBuild { rw, rows: rs.rows, index }))
+            }
+        };
+        self.decorr_builds.insert(key, built.clone());
+        Ok(built)
+    }
+
+    /// Evaluates the outer sides of a decorrelated subquery's correlation
+    /// equalities against the probing row's scope.
+    fn decorr_outer_keys(
+        &mut self,
+        rw: &DecorrelatedSubquery,
+        scope: &Scope<'_>,
+    ) -> SqlResult<Vec<Value>> {
+        rw.outer_keys.iter().map(|e| self.eval(e, scope, None)).collect()
+    }
+
+    /// Counts one probe of a decorrelated build side.
+    fn decorr_count_probe(&mut self) {
+        self.stats.hash_probes += 1;
+        self.stats.decorrelated_probes += 1;
+    }
+
+    /// Build-row indices whose correlation keys are `sql_cmp`-equal to the
+    /// probe keys, in build-scan order (the order the reference subquery
+    /// would have produced those rows in).
+    fn decorr_matches(&mut self, build: &DecorrBuild, keys: &[Value]) -> Vec<usize> {
+        self.decorr_count_probe();
+        let hits = build.index.probe(&keys[0]);
+        if build.rw.key_cols.len() == 1 {
+            return hits.as_slice().to_vec();
+        }
+        hits.iter().copied().filter(|&ri| build.tail_keys_match(ri, keys)).collect()
+    }
+
+    /// Semi-join probe: does any build row match every correlation key?
+    fn decorr_has_match(&mut self, build: &DecorrBuild, keys: &[Value]) -> bool {
+        self.decorr_count_probe();
+        let hits = build.index.probe(&keys[0]);
+        if build.rw.key_cols.len() == 1 {
+            return !hits.is_empty();
+        }
+        hits.iter().copied().any(|ri| build.tail_keys_match(ri, keys))
+    }
+
+    /// `IN` semi-join probe: does any build row match every correlation key
+    /// *and* carry a value `sql_cmp`-equal to `v`? Short-circuits on the
+    /// first match without materializing the match set.
+    fn decorr_in_match(&mut self, build: &DecorrBuild, keys: &[Value], v: &Value) -> bool {
+        let vc = build.rw.value_col.expect("IN rewrite carries a value column");
+        self.decorr_count_probe();
+        build.index.probe(&keys[0]).iter().copied().any(|ri| {
+            (build.rw.key_cols.len() == 1 || build.tail_keys_match(ri, keys))
+                && matches!(v.sql_cmp(&build.rows[ri][vc]), Some(o) if o.is_eq())
+        })
+    }
+
+    /// Group-join probe for a decorrelated correlated scalar aggregate:
+    /// aggregates the build rows matching this outer row's keys and
+    /// evaluates the rewritten projection over the aggregate values,
+    /// memoizing per distinct (grouping-equal) probe key.
+    ///
+    /// NaN probe keys bypass the memo: a NaN `sql_cmp`-matches every number,
+    /// so its match set is not shared with any grouping-equal key class.
+    fn decorr_scalar(
+        &mut self,
+        build: &Rc<DecorrBuild>,
+        query: &SelectStatement,
+        scope: &Scope<'_>,
+    ) -> SqlResult<Value> {
+        let DecorrelatedKind::GroupJoin { aggregates, projection } = &build.rw.kind else {
+            return Err(SqlError::Execution(
+                "scalar decorrelation without a group-join rewrite".into(),
+            ));
+        };
+        let keys = self.decorr_outer_keys(&build.rw, scope)?;
+        let memoizable = !keys.iter().any(|k| matches!(k, Value::Real(r) if r.is_nan()));
+        let qkey = query as *const SelectStatement as usize;
+        if memoizable {
+            if let Some(memo) = self.decorr_memos.get(&qkey) {
+                if let Some(gid) = memo.keys.lookup(&keys) {
+                    self.stats.decorrelated_memo_hits += 1;
+                    return Ok(memo.results[gid].clone());
+                }
+            }
+        }
+        let matched = self.decorr_matches(build, &keys);
+        let mut agg_vals = Vec::with_capacity(aggregates.len());
+        for spec in aggregates {
+            agg_vals.push(match spec.arg_col {
+                // COUNT(*): every matched row counts, NULLs included.
+                None => Value::Integer(matched.len() as i64),
+                Some(c) => {
+                    let vals: Vec<Value> = matched
+                        .iter()
+                        .map(|&ri| build.rows[ri][c].clone())
+                        .filter(|v| !v.is_null())
+                        .collect();
+                    agg_over_values(spec.kind, spec.distinct, vals)
+                }
+            });
+        }
+        let cols: Vec<ColInfo> = (0..agg_vals.len())
+            .map(|i| ColInfo { quals: Vec::new(), name: synthetic_agg_name(i) })
+            .collect();
+        let pscope = Scope { cols: &cols, row: &agg_vals, parent: None };
+        let result = self.eval(projection, &pscope, None)?;
+        if memoizable {
+            let memo = self.decorr_memos.entry(qkey).or_default();
+            let (gid, new) = memo.keys.get_or_insert(&keys);
+            if new {
+                memo.results.push(result.clone());
+            }
+            debug_assert_eq!(memo.results.len(), memo.keys.len());
+            debug_assert!(gid < memo.results.len());
+        }
+        Ok(result)
+    }
+
     fn run_select(
         &mut self,
         stmt: &SelectStatement,
@@ -882,6 +1112,16 @@ impl<'a> Executor<'a> {
                 if v.is_null() {
                     return Ok(Value::Null);
                 }
+                // Correlated IN: semi-join probe against the decorrelated
+                // build; the IN comparison runs against exactly the value
+                // rows the reference subquery would have produced for this
+                // outer row, so NULL and type-coercion semantics are the
+                // eval site's own, unchanged.
+                if let Some(build) = self.decorr_build(query, SubqueryPosition::In)? {
+                    let keys = self.decorr_outer_keys(&build.rw, scope)?;
+                    let found = self.decorr_in_match(&build, &keys, &v);
+                    return Ok(Value::from_bool(found != *negated));
+                }
                 let rs = self.run_expr_subquery(query, scope)?;
                 let mut found = false;
                 for row in &rs.rows {
@@ -907,10 +1147,22 @@ impl<'a> Executor<'a> {
                 }
             }
             Expr::Exists { negated, query } => {
+                // Correlated [NOT] EXISTS: hash semi/anti-join probe — the
+                // NOT stays here as the negation of the probe's verdict.
+                if let Some(build) = self.decorr_build(query, SubqueryPosition::Exists)? {
+                    let keys = self.decorr_outer_keys(&build.rw, scope)?;
+                    let found = self.decorr_has_match(&build, &keys);
+                    return Ok(Value::from_bool(found != *negated));
+                }
                 let rs = self.run_expr_subquery(query, scope)?;
                 Ok(Value::from_bool(rs.rows.is_empty() == *negated))
             }
             Expr::ScalarSubquery(query) => {
+                // Correlated scalar aggregate: group-join probe over the
+                // pre-built side (aggregated lazily per distinct outer key).
+                if let Some(build) = self.decorr_build(query, SubqueryPosition::Scalar)? {
+                    return self.decorr_scalar(&build, query, scope);
+                }
                 let rs = self.run_expr_subquery(query, scope)?;
                 if rs.rows.len() > 1 {
                     return Err(SqlError::Execution(
@@ -989,35 +1241,43 @@ impl<'a> Executor<'a> {
                 vals.push(v);
             }
         }
-        if distinct {
-            // Hashed first-seen dedup, same order as the old linear scan.
-            let mut seen = GroupKeyMap::default();
-            vals.retain(|v| seen.insert_if_new(std::slice::from_ref(v)));
+        Ok(agg_over_values(kind, distinct, vals))
+    }
+}
+
+/// Combines already-evaluated, non-NULL argument values into an aggregate
+/// result. Shared by grouped evaluation ([`Executor::eval_aggregate`]) and
+/// the decorrelated group-join probe, so both paths have identical DISTINCT,
+/// empty-set, and numeric-coercion semantics by construction.
+fn agg_over_values(kind: AggregateKind, distinct: bool, mut vals: Vec<Value>) -> Value {
+    if distinct {
+        // Hashed first-seen dedup, same order as the old linear scan.
+        let mut seen = GroupKeyMap::default();
+        vals.retain(|v| seen.insert_if_new(std::slice::from_ref(v)));
+    }
+    match kind {
+        AggregateKind::Count => Value::Integer(vals.len() as i64),
+        AggregateKind::Sum => {
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                sum_values(&vals)
+            }
         }
-        Ok(match kind {
-            AggregateKind::Count => Value::Integer(vals.len() as i64),
-            AggregateKind::Sum => {
-                if vals.is_empty() {
-                    Value::Null
-                } else {
-                    sum_values(&vals)
-                }
+        AggregateKind::Avg => {
+            if vals.is_empty() {
+                Value::Null
+            } else {
+                let total = sum_values(&vals).as_f64().unwrap_or(0.0);
+                Value::Real(total / vals.len() as f64)
             }
-            AggregateKind::Avg => {
-                if vals.is_empty() {
-                    Value::Null
-                } else {
-                    let total = sum_values(&vals).as_f64().unwrap_or(0.0);
-                    Value::Real(total / vals.len() as f64)
-                }
-            }
-            AggregateKind::Min => {
-                vals.iter().cloned().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
-            }
-            AggregateKind::Max => {
-                vals.iter().cloned().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
-            }
-        })
+        }
+        AggregateKind::Min => {
+            vals.iter().cloned().min_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
+        }
+        AggregateKind::Max => {
+            vals.iter().cloned().max_by(|a, b| a.total_cmp(b)).unwrap_or(Value::Null)
+        }
     }
 }
 
@@ -1491,7 +1751,7 @@ mod tests {
     }
 
     #[test]
-    fn correlated_subquery_still_reexecutes_per_row() {
+    fn correlated_exists_decorrelates_into_a_semi_join() {
         let d = db();
         let sql = "SELECT account_id FROM account WHERE EXISTS \
              (SELECT 1 FROM loan WHERE loan.account_id = account.account_id AND loan.amount > 300000)";
@@ -1499,8 +1759,26 @@ mod tests {
         assert_eq!(rs.len(), 1);
         assert_eq!(stats.subquery_result_hits, 0, "correlated results must never be reused");
         assert_eq!(stats.subquery_result_misses, 0, "correlated subqueries are not cacheable");
-        // Re-execution shows up as plan-cache hits (planned once, run per row).
-        assert!(stats.plan_cache_hits >= 3);
+        // The subquery is rewritten into a hash semi-join: the build side
+        // executes once and every outer row becomes a probe, so the plan
+        // cache sees no per-row replays at all.
+        assert_eq!(stats.decorrelated_subqueries, 1, "one build side materialized");
+        assert_eq!(stats.decorrelated_probes, 4, "one probe per outer account row");
+        assert_eq!(stats.plan_cache_hits, 0, "no per-row re-execution remains");
+
+        // The per-outer-row cached-plan path is still there behind
+        // `without_decorrelation`, producing identical rows the old way.
+        let stmt = crate::parser::parse_select(sql).unwrap();
+        let (legacy_rs, legacy_stats, _) = execute_select_with_plan_cache(
+            &d,
+            &stmt,
+            PlanMode::Optimized,
+            PlanCache::without_decorrelation(),
+        )
+        .unwrap();
+        assert_eq!(legacy_rs.rows, rs.rows);
+        assert_eq!(legacy_stats.decorrelated_subqueries, 0);
+        assert!(legacy_stats.plan_cache_hits >= 3, "per-row path replays the cached plan");
     }
 
     #[test]

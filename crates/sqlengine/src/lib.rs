@@ -40,13 +40,20 @@
 //!    relation; no full-row clones.
 //!
 //! Each top-level statement executes with a [`plan::PlanCache`]: subqueries
-//! (scalar, `IN`, `EXISTS`, derived tables) are planned once and re-executed
-//! per outer row, with hit/miss counts reported in [`ExecStats`].
+//! (scalar, `IN`, `EXISTS`, derived tables) are planned once, with hit/miss
+//! counts reported in [`ExecStats`]. Uncorrelated expression-position
+//! subqueries execute once per statement and replay from a result cache;
+//! correlated ones are *decorrelated* where provably sound
+//! ([`mod@decorrelate`]) — rewritten into hash semi/anti/group joins whose
+//! build side runs once and whose probes are O(1) per outer row — and fall
+//! back to per-outer-row re-execution of the cached plan otherwise.
 //!
 //! [`plan::PlanMode::NestedLoop`] preserves the original cross-product
-//! executor as a semantic reference; `tests/engine_conformance.rs` asserts
-//! row-identical results between both modes over every gold query of both
-//! synthetic corpora.
+//! executor as a semantic reference (it never caches or decorrelates);
+//! `tests/engine_conformance.rs` and
+//! `crates/sqlengine/tests/decorrelation_props.rs` assert row-identical
+//! results between the modes over every gold query of both synthetic
+//! corpora and over randomized correlated workloads.
 //!
 //! ## Cost model
 //!
@@ -68,6 +75,7 @@
 //! ```
 
 pub mod ast;
+pub mod decorrelate;
 pub mod error;
 pub mod exec;
 pub mod functions;
@@ -80,6 +88,7 @@ pub mod storage;
 pub mod token;
 pub mod value;
 
+pub use decorrelate::{decorrelate, DecorrelatedKind, DecorrelatedSubquery, SubqueryPosition};
 pub use error::{SqlError, SqlResult};
 pub use exec::{
     execute, execute_select, execute_select_with_plan_cache, execute_select_with_stats,

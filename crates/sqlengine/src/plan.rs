@@ -21,6 +21,12 @@
 //!    `pk = literal` on an indexed table fetches matching rows from the
 //!    table's hash index instead of scanning.
 //!
+//! Before execution, correlated scalar/`IN`/`EXISTS` subqueries also pass
+//! through the decorrelation analysis ([`mod@crate::decorrelate`],
+//! memoized here in [`PlanCache::rewrite_for`]): provably rewritable shapes
+//! become hash semi/anti/group joins executed by the runtime in
+//! [`crate::exec`], the rest keep the per-outer-row cached-plan path.
+//!
 //! Plans preserve the legacy executor's row *order* as well as its row
 //! multiset: hash probes return matches in right-scan order, so
 //! `LIMIT`-without-`ORDER BY` queries stay bit-for-bit identical between
@@ -43,6 +49,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::ast::{Expr, JoinKind, Projection, SelectStatement, TableRef};
+use crate::decorrelate::{decorrelate, DecorrelatedSubquery, SubqueryPosition};
 use crate::error::{SqlError, SqlResult};
 use crate::result::ExecStats;
 use crate::storage::Database;
@@ -214,7 +221,7 @@ fn explain_node(node: &PlanNode, depth: usize, out: &mut String) {
 /// layout order. Mirrors the executor's scope resolution (case-insensitive
 /// names, lowercased qualifiers) so planning decisions agree with runtime
 /// resolution.
-fn resolve_in(layout: &[ColMeta], qual: Option<&str>, name: &str) -> Vec<usize> {
+pub(crate) fn resolve_in(layout: &[ColMeta], qual: Option<&str>, name: &str) -> Vec<usize> {
     let qual = qual.map(str::to_ascii_lowercase);
     layout
         .iter()
@@ -320,9 +327,14 @@ pub(crate) fn expand_projections(
     Ok((headers, exprs))
 }
 
-/// Static output headers of a `SELECT`, computed by running the shared
-/// projection expansion over the statically derived input layout.
-fn select_headers(db: &Database, stmt: &SelectStatement) -> SqlResult<Vec<String>> {
+/// Static column layout of a statement's full FROM/JOIN input relation —
+/// the scope its `WHERE` clause evaluates against. Shared with the
+/// decorrelation analysis, which classifies predicate sides by whether they
+/// resolve in this layout.
+pub(crate) fn statement_input_layout(
+    db: &Database,
+    stmt: &SelectStatement,
+) -> SqlResult<Vec<ColMeta>> {
     let mut inner: Vec<ColMeta> = Vec::new();
     if let Some(from) = &stmt.from {
         inner.extend(table_ref_layout(db, from)?);
@@ -330,6 +342,13 @@ fn select_headers(db: &Database, stmt: &SelectStatement) -> SqlResult<Vec<String
     for join in &stmt.joins {
         inner.extend(table_ref_layout(db, &join.table)?);
     }
+    Ok(inner)
+}
+
+/// Static output headers of a `SELECT`, computed by running the shared
+/// projection expansion over the statically derived input layout.
+fn select_headers(db: &Database, stmt: &SelectStatement) -> SqlResult<Vec<String>> {
+    let inner = statement_input_layout(db, stmt)?;
     let (headers, _) = expand_projections(&stmt.projections, &inner)?;
     Ok(headers)
 }
@@ -385,18 +404,60 @@ pub(crate) fn describe_expr(expr: &Expr) -> String {
 /// statement and threads every `plan_select` call through it; hits and
 /// misses are reported in [`ExecStats`].
 ///
+/// Besides physical plans, the cache memoizes the [`mod@crate::decorrelate`]
+/// analysis per subquery: a correlated subquery is analyzed once, and a
+/// successful rewrite's build statement is `Arc`-pinned here so *its* plan
+/// can be address-keyed and shared like any other — repeated executions of a
+/// decorrelated statement neither re-analyze nor re-plan.
+///
 /// Keys are the statement's address. That is sound here because every
 /// statement planned during an execution is either reachable from the
-/// borrowed top-level AST (alive for the whole execution) or owned by a plan
-/// already in this cache (subqueries inside `SubqueryScan` nodes) — the
-/// cache never evicts, so no address can be freed and reused while the cache
-/// lives. [`crate::prepared::SharedPlanCache`] extends the same invariant
-/// across statements and threads by pinning each prepared AST for the life
-/// of the shared cache; plans are `Arc`-shared so a clone of this cache is a
+/// borrowed top-level AST (alive for the whole execution) or owned by
+/// something this cache keeps alive for its own lifetime: a plan already in
+/// the cache (subqueries inside `SubqueryScan` nodes) or a decorrelation
+/// rewrite (the `Arc`-pinned build statement) — the cache never evicts, and
+/// [`PlanCache::merge`] pins superseded entries rather than dropping them,
+/// so no address can be freed and reused while the cache lives.
+/// [`crate::prepared::SharedPlanCache`] extends the same invariant across
+/// statements and threads by pinning each prepared AST for the life of the
+/// shared cache; plans are `Arc`-shared so a clone of this cache is a
 /// handful of refcount bumps, not a re-plan.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct PlanCache {
     plans: HashMap<usize, CachedPlan>,
+    /// Whether correlated subqueries may be decorrelated into hash joins.
+    /// On by default; [`PlanCache::without_decorrelation`] turns it off so
+    /// benches (and suspicious users) can isolate the per-outer-row
+    /// cached-plan path.
+    decorrelate: bool,
+    /// Memoized decorrelation analysis per subquery address; a `None`
+    /// rewrite records "analyzed, not rewritable" so refusals are not
+    /// re-derived per row. Entries carry the same structural fingerprint as
+    /// [`CachedPlan`], so address reuse fails a debug assertion instead of
+    /// silently probing the wrong build side.
+    rewrites: HashMap<usize, CachedRewrite>,
+    /// Entries superseded during [`PlanCache::merge`]. Kept only to pin
+    /// their owned ASTs: a superseded plan or rewrite can own statements
+    /// whose addresses key *other* live entries, so dropping it could let
+    /// an address be reused while the cache still answers for it. Keyed by
+    /// `Arc` pointer identity so re-merging the same object (a snapshot
+    /// folding back into its origin, the common prepared-statement cycle)
+    /// is idempotent — the pin set only grows when a genuinely distinct
+    /// plan/rewrite for an already-known key appears (racing planners).
+    pinned_plans: HashMap<usize, Arc<PhysicalPlan>>,
+    pinned_rewrites: HashMap<usize, Arc<DecorrelatedSubquery>>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            plans: HashMap::new(),
+            decorrelate: true,
+            rewrites: HashMap::new(),
+            pinned_plans: HashMap::new(),
+            pinned_rewrites: HashMap::new(),
+        }
+    }
 }
 
 /// A cached plan plus a cheap structural fingerprint of the statement it was
@@ -406,6 +467,14 @@ pub struct PlanCache {
 #[derive(Debug, Clone)]
 struct CachedPlan {
     plan: Arc<PhysicalPlan>,
+    shape: (usize, usize, usize, usize, bool),
+}
+
+/// A memoized decorrelation verdict plus the analyzed statement's
+/// fingerprint (same defensive role as [`CachedPlan::shape`]).
+#[derive(Debug, Clone)]
+struct CachedRewrite {
+    rewrite: Option<Arc<DecorrelatedSubquery>>,
     shape: (usize, usize, usize, usize, bool),
 }
 
@@ -443,13 +512,100 @@ impl PlanCache {
         Ok(plan)
     }
 
+    /// Returns the memoized decorrelation rewrite for the subquery `stmt`,
+    /// running the analysis on first sight. `None` means the shape is not
+    /// rewritable (or decorrelation is disabled) and the caller should use
+    /// the per-outer-row path.
+    pub fn rewrite_for(
+        &mut self,
+        db: &Database,
+        stmt: &SelectStatement,
+        pos: SubqueryPosition,
+    ) -> Option<Arc<DecorrelatedSubquery>> {
+        if !self.decorrelate {
+            return None;
+        }
+        let key = stmt as *const SelectStatement as usize;
+        let cached = self.rewrites.entry(key).or_insert_with(|| CachedRewrite {
+            rewrite: decorrelate(db, stmt, pos).map(Arc::new),
+            shape: stmt_shape(stmt),
+        });
+        debug_assert_eq!(
+            cached.shape,
+            stmt_shape(stmt),
+            "PlanCache address reuse: a statement was dropped while its rewrite entry lived"
+        );
+        cached.rewrite.clone()
+    }
+
+    /// A cache that never decorrelates: correlated subqueries stay on the
+    /// per-outer-row cached-plan path. Used by benches to measure the
+    /// decorrelation speedup and by tests to triangulate semantics.
+    pub fn without_decorrelation() -> Self {
+        PlanCache { decorrelate: false, ..Default::default() }
+    }
+
+    /// Whether this cache rewrites correlated subqueries into hash joins.
+    pub fn decorrelation_enabled(&self) -> bool {
+        self.decorrelate
+    }
+
     /// Copies every entry of `newer` this cache does not already hold.
     /// Entries are `Arc`-shared plans, so a merge never re-plans; it is how
     /// a shared cache folds back the plans one execution discovered.
+    ///
+    /// Entries the target already holds are *pinned*, not dropped: a
+    /// superseded plan or decorrelation rewrite owns statement ASTs
+    /// (`SubqueryScan` queries, rewritten build statements) whose addresses
+    /// may key other entries being merged in, and the address-keying
+    /// soundness argument requires every such owner to outlive the cache.
     pub fn merge(&mut self, newer: &PlanCache) {
         for (key, cached) in &newer.plans {
-            self.plans.entry(*key).or_insert_with(|| cached.clone());
+            match self.plans.entry(*key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(cached.clone());
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    // The same Arc folding back (a snapshot merging into its
+                    // origin) pins nothing; only a *different* plan for a
+                    // known key — racing planners — needs its ASTs kept.
+                    if !Arc::ptr_eq(&e.get().plan, &cached.plan) {
+                        self.pinned_plans
+                            .insert(Arc::as_ptr(&cached.plan) as usize, Arc::clone(&cached.plan));
+                    }
+                }
+            }
         }
+        for (key, cached) in &newer.rewrites {
+            match self.rewrites.entry(*key) {
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(cached.clone());
+                }
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if let Some(arc) = &cached.rewrite {
+                        if !e.get().rewrite.as_ref().is_some_and(|mine| Arc::ptr_eq(mine, arc)) {
+                            self.pinned_rewrites.insert(Arc::as_ptr(arc) as usize, Arc::clone(arc));
+                        }
+                    }
+                }
+            }
+        }
+        // Pointer-keyed maps make re-absorbing a snapshot's pin set (which
+        // started as a clone of this cache's own) idempotent instead of
+        // doubling it on every merge.
+        for (k, v) in &newer.pinned_plans {
+            self.pinned_plans.entry(*k).or_insert_with(|| Arc::clone(v));
+        }
+        for (k, v) in &newer.pinned_rewrites {
+            self.pinned_rewrites.entry(*k).or_insert_with(|| Arc::clone(v));
+        }
+    }
+
+    /// Number of superseded entries pinned by [`PlanCache::merge`] — zero
+    /// for serial prepared-statement cycles, bounded by distinct racing
+    /// planning events otherwise. Exposed so tests can pin the bound.
+    pub fn pinned_len(&self) -> usize {
+        self.pinned_plans.len() + self.pinned_rewrites.len()
     }
 
     /// Number of distinct statements planned so far.

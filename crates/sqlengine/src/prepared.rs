@@ -8,7 +8,10 @@
 //! address — can be snapshotted out, used, and folded back safely. Repeated
 //! statements (gold queries re-executed for every system/setting of an eval
 //! run, hot queries in a serving batch) parse and plan exactly once per
-//! process instead of once per execution.
+//! process instead of once per execution. Decorrelation rewrites ride along:
+//! the analysis result and the rewritten build statement's plan live in the
+//! same per-entry [`PlanCache`], so a decorrelated statement is rewritten
+//! and its build side planned once per process too.
 //!
 //! ## Concurrency model
 //!
@@ -191,6 +194,56 @@ mod tests {
         assert_eq!(stats1.evaluations, stats2.evaluations);
         assert_eq!(stats1.cost(), stats2.cost());
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn decorrelated_statements_share_rewrite_and_build_plan_across_executions() {
+        let d = db();
+        let cache = SharedPlanCache::new();
+        // Genuinely correlated scalar aggregate: decorrelates into a group
+        // join whose build statement is Arc-pinned by the plan cache.
+        let sql = "SELECT id FROM t AS outer_t \
+                   WHERE v > (SELECT AVG(i.v) FROM t AS i WHERE i.grp = outer_t.grp)";
+        let (rs1, stats1) = cache.execute(&d, sql, PlanMode::Optimized).unwrap();
+        let (rs2, stats2) = cache.execute(&d, sql, PlanMode::Optimized).unwrap();
+        assert_eq!(rs1.rows, rs2.rows);
+        assert_eq!(stats1.decorrelated_subqueries, 1, "rewrite engages on first execution");
+        assert_eq!(stats2.decorrelated_subqueries, 1, "build re-executes per execution");
+        assert!(stats1.plan_cache_misses >= 2, "first run plans outer + build side");
+        assert_eq!(
+            stats2.plan_cache_misses, 0,
+            "second run replays the outer and build plans from the shared cache"
+        );
+        assert_eq!(
+            stats1.decorrelated_probes + stats1.decorrelated_memo_hits,
+            stats2.decorrelated_probes + stats2.decorrelated_memo_hits,
+            "probe traffic is deterministic across shared executions"
+        );
+        // Row identity against the never-decorrelating reference mode.
+        let (legacy, _) = cache.execute(&d, sql, PlanMode::NestedLoop).unwrap();
+        assert_eq!(legacy.rows, rs1.rows);
+    }
+
+    #[test]
+    fn repeated_prepared_executions_do_not_grow_the_pin_set() {
+        // Regression: merge used to pin every already-known entry and
+        // re-absorb the snapshot's own pinned list, doubling the pin set on
+        // every execute/merge cycle (2^n blowup made the 30th execution of
+        // a hot prepared statement unaffordable). Serial re-execution folds
+        // the same Arcs back and must pin nothing.
+        let d = db();
+        let cache = SharedPlanCache::new();
+        let sql = "SELECT id FROM t AS outer_t \
+                   WHERE v > (SELECT AVG(i.v) FROM t AS i WHERE i.grp = outer_t.grp)";
+        let prepared = cache.prepare(d.name(), sql).unwrap();
+        let (first, _) = prepared.execute(&d, PlanMode::Optimized).unwrap();
+        for _ in 0..50 {
+            let (rs, _) = prepared.execute(&d, PlanMode::Optimized).unwrap();
+            assert_eq!(rs.rows, first.rows);
+        }
+        let plans = prepared.plans.lock();
+        assert_eq!(plans.pinned_len(), 0, "same-Arc merges must not pin");
+        assert_eq!(plans.len(), 2, "outer statement + decorrelated build side");
     }
 
     #[test]

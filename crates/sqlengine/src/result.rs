@@ -119,6 +119,17 @@ pub struct ExecStats {
     /// Uncorrelated subqueries actually executed (result-cache misses); a
     /// correlated subquery is never cacheable and counts in neither bucket.
     pub subquery_result_misses: u64,
+    /// Correlated subqueries rewritten into hash semi/anti/group joins whose
+    /// build side was materialized (once per enclosing statement execution).
+    /// The work the build does is counted in the ordinary scan/hash units;
+    /// this counter proves the rewrite *engaged*.
+    pub decorrelated_subqueries: u64,
+    /// Per-outer-row evaluations of a decorrelated subquery answered by a
+    /// hash probe of the build side instead of a re-execution.
+    pub decorrelated_probes: u64,
+    /// Group-join (correlated scalar aggregate) probes answered from the
+    /// per-distinct-outer-key memo without re-aggregating the matched rows.
+    pub decorrelated_memo_hits: u64,
 }
 
 impl ExecStats {
@@ -155,6 +166,9 @@ impl ExecStats {
         self.plan_cache_misses += other.plan_cache_misses;
         self.subquery_result_hits += other.subquery_result_hits;
         self.subquery_result_misses += other.subquery_result_misses;
+        self.decorrelated_subqueries += other.decorrelated_subqueries;
+        self.decorrelated_probes += other.decorrelated_probes;
+        self.decorrelated_memo_hits += other.decorrelated_memo_hits;
     }
 }
 
@@ -261,5 +275,28 @@ mod tests {
         assert_eq!(a.plan_cache_misses, 3);
         assert_eq!(a.subquery_result_hits, 5);
         assert_eq!(a.subquery_result_misses, 3);
+    }
+
+    #[test]
+    fn exec_stats_decorrelation_counters_merge_without_affecting_cost() {
+        // Decorrelation counters are engagement observability; the build's
+        // and probes' actual work is already in the scan/hash units.
+        let mut a = ExecStats {
+            decorrelated_subqueries: 1,
+            decorrelated_probes: 10,
+            decorrelated_memo_hits: 4,
+            ..Default::default()
+        };
+        assert_eq!(a.cost(), ExecStats::default().cost());
+        let b = ExecStats {
+            decorrelated_subqueries: 2,
+            decorrelated_probes: 5,
+            decorrelated_memo_hits: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.decorrelated_subqueries, 3);
+        assert_eq!(a.decorrelated_probes, 15);
+        assert_eq!(a.decorrelated_memo_hits, 5);
     }
 }

@@ -252,8 +252,8 @@ fn group_keys_eq(a: &[Value], b: &[Value]) -> bool {
 /// first-match semantics of the legacy linear scan
 /// (`keys.iter().position(|k| k.grouping_eq-all(key))`) but O(1) per probe.
 ///
-/// Keys are hashed component-wise ([`group_key_hash`]) into buckets of
-/// candidate group ids, confirmed by [`group_keys_eq`] — probing is
+/// Keys are hashed component-wise into buckets of candidate group ids,
+/// confirmed by a component-wise `grouping_eq` check — probing is
 /// allocation-free. NaN components cannot be hashed (NaN groups with every
 /// number under `total_cmp`), so NaN-containing keys live on a linear side
 /// list and NaN probes fall back to a scan in group order — empty for real

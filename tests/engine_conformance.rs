@@ -6,7 +6,8 @@
 
 use seed_repro::datasets::{bird::build_bird, spider::build_spider, CorpusConfig};
 use seed_repro::sqlengine::{
-    execute, execute_with_stats, execute_with_stats_mode, parse_select, plan_select, PlanMode,
+    execute, execute_select_with_plan_cache, execute_with_stats, execute_with_stats_mode,
+    parse_select, plan_select, PlanCache, PlanMode,
 };
 
 #[test]
@@ -190,22 +191,46 @@ fn correlated_subquery_plans_once_and_hits_thereafter() {
         "every outer row after the first replays the cached subquery result"
     );
 
-    // A *genuinely* correlated subquery (the outer alias cannot resolve
-    // inside) still re-executes per outer row, replaying the cached plan.
+    // A *genuinely* correlated scalar aggregate (the outer alias cannot
+    // resolve inside) is decorrelated into a hash group join: the rewritten
+    // build side plans and executes once, and each outer row becomes a hash
+    // probe (memoized per distinct correlation key) instead of a subquery
+    // re-execution.
     let sql = "SELECT account_id FROM account AS outer_a \
                WHERE account_id > (SELECT AVG(T.account_id) FROM account AS T \
                                    WHERE T.district_id = outer_a.district_id)";
     let (rs, stats) = execute_with_stats_mode(db, sql, PlanMode::Optimized).unwrap();
     let (legacy, _) = execute_with_stats_mode(db, sql, PlanMode::NestedLoop).unwrap();
-    assert_eq!(rs.rows, legacy.rows);
-    assert_eq!(stats.plan_cache_misses, 2, "one plan for the outer query, one for the subquery");
+    assert_eq!(rs.rows, legacy.rows, "decorrelation must not change results");
+    assert_eq!(stats.plan_cache_misses, 2, "one plan for the outer query, one for the build side");
+    assert_eq!(stats.plan_cache_hits, 0, "per-outer-row re-execution is gone");
+    assert_eq!(stats.decorrelated_subqueries, 1, "the rewrite engaged");
     assert_eq!(
-        stats.plan_cache_hits,
+        stats.decorrelated_probes + stats.decorrelated_memo_hits,
+        outer_rows,
+        "every outer row is answered by a probe or the per-key memo"
+    );
+    assert!(stats.decorrelated_probes >= 1);
+    assert_eq!(stats.subquery_result_misses, 0, "correlated subqueries are never result-cached");
+    assert_eq!(stats.subquery_result_hits, 0);
+
+    // The per-outer-row cached-plan path survives behind
+    // `PlanCache::without_decorrelation`, row-identical, for triangulation.
+    let stmt = parse_select(sql).unwrap();
+    let (norw, norw_stats, _) = execute_select_with_plan_cache(
+        db,
+        &stmt,
+        PlanMode::Optimized,
+        PlanCache::without_decorrelation(),
+    )
+    .unwrap();
+    assert_eq!(norw.rows, rs.rows);
+    assert_eq!(norw_stats.decorrelated_subqueries, 0);
+    assert_eq!(
+        norw_stats.plan_cache_hits,
         outer_rows - 1,
         "every outer row after the first replays the cached subquery plan"
     );
-    assert_eq!(stats.subquery_result_misses, 0, "correlated subqueries are never result-cached");
-    assert_eq!(stats.subquery_result_hits, 0);
 }
 
 #[test]
