@@ -3,7 +3,7 @@
 //! A concurrent query-serving runtime for the SEED reproduction's SQL
 //! engine: submit a batch of SQL statements (or a whole eval workload) and
 //! get per-statement results back **in submission order**, executed by a
-//! fixed-size worker pool against an `Arc`-shared, read-only
+//! persistent worker pool against an `Arc`-shared, read-only
 //! [`Database`] snapshot.
 //!
 //! ## Snapshot / borrow model
@@ -19,18 +19,75 @@
 //!
 //! ## Shared caches
 //!
-//! * **Plans** — one process-wide [`SharedPlanCache`] per server: a repeated
-//!   statement parses and plans once, then every execution (any worker, any
-//!   session) replays the pinned plan. Reuse is visible as
-//!   `plan_cache_hits` in each statement's [`ExecStats`].
+//! Both shared caches are **sharded by statement-text hash** into
+//! independent lock stripes (at least as many stripes as workers), so two
+//! workers serving *different* statements never contend on a lock — the
+//! fix for the negative scaling the single-lock layout showed in
+//! `BENCH_serve.json`.
+//!
+//! * **Plans** — one process-wide [`SharedPlanCache`] per server, striped
+//!   internally: a repeated statement parses and plans once, then every
+//!   execution (any worker, any session) replays the pinned plan. Reuse is
+//!   visible as `plan_cache_hits` in each statement's [`ExecStats`].
 //! * **Results** — because the snapshot is immutable, a statement's result
 //!   is a pure function of its text. With [`ServeConfig::cache_results`]
-//!   on (the default), each distinct statement *executes* at most once per
-//!   racing window and repeats are served from the result cache, carrying
-//!   the canonical execution's stats so costs stay deterministic. The cache
-//!   is bounded: at most [`ServeConfig::result_cache_cap`] entries live at
-//!   once, with least-recently-served eviction, so a long-lived server's
-//!   memory does not grow with the lifetime query set.
+//!   on (the default), each distinct statement *executes exactly once*:
+//!   an **in-flight execution table** (one slot per stripe entry) makes
+//!   concurrent submissions of the same statement block on the one
+//!   canonical execution instead of racing it, then serves them its
+//!   result. That makes `result_cache_hits` exact — `statements −
+//!   distinct statements` at any worker count — not merely
+//!   scheduling-dependently close. Each stripe is its own bounded LRU
+//!   segment: at most `ceil(result_cache_cap / stripes)` (minimum 1)
+//!   entries live per stripe, with least-recently-served eviction, so a
+//!   long-lived server's memory stays bounded and eviction scans stay
+//!   per-stripe. In-flight slots are transient and never evicted.
+//!
+//! ### In-flight dedup state machine
+//!
+//! A stripe slot for a statement is either `Ready(result)` or
+//! `InFlight(flight)`:
+//!
+//! ```text
+//!   miss ──insert InFlight──▶ Running ──publish──▶ Done(Ok)  → slot becomes Ready
+//!                                │  │
+//!                                │  └──publish──▶ Done(Err) → slot removed (errors
+//!                                │                            are never cached)
+//!                                └──panic/unwind─▶ Abandoned → slot removed, waiters
+//!                                                             retry admission
+//! ```
+//!
+//! Waiters block on the flight's condvar; `Done(Ok)` waiters are served
+//! the canonical entry and count as result-cache hits, `Done(Err)` waiters
+//! get the same (deterministic) error, `Abandoned` waiters loop back and
+//! re-attempt admission themselves.
+//!
+//! ## Worker pool
+//!
+//! [`Server::new`] spawns `min(workers, available_parallelism) − 1`
+//! persistent threads (all `workers − 1` with
+//! [`ServeConfig::oversubscribe`]) that park on a condvar between batches
+//! (the calling thread is the final worker), and returns only once every
+//! pool thread is parked, so [`Server::execute_batch`] pays no
+//! thread-spawn or thread-startup cost per batch. Workers
+//! pull statements off a shared atomic cursor — work stealing, not fixed
+//! chunking — so a skewed batch (a few expensive statements among many
+//! cheap ones) keeps every worker busy until the cursor is drained.
+//! Results land in their submission slots, so output order never depends
+//! on scheduling, and each worker accumulates its serving counters in a
+//! thread-local [`struct@ExecStats`] tally merged into the server totals
+//! once per batch, not once per statement.
+//!
+//! A batch likewise wakes at most `min(workers, statements,
+//! available_parallelism)` workers — waking a parked thread the CPU
+//! cannot run costs a futex round-trip plus two context switches per
+//! batch and can only subtract throughput, which is exactly the "more
+//! workers, less qps" regression this crate exists to avoid. When the
+//! bound leaves a batch with a single runnable worker, the caller serves
+//! it inline with no job-board traffic at all. The configured worker
+//! count is the ceiling the same config reaches on bigger hardware; tests
+//! that must drive the cross-thread machinery on any host opt into
+//! [`ServeConfig::oversubscribe`].
 //!
 //! ## Determinism contract
 //!
@@ -38,38 +95,63 @@
 //! errors, and every cost-bearing work counter (`rows_scanned`,
 //! `evaluations`, hash/index units — hence [`ExecStats::cost`]) are
 //! byte-identical regardless of worker count, submission order of *other*
-//! statements, or scheduling. The plan/result cache observability counters
-//! are excluded from that contract: which concrete execution warmed a cache
-//! is scheduling-dependent (and already excluded from `cost()`). The
-//! workspace determinism suite (`tests/serve_determinism.rs`) pins this
-//! contract against both gold corpora at 1, 2, and 8 workers.
+//! statements, or scheduling. With in-flight dedup, the aggregate
+//! `result_cache_hits` counter is exact as well (`statements − distinct
+//! statements`, whenever the distinct set fits the cache cap); only
+//! per-statement `from_result_cache` flags — *which* submission became the
+//! canonical execution — remain scheduling-dependent, and those are
+//! excluded from `cost()`. The workspace determinism suite
+//! (`tests/serve_determinism.rs`) pins this contract against both gold
+//! corpora at 1, 2, and 8 workers.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::thread::JoinHandle;
 
-use parking_lot::{Mutex, RwLock};
-use seed_sqlengine::{Database, ExecStats, PlanMode, ResultSet, SharedPlanCache, SqlResult};
+use parking_lot::{Condvar, Mutex, RwLock};
+use seed_sqlengine::{
+    Database, ExecStats, PlanMode, ResultSet, SharedPlanCache, SqlError, SqlResult,
+};
+
+/// Minimum number of result-cache stripes, so even low worker counts get
+/// contention-free admission from concurrent sessions.
+const MIN_RESULT_SHARDS: usize = 8;
 
 /// Configuration for a [`Server`].
 #[derive(Debug, Clone, Copy)]
 pub struct ServeConfig {
     /// Worker threads used by [`Server::execute_batch`]. `1` serves
-    /// strictly serially (no threads are spawned). Values are clamped to
-    /// the batch size at execution time.
+    /// strictly serially (no threads are spawned). `0` is treated as `1`
+    /// everywhere — [`Server::new`] and batch admission both clamp, so a
+    /// zero written via a struct literal can never reach the pool.
     pub workers: usize,
     /// Plan mode every statement executes under.
     pub mode: PlanMode,
-    /// Serve repeated statements from the shared result cache. Sound
-    /// because the snapshot is frozen for the server's lifetime; disable
-    /// only to measure raw execution throughput.
+    /// Serve repeated statements from the shared result cache and dedup
+    /// concurrent executions of the same statement. Sound because the
+    /// snapshot is frozen for the server's lifetime; disable only to
+    /// measure raw execution throughput.
     pub cache_results: bool,
-    /// Maximum number of distinct statements the result cache holds. When a
-    /// fresh statement would exceed the cap, the least-recently-served entry
-    /// is evicted — a long-lived server's result memory is bounded by the
-    /// cap times the largest cached result, not by the lifetime query set.
-    /// `0` disables result caching entirely.
+    /// Approximate maximum number of distinct statements the result cache
+    /// holds. The cap is distributed over the cache's lock stripes: each
+    /// stripe holds at most `ceil(result_cache_cap / stripes)` entries
+    /// (minimum 1), evicting its least-recently-served entry on overflow —
+    /// so the true bound is `stripes * ceil(result_cache_cap / stripes)`,
+    /// i.e. within one entry per stripe of the configured cap. `0`
+    /// disables result caching (and in-flight dedup) entirely.
     pub result_cache_cap: usize,
+    /// Allow more workers than the host has hardware threads. Off by
+    /// default: a worker thread beyond `available_parallelism()` can never
+    /// run concurrently with the others — it only adds thread-startup
+    /// cost, a futex round-trip and two context switches per batch it is
+    /// woken for, and scheduler pressure — so the pool spawns and wakes at
+    /// most `available_parallelism()` workers. The configured count is
+    /// still the ceiling the same config reaches on bigger hardware.
+    /// Tests that need to drive the cross-thread batch machinery
+    /// regardless of host size turn this on.
+    pub oversubscribe: bool,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +161,7 @@ impl Default for ServeConfig {
             mode: PlanMode::default(),
             cache_results: true,
             result_cache_cap: 1024,
+            oversubscribe: false,
         }
     }
 }
@@ -93,6 +176,19 @@ impl ServeConfig {
     pub fn with_workers(self, workers: usize) -> Self {
         ServeConfig { workers: workers.max(1), ..self }
     }
+
+    /// Same configuration with oversubscription allowed: batches may make
+    /// all configured workers runnable even past the host's hardware
+    /// threads. See [`ServeConfig::oversubscribe`].
+    pub fn oversubscribed(self) -> Self {
+        ServeConfig { oversubscribe: true, ..self }
+    }
+
+    /// The worker count the pool actually runs with: struct-literal zeros
+    /// are clamped to serial here and at every admission point.
+    fn effective_workers(&self) -> usize {
+        self.workers.max(1)
+    }
 }
 
 /// The outcome of one served statement.
@@ -104,8 +200,11 @@ pub struct StatementOutcome {
     /// execution's stats (the work the statement costs), keeping VES-style
     /// cost accounting independent of cache luck.
     pub stats: ExecStats,
-    /// Whether the result came from the shared result cache. Observability
-    /// only — scheduling-dependent under concurrency.
+    /// Whether the result came from the shared result cache or from
+    /// waiting on the canonical in-flight execution. The aggregate count of
+    /// these flags is deterministic (`statements − distinct statements`
+    /// while the distinct set fits the cap); *which* submission executed is
+    /// scheduling-dependent.
     pub from_result_cache: bool,
 }
 
@@ -114,7 +213,9 @@ pub struct StatementOutcome {
 pub struct ServerStats {
     /// Statements served (cache hits included), across all sessions.
     pub statements: u64,
-    /// Statements answered from the shared result cache.
+    /// Statements answered from the shared result cache or by a canonical
+    /// in-flight execution. Exact under dedup: `statements − distinct
+    /// statements` whenever the distinct set fits the cache cap.
     pub result_cache_hits: u64,
     /// Distinct statements pinned in the shared plan cache.
     pub prepared_statements: usize,
@@ -124,26 +225,431 @@ pub struct ServerStats {
 }
 
 /// One cached statement result plus its recency stamp. The stamp is atomic
-/// so cache *hits* (the hot path) bump recency under the map's read lock;
-/// only insertions and evictions take the write lock.
+/// so cache *hits* (the hot path) bump recency under the stripe's read
+/// lock; only insertions and evictions take the stripe's write lock.
 struct CachedResult {
     result: ResultSet,
     stats: ExecStats,
     last_used: AtomicU64,
 }
 
-/// A query server over one frozen database snapshot.
-pub struct Server {
+/// State of one canonical execution that concurrent duplicates wait on.
+enum FlightState {
+    /// The canonical execution is running.
+    Running,
+    /// The canonical execution finished; waiters share its outcome.
+    Done(Result<Arc<CachedResult>, SqlError>),
+    /// The canonical execution unwound without publishing; waiters must
+    /// re-attempt admission themselves.
+    Abandoned,
+}
+
+/// An in-flight canonical execution of one statement.
+struct InFlight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+}
+
+impl InFlight {
+    fn new() -> Self {
+        InFlight { state: Mutex::new(FlightState::Running), done: Condvar::new() }
+    }
+
+    /// Blocks until the canonical execution publishes or abandons.
+    /// `None` means abandoned — the caller should retry admission.
+    fn wait(&self) -> Option<Result<Arc<CachedResult>, SqlError>> {
+        let mut state = self.state.lock();
+        loop {
+            match &*state {
+                FlightState::Running => state = self.done.wait(state),
+                FlightState::Done(outcome) => return Some(outcome.clone()),
+                FlightState::Abandoned => return None,
+            }
+        }
+    }
+
+    fn publish(&self, outcome: Result<Arc<CachedResult>, SqlError>) {
+        *self.state.lock() = FlightState::Done(outcome);
+        self.done.notify_all();
+    }
+
+    fn abandon(&self) {
+        *self.state.lock() = FlightState::Abandoned;
+        self.done.notify_all();
+    }
+}
+
+/// A stripe slot: either a cached result or the execution producing one.
+enum Slot {
+    Ready(Arc<CachedResult>),
+    InFlight(Arc<InFlight>),
+}
+
+/// One lock stripe of the sharded result cache.
+struct ResultShard {
+    slots: RwLock<HashMap<String, Slot>>,
+    /// Monotonic recency clock for this stripe's LRU.
+    tick: AtomicU64,
+}
+
+impl ResultShard {
+    /// Serves a cached entry, bumping its recency. Read-lock-only path.
+    fn hit(&self, entry: &CachedResult) -> StatementOutcome {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        entry.last_used.store(tick, Ordering::Relaxed);
+        StatementOutcome {
+            result: entry.result.clone(),
+            stats: entry.stats,
+            from_result_cache: true,
+        }
+    }
+
+    fn ready_len(&self) -> usize {
+        self.slots.read().values().filter(|s| matches!(s, Slot::Ready(_))).count()
+    }
+}
+
+/// The sharded statement-result cache plus in-flight execution table.
+struct ShardedResultCache {
+    shards: Box<[ResultShard]>,
+    /// Per-stripe LRU capacity; `0` means caching (and dedup) is off.
+    stripe_cap: usize,
+    evictions: AtomicU64,
+}
+
+impl ShardedResultCache {
+    fn new(workers: usize, config: &ServeConfig) -> Self {
+        let n = workers.max(MIN_RESULT_SHARDS).next_power_of_two();
+        let cap = if config.cache_results { config.result_cache_cap } else { 0 };
+        let stripe_cap = if cap == 0 { 0 } else { cap.div_ceil(n) };
+        ShardedResultCache {
+            shards: (0..n)
+                .map(|_| ResultShard {
+                    slots: RwLock::new(HashMap::new()),
+                    tick: AtomicU64::new(0),
+                })
+                .collect(),
+            stripe_cap,
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    fn shard_of(&self, sql: &str) -> usize {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        sql.hash(&mut hasher);
+        // Stripe count is a power of two, so masking maps uniformly.
+        (hasher.finish() as usize) & (self.shards.len() - 1)
+    }
+}
+
+/// Removes a still-in-flight slot and wakes its waiters if the canonical
+/// execution unwinds (panic in the engine) before publishing. Disarmed on
+/// the normal path.
+struct FlightGuard<'a> {
+    cache: &'a ShardedResultCache,
+    shard: usize,
+    sql: &'a str,
+    flight: &'a Arc<InFlight>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let shard = &self.cache.shards[self.shard];
+        let mut slots = shard.slots.write();
+        if let Some(Slot::InFlight(f)) = slots.get(self.sql) {
+            if Arc::ptr_eq(f, self.flight) {
+                slots.remove(self.sql);
+            }
+        }
+        drop(slots);
+        self.flight.abandon();
+    }
+}
+
+/// Per-worker serving counters, accumulated lock-free during a batch and
+/// folded into the server totals exactly once per worker per batch.
+#[derive(Default)]
+struct Tally {
+    statements: u64,
+    result_hits: u64,
+    totals: ExecStats,
+}
+
+impl Tally {
+    fn absorb(&mut self, outcome: &SqlResult<StatementOutcome>) {
+        self.statements += 1;
+        if let Ok(o) = outcome {
+            if o.from_result_cache {
+                self.result_hits += 1;
+            }
+            self.totals.merge(&o.stats);
+        }
+    }
+}
+
+/// Everything workers share: the snapshot, both sharded caches, and the
+/// aggregate counters. Lives behind `Arc` so the persistent pool threads
+/// can hold it without borrowing the `Server`.
+struct ServerCore {
     db: Arc<Database>,
     config: ServeConfig,
     plans: SharedPlanCache,
-    results: RwLock<HashMap<String, Arc<CachedResult>>>,
-    /// Monotonic recency clock for the result LRU.
-    result_tick: AtomicU64,
+    results: ShardedResultCache,
     statements: AtomicU64,
     result_hits: AtomicU64,
-    result_evictions: AtomicU64,
     totals: Mutex<ExecStats>,
+}
+
+impl ServerCore {
+    /// Folds one worker's batch tally into the server aggregates — the
+    /// only totals-lock acquisition a worker makes per batch.
+    fn fold(&self, tally: Tally) {
+        if tally.statements == 0 {
+            return;
+        }
+        self.statements.fetch_add(tally.statements, Ordering::Relaxed);
+        self.result_hits.fetch_add(tally.result_hits, Ordering::Relaxed);
+        self.totals.lock().merge(&tally.totals);
+    }
+
+    /// Serves one statement through the sharded caches and the in-flight
+    /// dedup table. Pure with respect to the aggregate counters (the
+    /// caller's tally absorbs the outcome).
+    fn serve_one(&self, sql: &str) -> SqlResult<StatementOutcome> {
+        if self.results.stripe_cap == 0 {
+            // Caching (and dedup) off: the known-miss path does no cache
+            // round-trips at all.
+            let (result, stats) = self.plans.execute(&self.db, sql, self.config.mode)?;
+            return Ok(StatementOutcome { result, stats, from_result_cache: false });
+        }
+        let idx = self.results.shard_of(sql);
+        let shard = &self.results.shards[idx];
+        loop {
+            // Fast path: per-stripe read lock only.
+            let flight = match shard.slots.read().get(sql) {
+                Some(Slot::Ready(entry)) => return Ok(shard.hit(entry)),
+                Some(Slot::InFlight(f)) => Some(Arc::clone(f)),
+                None => None,
+            };
+            let flight = match flight {
+                Some(f) => f,
+                None => {
+                    // Admission: one write lock decides the canonical
+                    // executor among racing duplicates.
+                    let mut slots = shard.slots.write();
+                    match slots.get(sql) {
+                        Some(Slot::Ready(entry)) => {
+                            let entry = Arc::clone(entry);
+                            drop(slots);
+                            return Ok(shard.hit(&entry));
+                        }
+                        Some(Slot::InFlight(f)) => Arc::clone(f),
+                        None => {
+                            let f = Arc::new(InFlight::new());
+                            slots.insert(sql.to_string(), Slot::InFlight(Arc::clone(&f)));
+                            drop(slots);
+                            return self.run_canonical(idx, sql, &f);
+                        }
+                    }
+                }
+            };
+            match flight.wait() {
+                Some(Ok(entry)) => return Ok(shard.hit(&entry)),
+                Some(Err(e)) => return Err(e),
+                // Canonical execution unwound: retry admission.
+                None => continue,
+            }
+        }
+    }
+
+    /// Runs the canonical execution this worker won admission for, then
+    /// publishes the outcome to the stripe and to every waiter.
+    fn run_canonical(
+        &self,
+        idx: usize,
+        sql: &str,
+        flight: &Arc<InFlight>,
+    ) -> SqlResult<StatementOutcome> {
+        let mut guard = FlightGuard { cache: &self.results, shard: idx, sql, flight, armed: true };
+        let executed = self.plans.execute(&self.db, sql, self.config.mode);
+        let shard = &self.results.shards[idx];
+        let published = match &executed {
+            Ok((result, stats)) => {
+                let entry = Arc::new(CachedResult {
+                    result: result.clone(),
+                    stats: *stats,
+                    last_used: AtomicU64::new(shard.tick.fetch_add(1, Ordering::Relaxed) + 1),
+                });
+                let mut slots = shard.slots.write();
+                // Reclaim the admission-time key so publishing a result does
+                // not re-allocate the statement text.
+                let key =
+                    slots.remove_entry(sql).map(|(key, _)| key).unwrap_or_else(|| sql.to_string());
+                // Per-stripe LRU admission: evict the least-recently-served
+                // ready entries until the newcomer fits. In-flight slots are
+                // never evicted. The O(stripe len) scans are bounded by the
+                // stripe cap, not the whole cache.
+                while slots.values().filter(|s| matches!(s, Slot::Ready(_))).count()
+                    >= self.results.stripe_cap
+                {
+                    let coldest = slots
+                        .iter()
+                        .filter_map(|(k, s)| match s {
+                            Slot::Ready(e) => Some((k, e.last_used.load(Ordering::Relaxed))),
+                            Slot::InFlight(_) => None,
+                        })
+                        .min_by_key(|(_, used)| *used)
+                        .map(|(k, _)| k.clone())
+                        .expect("stripe cap > 0, so a full stripe has a coldest ready entry");
+                    slots.remove(&coldest);
+                    self.results.evictions.fetch_add(1, Ordering::Relaxed);
+                }
+                slots.insert(key, Slot::Ready(Arc::clone(&entry)));
+                Ok(entry)
+            }
+            Err(e) => {
+                // Errors are deterministic but never cached: remove the
+                // slot so later submissions re-report through the engine.
+                shard.slots.write().remove(sql);
+                Err(e.clone())
+            }
+        };
+        guard.armed = false;
+        flight.publish(published);
+        executed.map(|(result, stats)| StatementOutcome { result, stats, from_result_cache: false })
+    }
+}
+
+/// One batch moving through the worker pool: statements in, outcome slots
+/// out, a shared work-stealing cursor in between.
+struct BatchState {
+    stmts: Vec<String>,
+    slots: Vec<Mutex<Option<SqlResult<StatementOutcome>>>>,
+    /// Next unclaimed statement index — the work-stealing cursor.
+    cursor: AtomicUsize,
+    /// Statements fully served (outcome written, stats folded).
+    completed: AtomicUsize,
+    finished: Mutex<bool>,
+    finished_cv: Condvar,
+}
+
+impl BatchState {
+    fn new(stmts: Vec<String>) -> Self {
+        let slots = stmts.iter().map(|_| Mutex::new(None)).collect();
+        BatchState {
+            stmts,
+            slots,
+            cursor: AtomicUsize::new(0),
+            completed: AtomicUsize::new(0),
+            finished: Mutex::new(false),
+            finished_cv: Condvar::new(),
+        }
+    }
+}
+
+/// Serves statements off the batch cursor until it drains, folding this
+/// worker's tally exactly once, then signals completion if this worker
+/// finished the last statement.
+fn run_batch_tasks(core: &ServerCore, batch: &BatchState) {
+    let n = batch.stmts.len();
+    let mut tally = Tally::default();
+    let mut served = 0usize;
+    loop {
+        let i = batch.cursor.fetch_add(1, Ordering::Relaxed);
+        if i >= n {
+            break;
+        }
+        let outcome = core.serve_one(&batch.stmts[i]);
+        tally.absorb(&outcome);
+        *batch.slots[i].lock() = Some(outcome);
+        served += 1;
+    }
+    // Fold before counting completion: when `completed` reaches the batch
+    // size, every statement's stats are already in the server totals.
+    core.fold(tally);
+    if served > 0 && batch.completed.fetch_add(served, Ordering::AcqRel) + served == n {
+        *batch.finished.lock() = true;
+        batch.finished_cv.notify_all();
+    }
+}
+
+/// The job board persistent workers park on between batches.
+#[derive(Default)]
+struct JobBoard {
+    /// Bumped once per published batch so each worker joins a batch at
+    /// most once.
+    generation: u64,
+    batch: Option<Arc<BatchState>>,
+    /// Workers that have reached their parking spot at least once.
+    /// [`Server::new`] blocks on this so a freshly constructed server's
+    /// pool is fully parked — the first batch pays wake-ups, never
+    /// thread-startup CPU.
+    ready: usize,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    job: Mutex<JobBoard>,
+    available: Condvar,
+    /// Signals [`JobBoard::ready`] increments to the constructing thread.
+    parked: Condvar,
+}
+
+fn worker_loop(core: Arc<ServerCore>, pool: Arc<PoolShared>) {
+    let mut seen_generation = 0u64;
+    let mut announced = false;
+    loop {
+        let batch = {
+            let mut job = pool.job.lock();
+            if !announced {
+                // Startup handshake: tell `Server::new` this worker has
+                // reached the board (under the same lock it parks with, so
+                // the announcement and the park are atomic to observers).
+                announced = true;
+                job.ready += 1;
+                pool.parked.notify_all();
+            }
+            loop {
+                if job.shutdown {
+                    return;
+                }
+                if job.generation != seen_generation {
+                    if let Some(batch) = &job.batch {
+                        seen_generation = job.generation;
+                        break Arc::clone(batch);
+                    }
+                }
+                job = pool.available.wait(job);
+            }
+        };
+        run_batch_tasks(&core, &batch);
+    }
+}
+
+/// A query server over one frozen database snapshot.
+///
+/// Construction spawns the persistent worker pool (`workers − 1` threads;
+/// the thread calling [`Server::execute_batch`] is the final worker) and
+/// returns only once every pool thread is parked, so batches pay
+/// wake-ups — never thread spawns or leftover thread-startup work.
+/// Dropping the server shuts the pool down and joins every thread.
+pub struct Server {
+    core: Arc<ServerCore>,
+    pool: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+    /// Hardware threads the host exposes, sampled once at construction.
+    /// Bounds how many workers a batch makes runnable unless
+    /// [`ServeConfig::oversubscribe`] is set.
+    hardware: usize,
+    /// Serializes batch publication: concurrent `execute_batch` callers
+    /// take turns on the pool (each still executes correctly — the caller
+    /// thread alone can drain its batch), rather than overwriting each
+    /// other's job board entry.
+    batch_gate: Mutex<()>,
 }
 
 impl Server {
@@ -151,38 +657,90 @@ impl Server {
     /// as the server (or any clone of the `Arc`) is alive, no `&mut
     /// Database` can exist, so every cache entry stays valid.
     pub fn new(db: Arc<Database>, config: ServeConfig) -> Self {
-        Server {
+        let workers = config.effective_workers();
+        let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        // Pool sizing follows the hardware: threads beyond
+        // `available_parallelism` can never run concurrently, so they are
+        // not spawned at all unless oversubscription is requested — the
+        // configured count stays the ceiling the same config reaches on
+        // bigger hardware.
+        let spawned = if config.oversubscribe { workers } else { workers.min(hardware) };
+        let core = Arc::new(ServerCore {
             db,
             config,
-            plans: SharedPlanCache::new(),
-            results: RwLock::new(HashMap::new()),
-            result_tick: AtomicU64::new(0),
+            plans: SharedPlanCache::with_shards(workers.max(MIN_RESULT_SHARDS)),
+            results: ShardedResultCache::new(workers, &config),
             statements: AtomicU64::new(0),
             result_hits: AtomicU64::new(0),
-            result_evictions: AtomicU64::new(0),
             totals: Mutex::new(ExecStats::default()),
+        });
+        let pool = Arc::new(PoolShared {
+            job: Mutex::new(JobBoard::default()),
+            available: Condvar::new(),
+            parked: Condvar::new(),
+        });
+        let handles: Vec<JoinHandle<()>> = (1..spawned)
+            .map(|_| {
+                let core = Arc::clone(&core);
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || worker_loop(core, pool))
+            })
+            .collect();
+        // Wait for every pool thread to reach its parking spot: a returned
+        // server has a fully parked pool, so the first batch pays wake-ups
+        // rather than absorbing leftover thread-startup work.
+        {
+            let mut job = pool.job.lock();
+            while job.ready < handles.len() {
+                job = pool.parked.wait(job);
+            }
         }
+        Server { core, pool, workers: handles, hardware, batch_gate: Mutex::new(()) }
     }
 
-    /// Distinct statements currently held by the result cache (≤ the
-    /// configured [`ServeConfig::result_cache_cap`]).
+    /// Cached statement results currently live (ready entries across all
+    /// stripes; in-flight executions are not counted).
     pub fn result_cache_len(&self) -> usize {
-        self.results.read().len()
+        self.core.results.shards.iter().map(|s| s.ready_len()).sum()
     }
 
-    /// Result-cache entries evicted under the LRU cap so far.
+    /// Ready entries per stripe, for observability and bound checking.
+    pub fn result_cache_shard_lens(&self) -> Vec<usize> {
+        self.core.results.shards.iter().map(|s| s.ready_len()).collect()
+    }
+
+    /// Number of lock stripes the result cache is spread across (a power
+    /// of two, at least the worker count).
+    pub fn result_cache_shards(&self) -> usize {
+        self.core.results.shards.len()
+    }
+
+    /// Maximum ready entries a single stripe holds before evicting
+    /// (`ceil(result_cache_cap / stripes)`, minimum 1); `0` when result
+    /// caching is disabled.
+    pub fn result_cache_stripe_cap(&self) -> usize {
+        self.core.results.stripe_cap
+    }
+
+    /// The stripe `sql` maps to — exposed so tests can construct
+    /// same-stripe workloads deterministically.
+    pub fn result_cache_shard_of(&self, sql: &str) -> usize {
+        self.core.results.shard_of(sql)
+    }
+
+    /// Result-cache entries evicted under the per-stripe LRU cap so far.
     pub fn result_cache_evictions(&self) -> u64 {
-        self.result_evictions.load(Ordering::Relaxed)
+        self.core.results.evictions.load(Ordering::Relaxed)
     }
 
     /// The served snapshot.
     pub fn database(&self) -> &Database {
-        &self.db
+        &self.core.db
     }
 
     /// The server configuration.
     pub fn config(&self) -> ServeConfig {
-        self.config
+        self.core.config
     }
 
     /// Opens a session: a lightweight per-client handle that accumulates
@@ -193,107 +751,94 @@ impl Server {
 
     /// Serves one statement through the shared caches.
     pub fn execute(&self, sql: &str) -> SqlResult<StatementOutcome> {
-        let outcome = self.execute_uncounted(sql);
-        self.count(&outcome);
+        let outcome = self.core.serve_one(sql);
+        let mut tally = Tally::default();
+        tally.absorb(&outcome);
+        self.core.fold(tally);
         outcome
     }
 
     /// Executes a batch, returning one outcome per statement **in
-    /// submission order**. With `workers > 1` the batch is spread over a
-    /// scoped thread pool pulling statements off a shared cursor; results
-    /// land in their submission slots, so the output order never depends on
+    /// submission order**. With more than one worker the batch is
+    /// published to the persistent pool and the calling thread joins in;
+    /// all workers pull statements off a shared work-stealing cursor, so
+    /// skewed batches stay balanced and the output order never depends on
     /// scheduling.
     pub fn execute_batch(&self, stmts: &[String]) -> Vec<SqlResult<StatementOutcome>> {
-        let workers = self.config.workers.clamp(1, stmts.len().max(1));
-        let outcomes: Vec<SqlResult<StatementOutcome>> = if workers <= 1 {
-            stmts.iter().map(|sql| self.execute_uncounted(sql)).collect()
-        } else {
-            let cursor = AtomicUsize::new(0);
-            let slots: Vec<Mutex<Option<SqlResult<StatementOutcome>>>> =
-                stmts.iter().map(|_| Mutex::new(None)).collect();
-            std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= stmts.len() {
-                            break;
-                        }
-                        *slots[i].lock() = Some(self.execute_uncounted(&stmts[i]));
-                    });
-                }
-            });
-            slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("every batch slot is filled"))
-                .collect()
-        };
-        for outcome in &outcomes {
-            self.count(outcome);
+        if stmts.is_empty() {
+            return Vec::new();
         }
-        outcomes
+        // Clamp at admission too: a `ServeConfig { workers: 0, .. }` built
+        // via struct literal (bypassing `with_workers`) serves serially.
+        let workers = self.core.config.effective_workers().min(stmts.len());
+        // How many workers this batch actually makes runnable. Waking a
+        // parked worker the CPU cannot run costs a futex round-trip plus
+        // two context switches and can only slow the batch down, so the
+        // fan-out is bounded by the hardware unless oversubscription is
+        // explicitly requested. A fan-out of one is the serial path — the
+        // caller alone, no job-board traffic at all.
+        let fanout =
+            if self.core.config.oversubscribe { workers } else { workers.min(self.hardware) };
+        if fanout <= 1 || self.workers.is_empty() {
+            let mut tally = Tally::default();
+            let outcomes: Vec<SqlResult<StatementOutcome>> = stmts
+                .iter()
+                .map(|sql| {
+                    let outcome = self.core.serve_one(sql);
+                    tally.absorb(&outcome);
+                    outcome
+                })
+                .collect();
+            self.core.fold(tally);
+            return outcomes;
+        }
+        let _gate = self.batch_gate.lock();
+        let batch = Arc::new(BatchState::new(stmts.to_vec()));
+        {
+            let mut job = self.pool.job.lock();
+            job.generation += 1;
+            job.batch = Some(Arc::clone(&batch));
+        }
+        // Wake exactly the helpers this batch can use; the rest of the
+        // pool stays parked (each consecutive `notify_one` releases one
+        // more parked worker).
+        for _ in 0..(fanout - 1).min(self.workers.len()) {
+            self.pool.available.notify_one();
+        }
+        // The calling thread is the final worker.
+        run_batch_tasks(&self.core, &batch);
+        {
+            let mut finished = batch.finished.lock();
+            while !*finished {
+                finished = batch.finished_cv.wait(finished);
+            }
+        }
+        // Retire the batch so parked workers cannot hold it alive.
+        self.pool.job.lock().batch = None;
+        batch
+            .slots
+            .iter()
+            .map(|slot| slot.lock().take().expect("every batch slot is filled"))
+            .collect()
     }
 
     /// Aggregate serving counters.
     pub fn snapshot_stats(&self) -> ServerStats {
         ServerStats {
-            statements: self.statements.load(Ordering::Relaxed),
-            result_cache_hits: self.result_hits.load(Ordering::Relaxed),
-            prepared_statements: self.plans.len(),
-            totals: *self.totals.lock(),
+            statements: self.core.statements.load(Ordering::Relaxed),
+            result_cache_hits: self.core.result_hits.load(Ordering::Relaxed),
+            prepared_statements: self.core.plans.len(),
+            totals: *self.core.totals.lock(),
         }
     }
+}
 
-    fn execute_uncounted(&self, sql: &str) -> SqlResult<StatementOutcome> {
-        let caching = self.config.cache_results && self.config.result_cache_cap > 0;
-        if caching {
-            if let Some(hit) = self.results.read().get(sql) {
-                let tick = self.result_tick.fetch_add(1, Ordering::Relaxed) + 1;
-                hit.last_used.store(tick, Ordering::Relaxed);
-                self.result_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(StatementOutcome {
-                    result: hit.result.clone(),
-                    stats: hit.stats,
-                    from_result_cache: true,
-                });
-            }
-        }
-        let (rs, stats) = self.plans.execute(&self.db, sql, self.config.mode)?;
-        if caching {
-            // Two workers racing on a fresh statement both execute it
-            // (deterministically identically); the first insert wins.
-            let tick = self.result_tick.fetch_add(1, Ordering::Relaxed) + 1;
-            let mut results = self.results.write();
-            if !results.contains_key(sql) {
-                // Evict least-recently-served entries until the newcomer
-                // fits. An O(len) argmin scan per eviction is fine at the
-                // cap sizes a statement cache runs at; the hot path (hits)
-                // never reaches here.
-                while results.len() >= self.config.result_cache_cap {
-                    let coldest = results
-                        .iter()
-                        .min_by_key(|(_, e)| e.last_used.load(Ordering::Relaxed))
-                        .map(|(k, _)| k.clone())
-                        .expect("cap > 0, so a full map has a coldest entry");
-                    results.remove(&coldest);
-                    self.result_evictions.fetch_add(1, Ordering::Relaxed);
-                }
-                results.insert(
-                    sql.to_string(),
-                    Arc::new(CachedResult {
-                        result: rs.clone(),
-                        stats,
-                        last_used: AtomicU64::new(tick),
-                    }),
-                );
-            }
-        }
-        Ok(StatementOutcome { result: rs, stats, from_result_cache: false })
-    }
-
-    fn count(&self, outcome: &SqlResult<StatementOutcome>) {
-        self.statements.fetch_add(1, Ordering::Relaxed);
-        if let Ok(o) = outcome {
-            self.totals.lock().merge(&o.stats);
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.pool.job.lock().shutdown = true;
+        self.pool.available.notify_all();
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
         }
     }
 }
@@ -382,12 +927,31 @@ mod tests {
         (0..3).flat_map(|_| stmts.iter().map(|s| s.to_string())).collect()
     }
 
+    /// `count` distinct valid statements that all hash to the same result
+    /// stripe of `server`.
+    fn same_stripe_statements(server: &Server, count: usize) -> Vec<String> {
+        let stripe = server.result_cache_shard_of("SELECT COUNT(*) FROM loan WHERE amount > 0");
+        let mut out = Vec::new();
+        let mut k = 0i64;
+        while out.len() < count {
+            let sql = format!("SELECT COUNT(*) FROM loan WHERE amount > {k}");
+            if server.result_cache_shard_of(&sql) == stripe {
+                out.push(sql);
+            }
+            k += 1;
+        }
+        out
+    }
+
     #[test]
     fn batch_results_match_direct_execution_in_submission_order() {
         let db = snapshot();
         let stmts = workload();
         for workers in [1, 2, 8] {
-            let server = Server::new(Arc::clone(&db), ServeConfig::default().with_workers(workers));
+            let server = Server::new(
+                Arc::clone(&db),
+                ServeConfig::default().with_workers(workers).oversubscribed(),
+            );
             let outcomes = server.execute_batch(&stmts);
             assert_eq!(outcomes.len(), stmts.len());
             for (sql, outcome) in stmts.iter().zip(&outcomes) {
@@ -416,6 +980,69 @@ mod tests {
     }
 
     #[test]
+    fn result_cache_hits_are_exact_at_every_worker_count() {
+        // In-flight dedup makes the hit counter scheduling-independent:
+        // exactly one canonical execution per distinct statement, every
+        // other submission a hit — no matter how the workers interleave.
+        let db = snapshot();
+        let stmts = workload();
+        let distinct = 4u64;
+        for workers in [1usize, 2, 4, 8] {
+            for round in 0..3 {
+                let server = Server::new(
+                    Arc::clone(&db),
+                    ServeConfig::default().with_workers(workers).oversubscribed(),
+                );
+                server.execute_batch(&stmts);
+                let stats = server.snapshot_stats();
+                assert_eq!(
+                    stats.result_cache_hits,
+                    stmts.len() as u64 - distinct,
+                    "workers={workers} round={round}: hits must be exact, not approximate"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_duplicates_share_one_canonical_execution() {
+        let db = snapshot();
+        let sql = "SELECT account.district_id, SUM(loan.amount) FROM account \
+                   INNER JOIN loan ON account.account_id = loan.account_id \
+                   GROUP BY account.district_id ORDER BY account.district_id";
+        let batch: Vec<String> = (0..64).map(|_| sql.to_string()).collect();
+        let server = Server::new(db, ServeConfig::default().with_workers(8).oversubscribed());
+        let outcomes = server.execute_batch(&batch);
+        let fresh = outcomes.iter().filter(|o| !o.as_ref().unwrap().from_result_cache).count();
+        assert_eq!(fresh, 1, "exactly one submission executes; 63 are deduped");
+        assert_eq!(server.snapshot_stats().result_cache_hits, 63);
+        for o in &outcomes {
+            let o = o.as_ref().unwrap();
+            assert_eq!(o.result.rows, outcomes[0].as_ref().unwrap().result.rows);
+            assert_eq!(o.stats, outcomes[0].as_ref().unwrap().stats);
+        }
+    }
+
+    #[test]
+    fn zero_workers_in_a_struct_literal_serves_serially() {
+        // Regression: only `with_workers` used to clamp, so a zero passed
+        // directly through the struct literal could reach the pool.
+        let config = ServeConfig { workers: 0, ..ServeConfig::default() };
+        let server = Server::new(snapshot(), config);
+        let stmts = workload();
+        let outcomes = server.execute_batch(&stmts);
+        assert_eq!(outcomes.len(), stmts.len());
+        for outcome in &outcomes {
+            assert!(outcome.is_ok());
+        }
+        assert_eq!(server.snapshot_stats().statements, stmts.len() as u64);
+        assert_eq!(
+            server.execute("SELECT COUNT(*) FROM loan").unwrap().result.rows[0][0],
+            Value::Integer(30)
+        );
+    }
+
+    #[test]
     fn result_cache_can_be_disabled() {
         let config = ServeConfig { cache_results: false, ..ServeConfig::serial() };
         let server = Server::new(snapshot(), config);
@@ -428,32 +1055,39 @@ mod tests {
     }
 
     #[test]
-    fn result_cache_evicts_least_recently_served_under_the_cap() {
-        let config = ServeConfig { result_cache_cap: 2, ..ServeConfig::serial() };
-        let server = Server::new(snapshot(), config);
-        let a = "SELECT COUNT(*) FROM loan";
-        let b = "SELECT COUNT(*) FROM account";
-        let c = "SELECT COUNT(*) FROM loan WHERE amount > 100";
+    fn each_stripe_evicts_its_least_recently_served_entry() {
+        // Stripe cap 2 (cap = 2 × stripes), three statements pinned to the
+        // *same* stripe so the LRU order is exercised deterministically.
+        let db = snapshot();
+        let probe = Server::new(Arc::clone(&db), ServeConfig::serial());
+        let shards = probe.result_cache_shards();
+        let config = ServeConfig { result_cache_cap: 2 * shards, ..ServeConfig::serial() };
+        let server = Server::new(db, config);
+        assert_eq!(server.result_cache_stripe_cap(), 2);
+        let stmts = same_stripe_statements(&server, 3);
+        let (a, b, c) = (&stmts[0], &stmts[1], &stmts[2]);
+        let stripe = server.result_cache_shard_of(a);
         server.execute(a).unwrap();
         server.execute(b).unwrap();
-        assert_eq!(server.result_cache_len(), 2);
+        assert_eq!(server.result_cache_shard_lens()[stripe], 2);
         assert_eq!(server.result_cache_evictions(), 0);
         // Touch `a` so `b` becomes the least-recently-served entry, then
-        // admit `c`: the cache stays at the cap and `b` is the eviction.
+        // admit `c`: the stripe stays at its cap and `b` is the eviction.
         assert!(server.execute(a).unwrap().from_result_cache);
         server.execute(c).unwrap();
-        assert_eq!(server.result_cache_len(), 2, "cap is never exceeded");
+        assert_eq!(server.result_cache_shard_lens()[stripe], 2, "stripe cap is never exceeded");
         assert_eq!(server.result_cache_evictions(), 1);
         assert!(server.execute(a).unwrap().from_result_cache, "recently served entry survives");
         assert!(server.execute(c).unwrap().from_result_cache, "newcomer was admitted");
         assert!(
             !server.execute(b).unwrap().from_result_cache,
-            "evicted statement re-executes (and re-enters the cache, evicting again)"
+            "evicted statement re-executes (and re-enters the stripe, evicting again)"
         );
         assert_eq!(server.result_cache_evictions(), 2);
         // Correctness is cache-independent: the re-executed statement
         // returns the same rows it did before eviction.
-        assert_eq!(server.execute(b).unwrap().result.rows[0][0], Value::Integer(30));
+        let before = execute_with_stats(server.database(), b).unwrap().0;
+        assert_eq!(server.execute(b).unwrap().result.rows, before.rows);
     }
 
     #[test]
@@ -464,12 +1098,14 @@ mod tests {
         server.execute(sql).unwrap();
         assert!(!server.execute(sql).unwrap().from_result_cache);
         assert_eq!(server.result_cache_len(), 0);
+        assert_eq!(server.result_cache_stripe_cap(), 0);
         assert_eq!(server.snapshot_stats().result_cache_hits, 0);
     }
 
     #[test]
     fn errors_keep_their_submission_slots() {
-        let server = Server::new(snapshot(), ServeConfig::default().with_workers(2));
+        let server =
+            Server::new(snapshot(), ServeConfig::default().with_workers(2).oversubscribed());
         let stmts = vec![
             "SELECT COUNT(*) FROM loan".to_string(),
             "SELECT nope FROM nowhere".to_string(),
@@ -480,6 +1116,21 @@ mod tests {
         assert!(outcomes[1].is_err());
         let ok = outcomes[2].as_ref().unwrap();
         assert_eq!(ok.result.rows[0][0], Value::Integer(30));
+    }
+
+    #[test]
+    fn erroring_statements_are_shared_in_flight_but_never_cached() {
+        let server =
+            Server::new(snapshot(), ServeConfig::default().with_workers(8).oversubscribed());
+        let bad = "SELECT nope FROM nowhere".to_string();
+        let batch: Vec<String> = (0..16).map(|_| bad.clone()).collect();
+        let outcomes = server.execute_batch(&batch);
+        let expected = server.execute(&bad).unwrap_err();
+        for outcome in &outcomes {
+            assert_eq!(outcome.as_ref().unwrap_err(), &expected, "waiters share the same error");
+        }
+        assert_eq!(server.result_cache_len(), 0, "errors never become ready entries");
+        assert_eq!(server.snapshot_stats().result_cache_hits, 0);
     }
 
     #[test]

@@ -9,9 +9,13 @@
 //!   shuffle of the submission order;
 //! * the cost-bearing work counters (and hence `ExecStats::cost`) are
 //!   identical too, so VES-style accounting cannot drift under concurrency;
+//! * with in-flight dedup, `result_cache_hits` is **exact** — `statements −
+//!   distinct statements` — at every worker count, not merely
+//!   scheduling-dependently close;
 //! * `ExperimentRunner::evaluate_parallel` produces `Scores` equal to the
 //!   serial runner on both gold corpora at 1, 2, and 8 workers.
 
+use std::collections::HashSet;
 use std::sync::Arc;
 
 use rand::rngs::StdRng;
@@ -51,13 +55,26 @@ fn serve_batches_match_serial_execution_at_every_worker_count() {
                 continue;
             }
             let snapshot = Arc::new(db.clone());
+            let distinct: HashSet<&String> = batch.iter().collect();
             for workers in [1usize, 2, 8] {
+                // Oversubscription keeps the cross-thread pool machinery
+                // genuinely exercised even when the host exposes fewer
+                // hardware threads than the worker count under test.
                 let server = Server::new(
                     Arc::clone(&snapshot),
-                    ServeConfig::default().with_workers(workers),
+                    ServeConfig::default().with_workers(workers).oversubscribed(),
                 );
                 let outcomes = server.execute_batch(&batch);
                 assert_eq!(outcomes.len(), batch.len());
+                // In-flight dedup pins the hit counter exactly: one
+                // canonical execution per distinct statement, every other
+                // submission a hit, independent of scheduling.
+                assert_eq!(
+                    server.snapshot_stats().result_cache_hits,
+                    (batch.len() - distinct.len()) as u64,
+                    "result_cache_hits must be exact at {workers} workers on {}",
+                    db.name()
+                );
                 for (sql, outcome) in batch.iter().zip(&outcomes) {
                     let served = outcome
                         .as_ref()
@@ -113,9 +130,15 @@ fn serve_result_cache_serves_repeats_without_changing_anything() {
         assert_eq!(fresh.stats, repeat.stats, "cached stats bill the canonical execution");
     }
     let stats = server.snapshot_stats();
-    // Distinct questions can share one gold query, so hits are at least the
-    // repeated half.
+    // Distinct questions can share one gold query, so hits exceed the
+    // repeated half exactly by the intra-half duplicates.
+    let distinct: HashSet<&String> = batch.iter().collect();
     assert!(stats.result_cache_hits >= n as u64, "repeats come from the result cache");
+    assert_eq!(
+        stats.result_cache_hits,
+        (batch.len() - distinct.len()) as u64,
+        "hits are exactly statements minus distinct statements"
+    );
     assert_eq!(stats.statements, batch.len() as u64);
 }
 

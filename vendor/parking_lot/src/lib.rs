@@ -5,10 +5,17 @@
 //! of a `Result`, recovering from poisoning (a panicked holder) by taking the
 //! inner guard, which matches parking_lot's no-poisoning semantics.
 //!
-//! API coverage: `Mutex::{new, lock, get_mut, into_inner}` and
-//! `RwLock::{new, read, write, get_mut, into_inner}` — exactly what the
-//! shared plan/result caches in `seed-sqlengine` and `seed-serve` need.
+//! API coverage: `Mutex::{new, lock, get_mut, into_inner}`,
+//! `RwLock::{new, read, write, get_mut, into_inner}`, and
+//! `Condvar::{new, wait, notify_one, notify_all}` — exactly what the
+//! sharded plan/result caches, the in-flight execution table, and the
+//! persistent worker pool in `seed-sqlengine` and `seed-serve` need.
 //! Fairness, `try_*`, timeouts, and upgradable reads are not stubbed.
+//!
+//! One deliberate API divergence: real parking_lot's `Condvar::wait` takes
+//! `&mut MutexGuard`; this stub keeps the `std` move-the-guard shape
+//! (`wait(guard) -> guard`), which every caller in this workspace uses.
+//! Adjust call sites if this stub is ever swapped for the real crate.
 
 use std::sync::PoisonError;
 
@@ -69,9 +76,34 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// A condition variable paired with [`Mutex`]; `wait` never fails.
+#[derive(Debug, Default)]
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    pub fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Atomically releases the guard and blocks until notified, then
+    /// reacquires the lock. Spurious wakeups are possible — callers loop on
+    /// their predicate.
+    pub fn wait<'a, T>(&self, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+        self.0.wait(guard).unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::{Mutex, RwLock};
+    use super::{Condvar, Mutex, RwLock};
 
     #[test]
     fn lock_and_mutate() {
@@ -104,6 +136,26 @@ mod tests {
         l.write().push(3);
         assert_eq!(*l.read(), vec![1, 2, 3]);
         assert_eq!(l.into_inner(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn condvar_wakes_a_predicate_waiter() {
+        let pair = std::sync::Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = pair.clone();
+        let waiter = std::thread::spawn(move || {
+            let (lock, cv) = &*pair2;
+            let mut ready = lock.lock();
+            while !*ready {
+                ready = cv.wait(ready);
+            }
+            42u32
+        });
+        {
+            let (lock, cv) = &*pair;
+            *lock.lock() = true;
+            cv.notify_all();
+        }
+        assert_eq!(waiter.join().unwrap(), 42);
     }
 
     #[test]
