@@ -9,7 +9,7 @@
 //! without timing noise.
 
 use seed_sqlengine::{
-    execute_with_stats, Database, ExecStats, PlanMode, ResultSet, SharedPlanCache, SqlResult,
+    execute_with_stats_mode, Database, ExecStats, PlanMode, ResultSet, SharedPlanCache, SqlResult,
 };
 
 /// Evaluation of one (gold, predicted) pair.
@@ -37,9 +37,16 @@ impl PairEval {
     }
 }
 
-/// Evaluates one predicted query against the gold query.
+/// Evaluates one predicted query against the gold query. Executes under
+/// [`PlanMode::serving`] (the vectorized columnar pipeline), like the cached
+/// path, so both report costs from the same execution mode.
 pub fn evaluate_pair(db: &Database, gold_sql: &str, pred_sql: &str) -> PairEval {
-    evaluate_pair_impl(|sql| execute_with_stats(db, sql), gold_sql, pred_sql).0
+    evaluate_pair_impl(
+        |sql| execute_with_stats_mode(db, sql, PlanMode::serving()),
+        gold_sql,
+        pred_sql,
+    )
+    .0
 }
 
 /// Like [`evaluate_pair`], but executes through a [`SharedPlanCache`], so
@@ -57,7 +64,7 @@ pub fn evaluate_pair_cached(
     gold_sql: &str,
     pred_sql: &str,
 ) -> (PairEval, ExecStats) {
-    evaluate_pair_impl(|sql| plans.execute(db, sql, PlanMode::default()), gold_sql, pred_sql)
+    evaluate_pair_impl(|sql| plans.execute(db, sql, PlanMode::serving()), gold_sql, pred_sql)
 }
 
 fn evaluate_pair_impl(

@@ -127,7 +127,11 @@ pub struct ServeConfig {
     /// everywhere — [`Server::new`] and batch admission both clamp, so a
     /// zero written via a struct literal can never reach the pool.
     pub workers: usize,
-    /// Plan mode every statement executes under.
+    /// Plan mode every statement executes under. Defaults to
+    /// [`PlanMode::serving`] — the vectorized columnar pipeline, which
+    /// executes the same physical plans as [`PlanMode::Optimized`] (so
+    /// plan-cache sharing and result identity are unaffected) but moves
+    /// data in batches.
     pub mode: PlanMode,
     /// Serve repeated statements from the shared result cache and dedup
     /// concurrent executions of the same statement. Sound because the
@@ -158,7 +162,7 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             workers: 4,
-            mode: PlanMode::default(),
+            mode: PlanMode::serving(),
             cache_results: true,
             result_cache_cap: 1024,
             oversubscribe: false,
@@ -887,7 +891,7 @@ impl Session<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use seed_sqlengine::{execute_statement, execute_with_stats, Value};
+    use seed_sqlengine::{execute_statement, execute_with_stats, execute_with_stats_mode, Value};
 
     fn snapshot() -> Arc<Database> {
         let mut db = Database::new("serve_test");
@@ -956,10 +960,15 @@ mod tests {
             assert_eq!(outcomes.len(), stmts.len());
             for (sql, outcome) in stmts.iter().zip(&outcomes) {
                 let o = outcome.as_ref().unwrap();
-                let (direct, direct_stats) = execute_with_stats(&db, sql).unwrap();
+                // Rows match direct execution in *any* mode (row-identity is
+                // mode-independent); costs are compared in the server's own
+                // serving mode, since counters are per-mode deterministic.
+                let (direct, _) = execute_with_stats(&db, sql).unwrap();
+                let (_, serving_stats) =
+                    execute_with_stats_mode(&db, sql, PlanMode::serving()).unwrap();
                 assert_eq!(o.result.rows, direct.rows, "workers={workers} sql={sql}");
                 assert_eq!(o.result.columns, direct.columns);
-                assert_eq!(o.stats.cost(), direct_stats.cost(), "workers={workers} sql={sql}");
+                assert_eq!(o.stats.cost(), serving_stats.cost(), "workers={workers} sql={sql}");
             }
         }
     }

@@ -1,0 +1,763 @@
+//! Columnar data representation: typed value arrays with null bitmaps and
+//! the [`DataChunk`] batches that flow between columnar operators.
+//!
+//! The row executor moves `Vec<Value>` rows one at a time; the columnar
+//! executor ([`crate::plan::PlanMode::Columnar`]) moves [`DataChunk`]s of up
+//! to [`BATCH_SIZE`] rows, each column stored as a [`ColumnArray`]. A column
+//! whose non-null cells all share one storage class is stored as a typed
+//! vector (`Vec<i64>`, `Vec<f64>`, or `Vec<String>`) plus a [`NullBitmap`];
+//! a column mixing storage classes (legal here, as in SQLite) degrades to a
+//! `Mixed` array of plain [`Value`]s. Integers and reals are deliberately
+//! *not* merged into one float array: `Value::render` distinguishes `2`
+//! from `2.0`, so the storage class of every cell must survive batching.
+//!
+//! [`ArrayBuilder`] starts untyped, specializes on the first non-null value
+//! (backfilling null placeholders), and degrades to `Mixed` on the first
+//! class conflict — so construction never needs the column type up front.
+
+use crate::value::{Truth, Value};
+
+/// Maximum number of rows carried by one [`DataChunk`].
+pub const BATCH_SIZE: usize = 1024;
+
+/// A packed validity bitmap: bit `i` set means row `i` is NULL.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NullBitmap {
+    bits: Vec<u64>,
+    len: usize,
+    nulls: usize,
+}
+
+impl NullBitmap {
+    /// An all-valid bitmap of the given length.
+    pub fn new_valid(len: usize) -> Self {
+        NullBitmap { bits: vec![0; len.div_ceil(64)], len, nulls: 0 }
+    }
+
+    /// Appends one validity flag.
+    pub fn push(&mut self, is_null: bool) {
+        let (word, bit) = (self.len / 64, self.len % 64);
+        if word == self.bits.len() {
+            self.bits.push(0);
+        }
+        if is_null {
+            self.bits[word] |= 1u64 << bit;
+            self.nulls += 1;
+        }
+        self.len += 1;
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows are covered.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.nulls
+    }
+
+    /// True when at least one row is NULL.
+    pub fn any_null(&self) -> bool {
+        self.nulls > 0
+    }
+
+    /// Appends all flags from `other`.
+    pub fn extend(&mut self, other: &NullBitmap) {
+        for i in 0..other.len {
+            self.push(other.is_null(i));
+        }
+    }
+}
+
+/// One column of a [`DataChunk`]: a typed vector with a null bitmap, or a
+/// `Mixed` escape hatch for columns spanning storage classes.
+///
+/// Typed variants keep a placeholder (`0`, `0.0`, `""`) in the value vector
+/// at NULL positions; the bitmap is authoritative.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnArray {
+    /// All non-null cells are `Value::Integer`.
+    Int { values: Vec<i64>, nulls: NullBitmap },
+    /// All non-null cells are `Value::Real`.
+    Real { values: Vec<f64>, nulls: NullBitmap },
+    /// All non-null cells are `Value::Text`.
+    Text { values: Vec<String>, nulls: NullBitmap },
+    /// Cells span storage classes; stored as plain values (NULLs included).
+    Mixed { values: Vec<Value> },
+}
+
+impl ColumnArray {
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnArray::Int { nulls, .. }
+            | ColumnArray::Real { nulls, .. }
+            | ColumnArray::Text { nulls, .. } => nulls.len(),
+            ColumnArray::Mixed { values } => values.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True when row `i` is NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        match self {
+            ColumnArray::Int { nulls, .. }
+            | ColumnArray::Real { nulls, .. }
+            | ColumnArray::Text { nulls, .. } => nulls.is_null(i),
+            ColumnArray::Mixed { values } => values[i].is_null(),
+        }
+    }
+
+    /// The cell at row `i` as an owned [`Value`].
+    pub fn value_at(&self, i: usize) -> Value {
+        match self {
+            ColumnArray::Int { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Integer(values[i])
+                }
+            }
+            ColumnArray::Real { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Real(values[i])
+                }
+            }
+            ColumnArray::Text { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Text(values[i].clone())
+                }
+            }
+            ColumnArray::Mixed { values } => values[i].clone(),
+        }
+    }
+
+    /// Moves the cell at row `i` out of the column, leaving a NULL-class
+    /// placeholder behind. The caller must not read row `i` again; used by
+    /// projection assembly to avoid a clone per text cell.
+    pub fn take_at(&mut self, i: usize) -> Value {
+        match self {
+            ColumnArray::Int { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Integer(values[i])
+                }
+            }
+            ColumnArray::Real { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Real(values[i])
+                }
+            }
+            ColumnArray::Text { values, nulls } => {
+                if nulls.is_null(i) {
+                    Value::Null
+                } else {
+                    Value::Text(std::mem::take(&mut values[i]))
+                }
+            }
+            ColumnArray::Mixed { values } => std::mem::replace(&mut values[i], Value::Null),
+        }
+    }
+
+    /// SQL truthiness of the cell at row `i` (see [`Value::to_truth`]).
+    pub fn truth_at(&self, i: usize) -> Truth {
+        match self {
+            ColumnArray::Int { values, nulls } => {
+                if nulls.is_null(i) {
+                    Truth::Unknown
+                } else {
+                    Truth::from_bool(values[i] != 0)
+                }
+            }
+            ColumnArray::Real { values, nulls } => {
+                if nulls.is_null(i) {
+                    Truth::Unknown
+                } else {
+                    Truth::from_bool(values[i] != 0.0)
+                }
+            }
+            ColumnArray::Text { values, nulls } => {
+                if nulls.is_null(i) {
+                    Truth::Unknown
+                } else {
+                    Truth::from_bool(!values[i].is_empty() && values[i] != "0")
+                }
+            }
+            ColumnArray::Mixed { values } => values[i].to_truth(),
+        }
+    }
+
+    /// Builds a column from a slice of values.
+    pub fn from_values(vals: &[Value]) -> ColumnArray {
+        let mut b = ArrayBuilder::with_capacity(vals.len());
+        for v in vals {
+            b.push(v);
+        }
+        b.finish()
+    }
+
+    /// A new column containing the rows of `self` selected by `idx`, in
+    /// `idx` order (indices may repeat).
+    pub fn gather(&self, idx: &[usize]) -> ColumnArray {
+        match self {
+            ColumnArray::Int { values, nulls } => {
+                let mut out_nulls = NullBitmap::default();
+                let out: Vec<i64> = idx
+                    .iter()
+                    .map(|&i| {
+                        out_nulls.push(nulls.is_null(i));
+                        values[i]
+                    })
+                    .collect();
+                ColumnArray::Int { values: out, nulls: out_nulls }
+            }
+            ColumnArray::Real { values, nulls } => {
+                let mut out_nulls = NullBitmap::default();
+                let out: Vec<f64> = idx
+                    .iter()
+                    .map(|&i| {
+                        out_nulls.push(nulls.is_null(i));
+                        values[i]
+                    })
+                    .collect();
+                ColumnArray::Real { values: out, nulls: out_nulls }
+            }
+            ColumnArray::Text { values, nulls } => {
+                let mut out_nulls = NullBitmap::default();
+                let out: Vec<String> = idx
+                    .iter()
+                    .map(|&i| {
+                        out_nulls.push(nulls.is_null(i));
+                        values[i].clone()
+                    })
+                    .collect();
+                ColumnArray::Text { values: out, nulls: out_nulls }
+            }
+            ColumnArray::Mixed { values } => {
+                ColumnArray::Mixed { values: idx.iter().map(|&i| values[i].clone()).collect() }
+            }
+        }
+    }
+}
+
+/// Internal typed state of an [`ArrayBuilder`].
+#[derive(Debug, Clone)]
+enum BuilderData {
+    /// Only NULLs seen so far; no storage class committed yet.
+    Untyped,
+    Int(Vec<i64>),
+    Real(Vec<f64>),
+    Text(Vec<String>),
+    Mixed(Vec<Value>),
+}
+
+/// Incremental [`ColumnArray`] constructor.
+///
+/// State machine: starts `Untyped` (NULLs only), specializes to the storage
+/// class of the first non-null value (backfilling placeholder cells for the
+/// NULLs already pushed), and degrades to `Mixed` permanently on the first
+/// value of a different class. An all-NULL column finishes as a typed `Int`
+/// array with an all-set bitmap.
+#[derive(Debug, Clone)]
+pub struct ArrayBuilder {
+    data: BuilderData,
+    nulls: NullBitmap,
+}
+
+impl Default for ArrayBuilder {
+    fn default() -> Self {
+        ArrayBuilder::new()
+    }
+}
+
+impl ArrayBuilder {
+    pub fn new() -> Self {
+        ArrayBuilder { data: BuilderData::Untyped, nulls: NullBitmap::default() }
+    }
+
+    pub fn with_capacity(cap: usize) -> Self {
+        let _ = cap; // the first typed push allocates with the right capacity
+        ArrayBuilder::new()
+    }
+
+    /// Number of rows pushed so far.
+    pub fn len(&self) -> usize {
+        self.nulls.len()
+    }
+
+    /// True when nothing has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.nulls.is_empty()
+    }
+
+    /// Appends a NULL cell.
+    pub fn push_null(&mut self) {
+        self.nulls.push(true);
+        match &mut self.data {
+            BuilderData::Untyped => {}
+            BuilderData::Int(v) => v.push(0),
+            BuilderData::Real(v) => v.push(0.0),
+            BuilderData::Text(v) => v.push(String::new()),
+            BuilderData::Mixed(v) => v.push(Value::Null),
+        }
+    }
+
+    /// Appends one value, specializing or degrading the builder as needed.
+    pub fn push(&mut self, v: &Value) {
+        match v {
+            Value::Null => self.push_null(),
+            Value::Integer(i) => {
+                match &mut self.data {
+                    BuilderData::Untyped => {
+                        let mut vals = vec![0i64; self.nulls.len()];
+                        vals.push(*i);
+                        self.data = BuilderData::Int(vals);
+                    }
+                    BuilderData::Int(vals) => vals.push(*i),
+                    BuilderData::Mixed(vals) => vals.push(Value::Integer(*i)),
+                    BuilderData::Real(_) | BuilderData::Text(_) => {
+                        self.degrade_to_mixed();
+                        self.push(v);
+                        return;
+                    }
+                }
+                self.nulls.push(false);
+            }
+            Value::Real(r) => {
+                match &mut self.data {
+                    BuilderData::Untyped => {
+                        let mut vals = vec![0.0f64; self.nulls.len()];
+                        vals.push(*r);
+                        self.data = BuilderData::Real(vals);
+                    }
+                    BuilderData::Real(vals) => vals.push(*r),
+                    BuilderData::Mixed(vals) => vals.push(Value::Real(*r)),
+                    BuilderData::Int(_) | BuilderData::Text(_) => {
+                        self.degrade_to_mixed();
+                        self.push(v);
+                        return;
+                    }
+                }
+                self.nulls.push(false);
+            }
+            Value::Text(s) => {
+                match &mut self.data {
+                    BuilderData::Untyped => {
+                        let mut vals = vec![String::new(); self.nulls.len()];
+                        vals.push(s.clone());
+                        self.data = BuilderData::Text(vals);
+                    }
+                    BuilderData::Text(vals) => vals.push(s.clone()),
+                    BuilderData::Mixed(vals) => vals.push(Value::Text(s.clone())),
+                    BuilderData::Int(_) | BuilderData::Real(_) => {
+                        self.degrade_to_mixed();
+                        self.push(v);
+                        return;
+                    }
+                }
+                self.nulls.push(false);
+            }
+        }
+    }
+
+    /// Copies row `i` of `col` into the builder without a `Value` round trip
+    /// when the types line up.
+    pub fn push_from(&mut self, col: &ColumnArray, i: usize) {
+        if col.is_null(i) {
+            self.push_null();
+            return;
+        }
+        match (&mut self.data, col) {
+            (BuilderData::Int(vals), ColumnArray::Int { values, .. }) => {
+                vals.push(values[i]);
+                self.nulls.push(false);
+            }
+            (BuilderData::Real(vals), ColumnArray::Real { values, .. }) => {
+                vals.push(values[i]);
+                self.nulls.push(false);
+            }
+            (BuilderData::Text(vals), ColumnArray::Text { values, .. }) => {
+                vals.push(values[i].clone());
+                self.nulls.push(false);
+            }
+            _ => self.push(&col.value_at(i)),
+        }
+    }
+
+    /// Appends every row of `col`; typed same-class appends are bulk copies.
+    pub fn extend_from(&mut self, col: &ColumnArray) {
+        // Specialize an untyped builder to the incoming column's class first
+        // so the bulk paths below apply (placeholder backfill included).
+        if matches!(self.data, BuilderData::Untyped) && !col.is_empty() {
+            match col {
+                ColumnArray::Int { .. } => self.data = BuilderData::Int(vec![0; self.nulls.len()]),
+                ColumnArray::Real { .. } => {
+                    self.data = BuilderData::Real(vec![0.0; self.nulls.len()])
+                }
+                ColumnArray::Text { .. } => {
+                    self.data = BuilderData::Text(vec![String::new(); self.nulls.len()])
+                }
+                ColumnArray::Mixed { .. } => {
+                    self.degrade_to_mixed();
+                }
+            }
+        }
+        match (&mut self.data, col) {
+            (BuilderData::Int(vals), ColumnArray::Int { values, nulls }) => {
+                vals.extend_from_slice(values);
+                self.nulls.extend(nulls);
+            }
+            (BuilderData::Real(vals), ColumnArray::Real { values, nulls }) => {
+                vals.extend_from_slice(values);
+                self.nulls.extend(nulls);
+            }
+            (BuilderData::Text(vals), ColumnArray::Text { values, nulls }) => {
+                vals.extend_from_slice(values);
+                self.nulls.extend(nulls);
+            }
+            _ => {
+                for i in 0..col.len() {
+                    self.push_from(col, i);
+                }
+            }
+        }
+    }
+
+    fn degrade_to_mixed(&mut self) {
+        let n = self.nulls.len();
+        let vals: Vec<Value> = match std::mem::replace(&mut self.data, BuilderData::Untyped) {
+            BuilderData::Untyped => vec![Value::Null; n],
+            BuilderData::Int(v) => (0..n)
+                .map(|i| if self.nulls.is_null(i) { Value::Null } else { Value::Integer(v[i]) })
+                .collect(),
+            BuilderData::Real(v) => (0..n)
+                .map(|i| if self.nulls.is_null(i) { Value::Null } else { Value::Real(v[i]) })
+                .collect(),
+            BuilderData::Text(v) => {
+                let mut out = Vec::with_capacity(n);
+                for (i, s) in v.into_iter().enumerate() {
+                    out.push(if self.nulls.is_null(i) { Value::Null } else { Value::Text(s) });
+                }
+                out
+            }
+            BuilderData::Mixed(v) => v,
+        };
+        self.data = BuilderData::Mixed(vals);
+    }
+
+    /// Finalizes the builder into a [`ColumnArray`].
+    pub fn finish(self) -> ColumnArray {
+        match self.data {
+            // All-NULL columns are represented as Int with an all-set bitmap;
+            // the class never matters because every read checks the bitmap.
+            BuilderData::Untyped => {
+                ColumnArray::Int { values: vec![0; self.nulls.len()], nulls: self.nulls }
+            }
+            BuilderData::Int(values) => ColumnArray::Int { values, nulls: self.nulls },
+            BuilderData::Real(values) => ColumnArray::Real { values, nulls: self.nulls },
+            BuilderData::Text(values) => ColumnArray::Text { values, nulls: self.nulls },
+            BuilderData::Mixed(values) => ColumnArray::Mixed { values },
+        }
+    }
+}
+
+/// A batch of rows in columnar layout. `rows` is explicit so zero-width
+/// chunks (a FROM-less `SELECT`'s single conceptual row) still carry a row
+/// count.
+#[derive(Debug, Clone)]
+pub struct DataChunk {
+    pub columns: Vec<ColumnArray>,
+    rows: usize,
+}
+
+impl DataChunk {
+    /// A chunk with the given columns; all columns must share `rows` length.
+    pub fn new(columns: Vec<ColumnArray>, rows: usize) -> Self {
+        debug_assert!(columns.iter().all(|c| c.len() == rows));
+        DataChunk { columns, rows }
+    }
+
+    /// A zero-column chunk of `rows` rows (FROM-less SELECT).
+    pub fn unit(rows: usize) -> Self {
+        DataChunk { columns: Vec::new(), rows }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// True when the chunk has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Builds a chunk from row-oriented data; `width` disambiguates the
+    /// zero-row case.
+    pub fn from_rows(width: usize, rows: &[Vec<Value>]) -> DataChunk {
+        let mut builders: Vec<ArrayBuilder> =
+            (0..width).map(|_| ArrayBuilder::with_capacity(rows.len())).collect();
+        for row in rows {
+            debug_assert_eq!(row.len(), width);
+            for (b, v) in builders.iter_mut().zip(row) {
+                b.push(v);
+            }
+        }
+        DataChunk {
+            columns: builders.into_iter().map(ArrayBuilder::finish).collect(),
+            rows: rows.len(),
+        }
+    }
+
+    /// Materializes row `i` as owned values.
+    pub fn row(&self, i: usize) -> Vec<Value> {
+        self.columns.iter().map(|c| c.value_at(i)).collect()
+    }
+
+    /// Materializes row `i` into `buf`, reusing its allocation.
+    pub fn read_row_into(&self, i: usize, buf: &mut Vec<Value>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|c| c.value_at(i)));
+    }
+
+    /// A new chunk containing the selected rows, in `idx` order.
+    pub fn gather(&self, idx: &[usize]) -> DataChunk {
+        DataChunk { columns: self.columns.iter().map(|c| c.gather(idx)).collect(), rows: idx.len() }
+    }
+
+    /// Concatenates chunks of identical width into one chunk. Columns whose
+    /// storage classes disagree across chunks degrade to `Mixed`.
+    pub fn concat(width: usize, chunks: &[DataChunk]) -> DataChunk {
+        let total: usize = chunks.iter().map(|c| c.rows).sum();
+        let mut builders: Vec<ArrayBuilder> =
+            (0..width).map(|_| ArrayBuilder::with_capacity(total)).collect();
+        for chunk in chunks {
+            debug_assert_eq!(chunk.width(), width);
+            for (b, col) in builders.iter_mut().zip(&chunk.columns) {
+                b.extend_from(col);
+            }
+        }
+        DataChunk { columns: builders.into_iter().map(ArrayBuilder::finish).collect(), rows: total }
+    }
+}
+
+/// Splits row-oriented data into [`BATCH_SIZE`]-row chunks.
+pub fn chunk_rows(width: usize, rows: &[Vec<Value>]) -> Vec<DataChunk> {
+    rows.chunks(BATCH_SIZE).map(|slice| DataChunk::from_rows(width, slice)).collect()
+}
+
+/// Flattens chunks back into row-oriented data.
+pub fn chunks_to_rows(chunks: &[DataChunk]) -> Vec<Vec<Value>> {
+    let total: usize = chunks.iter().map(|c| c.rows()).sum();
+    let mut out = Vec::with_capacity(total);
+    for chunk in chunks {
+        for i in 0..chunk.rows() {
+            out.push(chunk.row(i));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(vals: &[Value]) {
+        let col = ColumnArray::from_values(vals);
+        assert_eq!(col.len(), vals.len());
+        for (i, v) in vals.iter().enumerate() {
+            assert_eq!(col.is_null(i), v.is_null(), "null flag at {i}");
+            let got = col.value_at(i);
+            // Exact storage-class identity, not just grouping equality.
+            assert_eq!(std::mem::discriminant(&got), std::mem::discriminant(v), "class at {i}");
+            assert!(got.grouping_eq(v), "value at {i}: {got:?} vs {v:?}");
+            assert_eq!(col.truth_at(i), v.to_truth(), "truth at {i}");
+        }
+    }
+
+    #[test]
+    fn builder_specializes_and_roundtrips_each_class() {
+        roundtrip(&[Value::Integer(1), Value::Integer(-5), Value::Integer(0)]);
+        roundtrip(&[Value::Real(1.5), Value::Real(-0.0), Value::Real(f64::NAN)]);
+        roundtrip(&[Value::text("a"), Value::text(""), Value::text("0")]);
+    }
+
+    #[test]
+    fn builder_backfills_leading_nulls() {
+        let vals = [Value::Null, Value::Null, Value::Integer(7), Value::Null];
+        let col = ColumnArray::from_values(&vals);
+        assert!(matches!(col, ColumnArray::Int { .. }));
+        roundtrip(&vals);
+    }
+
+    #[test]
+    fn builder_degrades_to_mixed_on_class_conflict() {
+        // Int then Real must NOT merge: render distinguishes 2 from 2.0.
+        let vals = [Value::Integer(2), Value::Real(2.0), Value::Null, Value::text("2")];
+        let col = ColumnArray::from_values(&vals);
+        assert!(matches!(col, ColumnArray::Mixed { .. }));
+        roundtrip(&vals);
+        // Text then number degrades too, leading nulls preserved.
+        roundtrip(&[Value::Null, Value::text("x"), Value::Integer(1)]);
+        roundtrip(&[Value::Real(0.5), Value::text("y")]);
+    }
+
+    #[test]
+    fn all_null_column_reads_back_null() {
+        for n in [0usize, 1, 3] {
+            let vals = vec![Value::Null; n];
+            let col = ColumnArray::from_values(&vals);
+            assert_eq!(col.len(), n);
+            for i in 0..n {
+                assert!(col.is_null(i));
+                assert!(col.value_at(i).is_null());
+            }
+        }
+    }
+
+    #[test]
+    fn null_bitmap_word_boundaries() {
+        // Cross the 64-bit word boundary with an alternating pattern.
+        let mut bm = NullBitmap::default();
+        for i in 0..130 {
+            bm.push(i % 3 == 0);
+        }
+        assert_eq!(bm.len(), 130);
+        for i in 0..130 {
+            assert_eq!(bm.is_null(i), i % 3 == 0, "bit {i}");
+        }
+        assert_eq!(bm.null_count(), (0..130).filter(|i| i % 3 == 0).count());
+        let mut ext = NullBitmap::new_valid(63);
+        ext.extend(&bm);
+        assert_eq!(ext.len(), 63 + 130);
+        assert!(!ext.is_null(62));
+        for i in 0..130 {
+            assert_eq!(ext.is_null(63 + i), i % 3 == 0, "extended bit {i}");
+        }
+    }
+
+    #[test]
+    fn chunking_handles_boundary_sizes() {
+        // 0, 1, BATCH-1, BATCH, BATCH+1 rows must chunk and flatten
+        // losslessly — off-by-one slicing bugs can't hide.
+        for n in [0usize, 1, BATCH_SIZE - 1, BATCH_SIZE, BATCH_SIZE + 1] {
+            let rows: Vec<Vec<Value>> = (0..n)
+                .map(|i| {
+                    vec![
+                        Value::Integer(i as i64),
+                        if i % 7 == 0 { Value::Null } else { Value::text(format!("s{i}")) },
+                    ]
+                })
+                .collect();
+            let chunks = chunk_rows(2, &rows);
+            let expected_chunks = n.div_ceil(BATCH_SIZE);
+            assert_eq!(chunks.len(), expected_chunks, "n={n}");
+            assert!(chunks.iter().all(|c| c.rows() <= BATCH_SIZE && !c.is_empty()));
+            let back = chunks_to_rows(&chunks);
+            assert_eq!(back, rows, "n={n}");
+        }
+    }
+
+    #[test]
+    fn zero_width_chunks_preserve_row_count() {
+        let rows: Vec<Vec<Value>> = vec![vec![]];
+        let chunks = chunk_rows(0, &rows);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].rows(), 1);
+        assert_eq!(chunks[0].width(), 0);
+        assert_eq!(chunks_to_rows(&chunks), rows);
+        assert_eq!(DataChunk::unit(1).rows(), 1);
+    }
+
+    #[test]
+    fn gather_repeats_and_reorders() {
+        let col = ColumnArray::from_values(&[Value::Integer(10), Value::Null, Value::Integer(30)]);
+        let g = col.gather(&[2, 2, 0, 1]);
+        assert_eq!(g.value_at(0), Value::Integer(30));
+        assert_eq!(g.value_at(1), Value::Integer(30));
+        assert_eq!(g.value_at(2), Value::Integer(10));
+        assert!(g.is_null(3));
+
+        let chunk = DataChunk::from_rows(
+            2,
+            &[vec![Value::Integer(1), Value::text("a")], vec![Value::Integer(2), Value::text("b")]],
+        );
+        let picked = chunk.gather(&[1, 0, 1]);
+        assert_eq!(picked.rows(), 3);
+        assert_eq!(picked.row(0), vec![Value::Integer(2), Value::text("b")]);
+        assert_eq!(picked.row(2), vec![Value::Integer(2), Value::text("b")]);
+    }
+
+    #[test]
+    fn concat_merges_same_class_and_degrades_on_conflict() {
+        let a = DataChunk::from_rows(1, &[vec![Value::Integer(1)], vec![Value::Null]]);
+        let b = DataChunk::from_rows(1, &[vec![Value::Integer(3)]]);
+        let merged = DataChunk::concat(1, &[a.clone(), b]);
+        assert_eq!(merged.rows(), 3);
+        assert!(matches!(merged.columns[0], ColumnArray::Int { .. }));
+        assert_eq!(merged.row(2), vec![Value::Integer(3)]);
+
+        // An all-NULL chunk finishes as Int; concat with a Text chunk must
+        // still read back the original values.
+        let nulls = DataChunk::from_rows(1, &[vec![Value::Null]]);
+        let texts = DataChunk::from_rows(1, &[vec![Value::text("t")]]);
+        let merged = DataChunk::concat(1, &[nulls, texts]);
+        assert!(merged.columns[0].is_null(0));
+        assert_eq!(merged.columns[0].value_at(1), Value::text("t"));
+
+        let empty = DataChunk::concat(2, &[]);
+        assert_eq!(empty.rows(), 0);
+        assert_eq!(empty.width(), 2);
+    }
+
+    #[test]
+    fn take_at_moves_text_out_without_clone_semantics_change() {
+        let mut col = ColumnArray::from_values(&[Value::text("abc"), Value::Null]);
+        assert_eq!(col.take_at(0), Value::text("abc"));
+        assert!(col.take_at(1).is_null());
+        let mut mixed = ColumnArray::from_values(&[Value::Integer(1), Value::text("z")]);
+        assert!(matches!(mixed, ColumnArray::Mixed { .. }));
+        assert_eq!(mixed.take_at(1), Value::text("z"));
+    }
+
+    #[test]
+    fn read_row_into_reuses_buffer() {
+        let chunk = DataChunk::from_rows(
+            2,
+            &[vec![Value::Integer(1), Value::Null], vec![Value::Integer(2), Value::text("x")]],
+        );
+        let mut buf = Vec::new();
+        chunk.read_row_into(0, &mut buf);
+        assert_eq!(buf, vec![Value::Integer(1), Value::Null]);
+        chunk.read_row_into(1, &mut buf);
+        assert_eq!(buf, vec![Value::Integer(2), Value::text("x")]);
+    }
+}

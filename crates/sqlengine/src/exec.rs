@@ -188,26 +188,26 @@ use crate::plan::ColMeta as ColInfo;
 
 /// An intermediate relation: flattened column metadata plus rows.
 #[derive(Debug, Clone)]
-struct Rel {
-    cols: Vec<ColInfo>,
-    rows: Vec<Vec<Value>>,
+pub(crate) struct Rel {
+    pub(crate) cols: Vec<ColInfo>,
+    pub(crate) rows: Vec<Vec<Value>>,
 }
 
 /// Evaluation scope: the current flattened row, plus an optional outer scope
 /// for correlated subqueries.
-struct Scope<'a> {
-    cols: &'a [ColInfo],
-    row: &'a [Value],
-    parent: Option<&'a Scope<'a>>,
+pub(crate) struct Scope<'a> {
+    pub(crate) cols: &'a [ColInfo],
+    pub(crate) row: &'a [Value],
+    pub(crate) parent: Option<&'a Scope<'a>>,
 }
 
 /// A group of rows sharing the same GROUP BY key: row indices into the
 /// filtered relation, so grouping never clones full rows.
-struct Group<'a> {
+pub(crate) struct Group<'a> {
     /// The filtered relation all groups index into.
-    all: &'a [Vec<Value>],
+    pub(crate) all: &'a [Vec<Value>],
     /// Positions of this group's rows within `all`, in scan order.
-    idx: &'a [usize],
+    pub(crate) idx: &'a [usize],
 }
 
 impl<'a> Group<'a> {
@@ -256,15 +256,15 @@ struct ScalarMemo {
     results: Vec<Value>,
 }
 
-struct Executor<'a> {
-    db: &'a Database,
-    stats: ExecStats,
-    mode: PlanMode,
+pub(crate) struct Executor<'a> {
+    pub(crate) db: &'a Database,
+    pub(crate) stats: ExecStats,
+    pub(crate) mode: PlanMode,
     /// Per-statement plan cache: subqueries re-executed per outer row are
     /// planned once and replayed from here afterwards. May arrive pre-seeded
     /// from a [`crate::prepared::SharedPlanCache`]. Also memoizes the
     /// decorrelation analysis (see [`PlanCache::rewrite_for`]).
-    plans: PlanCache,
+    pub(crate) plans: PlanCache,
     /// Results of *uncorrelated* expression-position subqueries (scalar,
     /// `IN`, `EXISTS`), keyed by statement address like the plan cache: an
     /// uncorrelated subquery returns the same rows for every outer row, so
@@ -279,6 +279,15 @@ struct Executor<'a> {
     decorr_builds: HashMap<usize, Option<Rc<DecorrBuild>>>,
     /// Group-join scalar memos per subquery address.
     decorr_memos: HashMap<usize, ScalarMemo>,
+    /// Pre-computed aggregate results, keyed by `Expr::Aggregate` node
+    /// address, installed by the columnar grouped pipeline for the duration
+    /// of one group's HAVING/projection/ORDER-BY evaluation ([`crate::
+    /// columnar`]). `eval` consults it before demanding a group context, so
+    /// the row pipeline's scalar machinery evaluates grouped expressions
+    /// unchanged while the aggregates themselves come from batch kernels.
+    /// Saved and restored around nested statements; `None` outside the
+    /// columnar grouped path.
+    pub(crate) agg_overrides: Option<HashMap<usize, Value>>,
 }
 
 impl<'a> Executor<'a> {
@@ -292,6 +301,7 @@ impl<'a> Executor<'a> {
             uncorrelated: HashMap::new(),
             decorr_builds: HashMap::new(),
             decorr_memos: HashMap::new(),
+            agg_overrides: None,
         }
     }
 
@@ -488,27 +498,40 @@ impl<'a> Executor<'a> {
         Ok(result)
     }
 
-    fn run_select(
+    pub(crate) fn run_select(
         &mut self,
         stmt: &SelectStatement,
         outer: Option<&Scope<'_>>,
     ) -> SqlResult<ResultSet> {
-        // 1–2. FROM / JOIN / WHERE, by physical plan or by the legacy
-        // nested-loop reference path.
+        // 1–2. FROM / JOIN / WHERE, by physical plan, by the legacy
+        // nested-loop reference path, or by the vectorized pipeline (which
+        // owns its whole statement flow and only calls back into
+        // `run_select_tail` when it falls back to rows).
         let (rel, filtered) = match self.mode {
             PlanMode::Optimized => self.run_from_where_planned(stmt, outer)?,
             PlanMode::NestedLoop => self.run_from_where_legacy(stmt, outer)?,
+            PlanMode::Columnar => return self.run_select_columnar(stmt, outer),
         };
+        self.run_select_tail(stmt, &rel.cols, filtered, outer)
+    }
 
-        let grouped = !stmt.group_by.is_empty()
-            || stmt.projections.iter().any(|p| match p {
-                Projection::Expr { expr, .. } => expr.contains_aggregate(),
-                _ => false,
-            })
-            || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate());
+    /// Stages 3–6 of `SELECT` execution — projection, grouping, `HAVING`,
+    /// `DISTINCT`, `ORDER BY`, `LIMIT`/`OFFSET` — over an already-filtered
+    /// row relation. Shared verbatim by all plan modes; the columnar
+    /// pipeline routes through it whenever it falls back to rows, so
+    /// fallback semantics are the row path's by construction.
+    pub(crate) fn run_select_tail(
+        &mut self,
+        stmt: &SelectStatement,
+        cols: &[ColInfo],
+        filtered: Vec<Vec<Value>>,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<ResultSet> {
+        let rel_cols = cols;
+        let grouped = select_is_grouped(stmt);
 
         // 3. projection headers
-        let (headers, proj_exprs) = expand_projections(&stmt.projections, &rel.cols)?;
+        let (headers, proj_exprs) = expand_projections(&stmt.projections, rel_cols)?;
 
         let mut out_rows: Vec<Vec<Value>> = Vec::new();
         // Each output row keeps the *index* (into `filtered`) of the context
@@ -518,17 +541,17 @@ impl<'a> Executor<'a> {
         // groups clone rows.
         let mut order_ctx: Vec<Option<usize>> = Vec::new();
         let mut order_groups: Vec<Vec<usize>> = Vec::new();
-        let null_row: Vec<Value> = vec![Value::Null; rel.cols.len()];
+        let null_row: Vec<Value> = vec![Value::Null; rel_cols.len()];
 
         if grouped {
-            let groups = self.group_rows(&filtered, &stmt.group_by, &rel.cols, outer)?;
+            let groups = self.group_rows(&filtered, &stmt.group_by, rel_cols, outer)?;
             for g in groups {
                 let ctx = g.first().copied();
                 let first: &[Value] = match ctx {
                     Some(i) => &filtered[i],
                     None => &null_row,
                 };
-                let scope = Scope { cols: &rel.cols, row: first, parent: outer };
+                let scope = Scope { cols: rel_cols, row: first, parent: outer };
                 let group = Group { all: &filtered, idx: &g };
                 if let Some(having) = &stmt.having {
                     if !self.eval(having, &scope, Some(&group))?.to_truth().is_true() {
@@ -545,7 +568,7 @@ impl<'a> Executor<'a> {
             }
         } else {
             for (ri, row) in filtered.iter().enumerate() {
-                let scope = Scope { cols: &rel.cols, row, parent: outer };
+                let scope = Scope { cols: rel_cols, row, parent: outer };
                 let mut out = Vec::with_capacity(proj_exprs.len());
                 for e in &proj_exprs {
                     out.push(self.eval(e, &scope, None)?);
@@ -595,7 +618,7 @@ impl<'a> Executor<'a> {
                         row,
                         &headers,
                         &stmt.projections,
-                        &rel.cols,
+                        rel_cols,
                         ctx_row,
                         Group { all: &filtered, idx: group_idx },
                         grouped,
@@ -860,7 +883,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Nested-loop join of two relations.
-    fn join(
+    pub(crate) fn join(
         &mut self,
         left: Rel,
         right: Rel,
@@ -902,7 +925,7 @@ impl<'a> Executor<'a> {
     /// returning row indices per group. Hashed via [`GroupKeyMap`]: O(rows)
     /// instead of the old linear scan over previously-seen keys, with
     /// identical group order (first-seen) and membership order (scan order).
-    fn group_rows(
+    pub(crate) fn group_rows(
         &mut self,
         rows: &[Vec<Value>],
         group_by: &[Expr],
@@ -944,26 +967,9 @@ impl<'a> Executor<'a> {
         grouped: bool,
         outer: Option<&Scope<'_>>,
     ) -> SqlResult<Value> {
-        // Ordinal reference: ORDER BY 2
-        if let Expr::Literal(Value::Integer(i)) = expr {
-            let idx = *i as usize;
-            if idx >= 1 && idx <= out_row.len() {
-                return Ok(out_row[idx - 1].clone());
-            }
-        }
-        // Alias reference: ORDER BY n where n is an output alias
-        if let Expr::Column { table: None, column } = expr {
-            if let Some(pos) = headers.iter().position(|h| h.eq_ignore_ascii_case(column)) {
-                // Only treat it as an alias if it is not also a base column, or
-                // if it was explicitly aliased in the projection.
-                let explicitly_aliased = projections.iter().any(|p| {
-                    matches!(p, Projection::Expr { alias: Some(a), .. } if a.eq_ignore_ascii_case(column))
-                });
-                let is_base_col = cols.iter().any(|c| c.name.eq_ignore_ascii_case(column));
-                if explicitly_aliased || !is_base_col {
-                    return Ok(out_row[pos].clone());
-                }
-            }
+        if let Some(pos) = order_key_output_column(expr, out_row.len(), headers, projections, cols)
+        {
+            return Ok(out_row[pos].clone());
         }
         let scope = Scope { cols, row: ctx_row, parent: outer };
         if grouped {
@@ -1019,7 +1025,7 @@ impl<'a> Executor<'a> {
     }
 
     /// Evaluates an expression.
-    fn eval(
+    pub(crate) fn eval(
         &mut self,
         expr: &Expr,
         scope: &Scope<'_>,
@@ -1172,6 +1178,16 @@ impl<'a> Executor<'a> {
                 Ok(rs.rows.first().and_then(|r| r.first().cloned()).unwrap_or(Value::Null))
             }
             Expr::Aggregate { kind, distinct, arg } => {
+                // Columnar grouped execution computes aggregates with batch
+                // kernels and installs the per-group results here, keyed by
+                // node address; uncovered nodes fall through to the group
+                // requirement below, so a collector gap errors loudly
+                // instead of silently diverging.
+                if let Some(overrides) = &self.agg_overrides {
+                    if let Some(v) = overrides.get(&(expr as *const Expr as usize)) {
+                        return Ok(v.clone());
+                    }
+                }
                 let group = group.ok_or_else(|| {
                     SqlError::Execution(format!(
                         "aggregate {} used outside GROUP context",
@@ -1245,11 +1261,62 @@ impl<'a> Executor<'a> {
     }
 }
 
+/// Resolves an ORDER BY key that refers to an *output* column — an ordinal
+/// (`ORDER BY 2`) or a projection alias — to its position in the output
+/// row, or `None` when the key is an ordinary expression over the input
+/// relation. Row-independent: it only consults headers, projections, and
+/// the input layout, so the row tail and the columnar pipeline share one
+/// resolution and can never disagree on what a key means.
+pub(crate) fn order_key_output_column(
+    expr: &Expr,
+    out_width: usize,
+    headers: &[String],
+    projections: &[Projection],
+    cols: &[ColInfo],
+) -> Option<usize> {
+    // Ordinal reference: ORDER BY 2
+    if let Expr::Literal(Value::Integer(i)) = expr {
+        let idx = *i as usize;
+        if idx >= 1 && idx <= out_width {
+            return Some(idx - 1);
+        }
+    }
+    // Alias reference: ORDER BY n where n is an output alias
+    if let Expr::Column { table: None, column } = expr {
+        if let Some(pos) = headers.iter().position(|h| h.eq_ignore_ascii_case(column)) {
+            // Only treat it as an alias if it is not also a base column, or
+            // if it was explicitly aliased in the projection.
+            let explicitly_aliased = projections.iter().any(|p| {
+                matches!(p, Projection::Expr { alias: Some(a), .. } if a.eq_ignore_ascii_case(column))
+            });
+            let is_base_col = cols.iter().any(|c| c.name.eq_ignore_ascii_case(column));
+            if explicitly_aliased || !is_base_col {
+                return Some(pos);
+            }
+        }
+    }
+    None
+}
+
+/// True when a `SELECT` executes through the grouped pipeline: explicit
+/// `GROUP BY`, or aggregates in the projections or `HAVING`. Shared by the
+/// row tail and the columnar pipeline so the two can never disagree on
+/// which pipeline a statement takes.
+pub(crate) fn select_is_grouped(stmt: &SelectStatement) -> bool {
+    !stmt.group_by.is_empty()
+        || stmt.projections.iter().any(|p| match p {
+            Projection::Expr { expr, .. } => expr.contains_aggregate(),
+            _ => false,
+        })
+        || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate())
+}
+
 /// Combines already-evaluated, non-NULL argument values into an aggregate
-/// result. Shared by grouped evaluation ([`Executor::eval_aggregate`]) and
-/// the decorrelated group-join probe, so both paths have identical DISTINCT,
-/// empty-set, and numeric-coercion semantics by construction.
-fn agg_over_values(kind: AggregateKind, distinct: bool, mut vals: Vec<Value>) -> Value {
+/// result. Shared by grouped evaluation ([`Executor::eval_aggregate`]), the
+/// decorrelated group-join probe, and the columnar grouped pipeline, so all
+/// paths have identical DISTINCT, empty-set, and numeric-coercion semantics
+/// by construction.
+pub(crate) fn agg_over_values(kind: AggregateKind, distinct: bool, mut vals: Vec<Value>) -> Value {
     if distinct {
         // Hashed first-seen dedup, same order as the old linear scan.
         let mut seen = GroupKeyMap::default();
@@ -1284,14 +1351,21 @@ fn agg_over_values(kind: AggregateKind, distinct: bool, mut vals: Vec<Value>) ->
 fn sum_values(vals: &[Value]) -> Value {
     let all_int = vals.iter().all(|v| matches!(v.coerce_numeric(), Value::Integer(_)));
     if all_int {
-        Value::Integer(vals.iter().filter_map(|v| v.coerce_numeric().as_i64()).sum())
+        // Wrapping, like `Value::arith` addition — a bare `.sum()` here
+        // panics on overflow in debug builds but wraps in release, making
+        // SUM(...) build-dependent near i64::MAX.
+        Value::Integer(
+            vals.iter()
+                .filter_map(|v| v.coerce_numeric().as_i64())
+                .fold(0i64, |acc, v| acc.wrapping_add(v)),
+        )
     } else {
         Value::Real(vals.iter().filter_map(|v| v.coerce_numeric().as_f64()).sum())
     }
 }
 
 /// CAST semantics similar to SQLite.
-fn cast_value(v: &Value, target: DataType) -> Value {
+pub(crate) fn cast_value(v: &Value, target: DataType) -> Value {
     if v.is_null() {
         return Value::Null;
     }
@@ -1863,5 +1937,30 @@ mod tests {
         let (_, legacy) = execute_with_stats_mode(&d, sql, PlanMode::NestedLoop).unwrap();
         assert!(legacy.rows_scanned >= 500);
         assert!(opt.cost() < legacy.cost());
+    }
+
+    /// Regression (found by the columnar differential proptests): SUM over
+    /// integers near `i64::MAX` used a bare `.sum()`, which panics on
+    /// overflow in debug builds and wraps in release — so the same query
+    /// gave build-dependent behavior. SUM now wraps, matching `+`'s
+    /// wrapping semantics in `Value::arith`, in every execution mode.
+    #[test]
+    fn integer_sum_wraps_instead_of_panicking() {
+        let mut d = Database::new("edge");
+        d.create_table(TableSchema::new(
+            "t",
+            vec![
+                ColumnDef::new("id", DataType::Integer).primary_key(),
+                ColumnDef::new("v", DataType::Integer),
+            ],
+        ))
+        .unwrap();
+        d.insert("t", vec![0i64.into(), i64::MAX.into()]).unwrap();
+        d.insert("t", vec![1i64.into(), (i64::MAX - 1).into()]).unwrap();
+        let want = i64::MAX.wrapping_add(i64::MAX - 1);
+        for mode in [PlanMode::Optimized, PlanMode::Columnar, PlanMode::NestedLoop] {
+            let (rs, _) = execute_with_stats_mode(&d, "SELECT SUM(v) FROM t", mode).unwrap();
+            assert_eq!(rs.rows, vec![vec![Value::Integer(want)]], "{mode:?}");
+        }
     }
 }

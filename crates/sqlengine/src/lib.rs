@@ -16,7 +16,11 @@
 //!
 //! ## Execution architecture
 //!
-//! Queries execute in two layers:
+//! Queries execute in two layers, with three selectable execution modes
+//! ([`plan::PlanMode`]): `Optimized` (the row-at-a-time default),
+//! `Columnar` (vectorized batches over the same physical plans — the
+//! serving default, see [`plan::PlanMode::serving`]), and `NestedLoop`
+//! (the original cross-product executor, kept as the semantic oracle).
 //!
 //! 1. **Physical planning** ([`plan`]): each `SELECT`'s FROM/JOIN/WHERE
 //!    section is lowered into a left-deep tree of physical operators —
@@ -48,12 +52,26 @@
 //! build side runs once and whose probes are O(1) per outer row — and fall
 //! back to per-outer-row re-execution of the cached plan otherwise.
 //!
+//! [`plan::PlanMode::Columnar`] executes the *same* physical plans over
+//! [`chunk::DataChunk`] batches of typed [`chunk::ColumnArray`]s
+//! (fixed [`chunk::BATCH_SIZE`], null bitmaps): scans slice tables into
+//! chunks, filters run batch predicate kernels, hash joins build and probe
+//! over column slices, and grouping hashes batch-evaluated key columns
+//! through the same [`storage::GroupKeyMap`]. Anything the batch layer
+//! cannot express (subqueries, outer references, nested aggregates) falls
+//! back to the shared row machinery per statement — counted in
+//! [`ExecStats::columnar_fallbacks`] — so results stay row-identical to the
+//! other modes by construction (see the [`mod@columnar`] docs for the exact
+//! semantics contract).
+//!
 //! [`plan::PlanMode::NestedLoop`] preserves the original cross-product
 //! executor as a semantic reference (it never caches or decorrelates);
-//! `tests/engine_conformance.rs` and
-//! `crates/sqlengine/tests/decorrelation_props.rs` assert row-identical
-//! results between the modes over every gold query of both synthetic
-//! corpora and over randomized correlated workloads.
+//! `tests/engine_conformance.rs` asserts three-way row-identical results
+//! (`Optimized` vs `Columnar` vs `NestedLoop`) over every gold query of
+//! both synthetic corpora, and
+//! `crates/sqlengine/tests/decorrelation_props.rs` /
+//! `crates/sqlengine/tests/columnar_props.rs` do the same over randomized
+//! correlated and NULL/NaN/cross-typed workloads.
 //!
 //! ## Cost model
 //!
@@ -75,6 +93,8 @@
 //! ```
 
 pub mod ast;
+pub mod chunk;
+pub mod columnar;
 pub mod decorrelate;
 pub mod error;
 pub mod exec;
@@ -88,6 +108,7 @@ pub mod storage;
 pub mod token;
 pub mod value;
 
+pub use chunk::{ArrayBuilder, ColumnArray, DataChunk, NullBitmap, BATCH_SIZE};
 pub use decorrelate::{decorrelate, DecorrelatedKind, DecorrelatedSubquery, SubqueryPosition};
 pub use error::{SqlError, SqlResult};
 pub use exec::{

@@ -65,6 +65,25 @@ pub enum PlanMode {
     /// Kept as the semantic reference the optimized plans are tested
     /// against.
     NestedLoop,
+    /// Vectorized execution over the *same* physical plans as `Optimized`:
+    /// operators exchange [`crate::chunk::DataChunk`] batches of typed
+    /// column arrays instead of one `Vec<Value>` row at a time, with batch
+    /// expression kernels for the hot paths and a per-statement row
+    /// fallback for everything not yet vectorized (see [`crate::columnar`]).
+    /// Row-identical to both other modes by construction and by the
+    /// three-way differential suites; subquery caching and decorrelation
+    /// engage exactly as in `Optimized`.
+    Columnar,
+}
+
+impl PlanMode {
+    /// The mode production serving paths (`seed-serve`, the eval runners)
+    /// default to: columnar batch execution. Library callers keep
+    /// [`PlanMode::Optimized`] as `Default` — the row pipeline remains the
+    /// reference the vectorized path is differentially tested against.
+    pub fn serving() -> PlanMode {
+        PlanMode::Columnar
+    }
 }
 
 /// Metadata for one column of a flattened (joined) relation.

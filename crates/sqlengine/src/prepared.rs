@@ -94,6 +94,12 @@ impl PreparedStatement {
     /// subqueries back. Plan reuse shows up as `plan_cache_hits` in the
     /// returned [`ExecStats`]; the work counters (and therefore the VES cost)
     /// are identical to a fresh execution.
+    ///
+    /// Plans are shared across *modes* as well as executions:
+    /// [`PlanMode::Optimized`] and [`PlanMode::Columnar`] execute the same
+    /// physical plans (columnar only changes how a plan's operators move
+    /// data), so a statement planned under one replays as a cache hit under
+    /// the other. Only [`PlanMode::NestedLoop`] bypasses the cache entirely.
     pub fn execute(&self, db: &Database, mode: PlanMode) -> SqlResult<(ResultSet, ExecStats)> {
         let snapshot = self.plans.lock().clone();
         let (rs, stats, updated) = execute_select_with_plan_cache(db, &self.stmt, mode, snapshot)?;
@@ -294,6 +300,27 @@ mod tests {
         let plans = prepared.plans.lock();
         assert_eq!(plans.pinned_len(), 0, "same-Arc merges must not pin");
         assert_eq!(plans.len(), 2, "outer statement + decorrelated build side");
+    }
+
+    #[test]
+    fn columnar_executions_share_plans_with_optimized_and_match_rows() {
+        let d = db();
+        let cache = SharedPlanCache::new();
+        let sql = "SELECT grp, COUNT(*), SUM(v) FROM t WHERE v > 10 GROUP BY grp ORDER BY grp";
+        // Plan under the row mode, replay under the columnar serving mode:
+        // the physical plans are shared, only data movement differs.
+        let (opt, opt_stats) = cache.execute(&d, sql, PlanMode::Optimized).unwrap();
+        let (col, col_stats) = cache.execute(&d, sql, PlanMode::Columnar).unwrap();
+        assert_eq!(opt.rows, col.rows, "modes must be row-identical");
+        assert_eq!(opt.columns, col.columns);
+        assert!(opt_stats.plan_cache_misses >= 1, "first execution plans");
+        assert_eq!(col_stats.plan_cache_misses, 0, "columnar replays the cached plan");
+        assert!(col_stats.plan_cache_hits >= 1);
+        assert!(col_stats.batches_built >= 1, "columnar execution moves batches");
+        assert_eq!(opt_stats.batches_built, 0, "row execution does not");
+        // Re-running columnar is stat-deterministic.
+        let (_, again) = cache.execute(&d, sql, PlanMode::Columnar).unwrap();
+        assert_eq!(again, col_stats);
     }
 
     #[test]

@@ -130,6 +130,19 @@ pub struct ExecStats {
     /// Group-join (correlated scalar aggregate) probes answered from the
     /// per-distinct-outer-key memo without re-aggregating the matched rows.
     pub decorrelated_memo_hits: u64,
+    /// `DataChunk` batches materialized by columnar operators
+    /// ([`PlanMode::Columnar`](crate::plan::PlanMode::Columnar) only).
+    /// Observability, not cost: the work batches carry is already counted
+    /// in the ordinary scan/eval/hash units, identically to the row path.
+    pub batches_built: u64,
+    /// Total rows carried by those batches.
+    pub batch_rows: u64,
+    /// Statement stages (or predicate/projection batches) the columnar
+    /// executor handed back to the row-at-a-time pipeline because an
+    /// expression was not batch-evaluable (subqueries, outer references,
+    /// ambiguous columns). Deterministic per query; proves how much of a
+    /// workload is actually vectorized.
+    pub columnar_fallbacks: u64,
 }
 
 impl ExecStats {
@@ -169,6 +182,9 @@ impl ExecStats {
         self.decorrelated_subqueries += other.decorrelated_subqueries;
         self.decorrelated_probes += other.decorrelated_probes;
         self.decorrelated_memo_hits += other.decorrelated_memo_hits;
+        self.batches_built += other.batches_built;
+        self.batch_rows += other.batch_rows;
+        self.columnar_fallbacks += other.columnar_fallbacks;
     }
 }
 
@@ -275,6 +291,32 @@ mod tests {
         assert_eq!(a.plan_cache_misses, 3);
         assert_eq!(a.subquery_result_hits, 5);
         assert_eq!(a.subquery_result_misses, 3);
+    }
+
+    #[test]
+    fn exec_stats_batch_counters_merge_without_affecting_cost() {
+        // Batch counters are columnar observability; the rows inside each
+        // batch are already costed through the ordinary scan/eval/hash
+        // units, so counting batches in cost() would double-charge the
+        // columnar mode and break cross-mode cost comparisons (e.g. the
+        // hash-join-cheaper-than-nested-loop invariant).
+        let mut a = ExecStats {
+            batches_built: 4,
+            batch_rows: 4096,
+            columnar_fallbacks: 1,
+            ..Default::default()
+        };
+        assert_eq!(a.cost(), ExecStats::default().cost());
+        let b = ExecStats {
+            batches_built: 2,
+            batch_rows: 100,
+            columnar_fallbacks: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.batches_built, 6);
+        assert_eq!(a.batch_rows, 4196);
+        assert_eq!(a.columnar_fallbacks, 3);
     }
 
     #[test]

@@ -3,7 +3,9 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
 
+use crate::chunk::{chunk_rows, DataChunk};
 use crate::error::{SqlError, SqlResult};
 use crate::schema::{DatabaseSchema, TableSchema};
 use crate::value::Value;
@@ -358,6 +360,13 @@ pub struct Table {
     rows: Vec<Row>,
     pk_col: Option<usize>,
     pk_index: EqKeyMap,
+    /// Lazily built columnar snapshot of the row store, shared with every
+    /// columnar scan ([`Table::columnar_chunks`]). Invalidated by
+    /// [`Table::insert`] — the only mutation path — by swapping in a fresh
+    /// empty cell, so a scan can never observe a stale snapshot. Cloning a
+    /// table (database snapshots) shares the already-built chunks; they are
+    /// immutable, so sharing is sound.
+    chunks: OnceLock<Vec<Arc<DataChunk>>>,
 }
 
 impl Table {
@@ -371,7 +380,13 @@ impl Table {
             .collect();
         // Only single-column keys are indexed; composite keys fall back to scans.
         let pk_col = if pk_cols.len() == 1 { Some(pk_cols[0]) } else { None };
-        Table { schema, rows: Vec::new(), pk_col, pk_index: EqKeyMap::default() }
+        Table {
+            schema,
+            rows: Vec::new(),
+            pk_col,
+            pk_index: EqKeyMap::default(),
+            chunks: OnceLock::new(),
+        }
     }
 
     /// Appends a row, validating arity and maintaining the PK index.
@@ -388,7 +403,25 @@ impl Table {
             self.pk_index.insert(&row[pk], self.rows.len());
         }
         self.rows.push(row);
+        // Any cached columnar snapshot no longer reflects the row store.
+        self.chunks = OnceLock::new();
         Ok(())
+    }
+
+    /// The table as a columnar snapshot: `BATCH_SIZE`-row [`DataChunk`]s in
+    /// insertion order, built once per table state and shared by reference
+    /// thereafter. This is what makes repeated columnar scans cheap — the
+    /// row store is transposed (every cell cloned) only on the first scan
+    /// after a write, not on every execution.
+    pub fn columnar_chunks(&self) -> Vec<Arc<DataChunk>> {
+        self.chunks
+            .get_or_init(|| {
+                chunk_rows(self.schema.columns.len(), &self.rows)
+                    .into_iter()
+                    .map(Arc::new)
+                    .collect()
+            })
+            .clone()
     }
 
     /// The stored rows, in insertion order.

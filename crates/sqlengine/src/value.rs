@@ -321,7 +321,11 @@ impl Truth {
     }
 }
 
-fn cmp_f64(a: f64, b: f64) -> Ordering {
+/// Float comparison with `sql_cmp`'s NaN quirk: `partial_cmp`'s `None`
+/// (a NaN operand) collapses to `Equal`, so NaN compares equal to every
+/// number. Shared with the columnar batch kernels ([`crate::columnar`]),
+/// which must reproduce this bit for bit.
+pub(crate) fn cmp_f64(a: f64, b: f64) -> Ordering {
     a.partial_cmp(&b).unwrap_or(Ordering::Equal)
 }
 

@@ -37,10 +37,11 @@ fn execution_is_deterministic_and_costed() {
 }
 
 /// The planner-equivalence property: for every gold query of both corpora,
-/// the optimized plan (hash joins, PK lookups, pushdown) must produce the
-/// same rows as the legacy nested-loop executor — not just the same multiset
-/// (`result_eq`), but the same row *order*, so that LIMIT-without-ORDER-BY
-/// queries cannot diverge between plans.
+/// the optimized plan (hash joins, PK lookups, pushdown) and the vectorized
+/// columnar pipeline must both produce the same rows as the legacy
+/// nested-loop executor — not just the same multiset (`result_eq`), but the
+/// same row *order*, so that LIMIT-without-ORDER-BY queries cannot diverge
+/// between plans.
 #[test]
 fn optimized_plans_match_nested_loop_on_every_gold_query() {
     let bird = build_bird(&CorpusConfig::tiny());
@@ -51,6 +52,8 @@ fn optimized_plans_match_nested_loop_on_every_gold_query() {
             let db = bench.database(&q.db_id).unwrap();
             let (opt, _) = execute_with_stats_mode(db, &q.gold_sql, PlanMode::Optimized)
                 .unwrap_or_else(|e| panic!("{}: optimized failed: {e:?} ({})", q.id, q.gold_sql));
+            let (col, _) = execute_with_stats_mode(db, &q.gold_sql, PlanMode::Columnar)
+                .unwrap_or_else(|e| panic!("{}: columnar failed: {e:?} ({})", q.id, q.gold_sql));
             let (legacy, _) = execute_with_stats_mode(db, &q.gold_sql, PlanMode::NestedLoop)
                 .unwrap_or_else(|e| panic!("{}: legacy failed: {e:?} ({})", q.id, q.gold_sql));
             assert!(
@@ -69,6 +72,16 @@ fn optimized_plans_match_nested_loop_on_every_gold_query() {
                 q.gold_sql
             );
             assert_eq!(opt.rows, legacy.rows, "{}: row-order mismatch ({})", q.id, q.gold_sql);
+            assert_eq!(
+                col.columns, opt.columns,
+                "{}: columnar header mismatch ({})",
+                q.id, q.gold_sql
+            );
+            assert_eq!(
+                col.rows, opt.rows,
+                "{}: columnar row/order mismatch ({})",
+                q.id, q.gold_sql
+            );
             checked += 1;
         }
     }
@@ -119,7 +132,7 @@ fn optimized_stats_are_deterministic() {
     let bird = build_bird(&CorpusConfig::tiny());
     for q in bird.questions.iter().take(40) {
         let db = bird.database(&q.db_id).unwrap();
-        for mode in [PlanMode::Optimized, PlanMode::NestedLoop] {
+        for mode in [PlanMode::Optimized, PlanMode::Columnar, PlanMode::NestedLoop] {
             let (a, stats_a) = execute_with_stats_mode(db, &q.gold_sql, mode).unwrap();
             let (b, stats_b) = execute_with_stats_mode(db, &q.gold_sql, mode).unwrap();
             assert!(a.result_eq(&b));

@@ -4,9 +4,10 @@
 //!
 //! Contract under test (see `crates/serve/README.md`):
 //! * `Server::execute_batch` returns, for every statement, rows and columns
-//!   byte-identical to a direct serial `execute_with_stats` call, in
-//!   submission order, at any worker count — including under a seeded
-//!   shuffle of the submission order;
+//!   byte-identical to a direct serial execution in the server's own plan
+//!   mode (the columnar serving default), in submission order, at any
+//!   worker count — including under a seeded shuffle of the submission
+//!   order;
 //! * the cost-bearing work counters (and hence `ExecStats::cost`) are
 //!   identical too, so VES-style accounting cannot drift under concurrency;
 //! * with in-flight dedup, `result_cache_hits` is **exact** — `statements −
@@ -25,7 +26,7 @@ use seed_repro::datasets::Split;
 use seed_repro::datasets::{bird::build_bird, spider::build_spider, Benchmark, CorpusConfig};
 use seed_repro::eval::{EvidenceSetting, ExperimentRunner, Scores};
 use seed_repro::serve::{ServeConfig, Server};
-use seed_repro::sqlengine::execute_with_stats;
+use seed_repro::sqlengine::{execute_with_stats_mode, PlanMode};
 use seed_repro::text2sql::CodeS;
 
 fn corpora() -> Vec<Benchmark> {
@@ -79,8 +80,14 @@ fn serve_batches_match_serial_execution_at_every_worker_count() {
                     let served = outcome
                         .as_ref()
                         .unwrap_or_else(|e| panic!("{}: serve failed: {e:?} ({sql})", db.name()));
-                    let (direct, direct_stats) = execute_with_stats(db, sql)
-                        .unwrap_or_else(|e| panic!("{}: direct failed: {e:?} ({sql})", db.name()));
+                    // The serial reference runs in the server's own mode
+                    // (columnar serving default): the contract is that
+                    // *concurrency* changes nothing, and cost counters are
+                    // deterministic per mode, not across modes.
+                    let (direct, direct_stats) =
+                        execute_with_stats_mode(db, sql, PlanMode::serving()).unwrap_or_else(|e| {
+                            panic!("{}: direct failed: {e:?} ({sql})", db.name())
+                        });
                     assert_eq!(
                         served.result.rows,
                         direct.rows,
