@@ -183,6 +183,52 @@ fn engine_benches(c: &mut Criterion) {
         }
     }
 
+    // Wide grouped aggregation — eight aggregates (COUNT/SUM/AVG/MIN/MAX
+    // over Int, Real, and Text columns) per high-cardinality key — where
+    // the vectorized accumulators earn their keep: the row path re-walks
+    // every group's members once per aggregate, the columnar path makes one
+    // typed pass per aggregate over the whole table.
+    let wide_sql = "SELECT g, COUNT(*), COUNT(amount), SUM(amount), AVG(amount), MIN(amount), \
+                    MAX(amount), SUM(id), MAX(v) FROM t GROUP BY g";
+    for (scale, rows) in [("1x", BASE_ROWS), ("10x", BASE_ROWS * 10)] {
+        let db = synthetic_db(rows);
+        for (label, mode) in [("columnar", PlanMode::Columnar), ("row", PlanMode::Optimized)] {
+            c.bench_function(&format!("engine/{label}_group_wide_{scale}"), |b| {
+                b.iter(|| execute_with_stats_mode(&db, wide_sql, mode).unwrap())
+            });
+        }
+        let (col, col_stats) = execute_with_stats_mode(&db, wide_sql, PlanMode::Columnar).unwrap();
+        let (row, _) = execute_with_stats_mode(&db, wide_sql, PlanMode::Optimized).unwrap();
+        assert_eq!(col.rows, row.rows, "columnar must be row-identical on group_wide");
+        assert_eq!(col_stats.columnar_fallbacks, 0, "group_wide must stay fully vectorized");
+    }
+
+    // Filter selectivity sweep at 10x rows: `amount` is uniform over
+    // [0, 997), so the cutoffs keep ~1% / ~50% / ~99% of rows. Selection
+    // vectors make the kept fraction the cost driver — a 1%-selective
+    // filter compacts to almost nothing, a 99%-selective one never copies.
+    {
+        let db = synthetic_db(BASE_ROWS * 10);
+        for (pct, cutoff) in [("1", 10.0), ("50", 498.5), ("99", 987.0)] {
+            let sql = format!("SELECT id, amount FROM t WHERE amount < {cutoff} AND amount >= 0.0");
+            for (label, mode) in [("columnar", PlanMode::Columnar), ("row", PlanMode::Optimized)] {
+                let sql = sql.clone();
+                c.bench_function(&format!("engine/{label}_filter_sel{pct}_10x"), |b| {
+                    b.iter(|| execute_with_stats_mode(&db, &sql, mode).unwrap())
+                });
+            }
+            let (col, _) = execute_with_stats_mode(&db, &sql, PlanMode::Columnar).unwrap();
+            let (row, _) = execute_with_stats_mode(&db, &sql, PlanMode::Optimized).unwrap();
+            assert_eq!(col.rows, row.rows, "columnar must be row-identical at {pct}% kept");
+            let frac = col.rows.len() as f64 / (BASE_ROWS * 10) as f64;
+            let target: f64 = pct.parse::<f64>().unwrap() / 100.0;
+            assert!(
+                (frac - target).abs() < 0.02,
+                "selectivity drifted: wanted ~{target}, kept {frac}"
+            );
+        }
+    }
+
     // Correlated scalar subquery: re-executed per outer row (inherently
     // quadratic in rows), but *planned* once — the plan cache serves every
     // re-execution after the first.

@@ -14,11 +14,26 @@
 //! [`ArrayBuilder`] starts untyped, specializes on the first non-null value
 //! (backfilling null placeholders), and degrades to `Mixed` on the first
 //! class conflict — so construction never needs the column type up front.
+//!
+//! [`SelChunk`] pairs a shared chunk with an optional *selection vector*:
+//! filters mark surviving rows instead of gathering a copy, conjunctive
+//! predicates refine the same selection in place, and the survivors are
+//! physically compacted only at pipeline boundaries (join build/probe,
+//! grouping, output) or when selectivity drops below
+//! 1/[`SELECTION_COMPACT_DENOM`].
+
+use std::sync::Arc;
 
 use crate::value::{Truth, Value};
 
 /// Maximum number of rows carried by one [`DataChunk`].
 pub const BATCH_SIZE: usize = 1024;
+
+/// Lazy-compaction threshold for [`SelChunk`]: once fewer than one in this
+/// many physical rows remain live, evaluating batch kernels over the whole
+/// chunk wastes more work than one gather saves, so the selection is
+/// compacted eagerly instead of waiting for the next pipeline boundary.
+pub const SELECTION_COMPACT_DENOM: usize = 8;
 
 /// A packed validity bitmap: bit `i` set means row `i` is NULL.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -569,6 +584,130 @@ impl DataChunk {
     }
 }
 
+/// A shared [`DataChunk`] plus an optional selection vector: the unit of
+/// data flow between columnar operators.
+///
+/// `sel == None` means every physical row is live (the common case — scans
+/// and keep-everything filters never allocate a selection). `sel == Some`
+/// holds the live physical row indices in ascending order. Batch kernels
+/// stay selection-unaware: they evaluate every *physical* row (dead-row
+/// evaluation is safe because every kernel's errors are value-independent),
+/// and consumers read only the live ones. Filters [`refine`](Self::refine)
+/// the selection in place — a conjunction of predicates fuses into one
+/// selection without materializing intermediate chunks — and
+/// [`compact`](Self::compact) gathers the survivors only at pipeline
+/// boundaries, or early when fewer than one in [`SELECTION_COMPACT_DENOM`]
+/// rows survive ([`should_compact`](Self::should_compact)).
+#[derive(Debug, Clone)]
+pub struct SelChunk {
+    chunk: Arc<DataChunk>,
+    sel: Option<Vec<u32>>,
+}
+
+impl SelChunk {
+    /// Wraps a chunk with every row live.
+    pub fn all(chunk: Arc<DataChunk>) -> SelChunk {
+        SelChunk { chunk, sel: None }
+    }
+
+    /// The underlying physical chunk (dead rows included).
+    pub fn chunk(&self) -> &DataChunk {
+        &self.chunk
+    }
+
+    /// The underlying chunk, `Arc`-shared.
+    pub fn shared(&self) -> &Arc<DataChunk> {
+        &self.chunk
+    }
+
+    /// The selection vector, or `None` when every physical row is live.
+    pub fn selection(&self) -> Option<&[u32]> {
+        self.sel.as_deref()
+    }
+
+    /// Number of live rows.
+    pub fn live_rows(&self) -> usize {
+        match &self.sel {
+            Some(s) => s.len(),
+            None => self.chunk.rows(),
+        }
+    }
+
+    /// True when no selection vector is attached (all physical rows live).
+    pub fn is_all_live(&self) -> bool {
+        self.sel.is_none()
+    }
+
+    /// The physical row index of the `k`-th live row.
+    pub fn live(&self, k: usize) -> usize {
+        match &self.sel {
+            Some(s) => s[k] as usize,
+            None => k,
+        }
+    }
+
+    /// Iterates the live physical row indices in ascending order.
+    pub fn live_iter(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.live_rows()).map(|k| self.live(k))
+    }
+
+    /// Replaces the selection with `sel` (ascending physical row indices, a
+    /// subset of the currently live rows).
+    pub fn set_selection(&mut self, sel: Vec<u32>) {
+        debug_assert!(sel.windows(2).all(|w| w[0] < w[1]), "selection must be ascending");
+        debug_assert!(sel.last().is_none_or(|&i| (i as usize) < self.chunk.rows()));
+        self.sel = Some(sel);
+    }
+
+    /// Refines the selection in place, keeping the live rows for which
+    /// `keep(physical_index)` is true — the fused-filter path: a second
+    /// predicate narrows the same selection instead of gathering a copy.
+    pub fn refine(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        match &mut self.sel {
+            Some(s) => s.retain(|&i| keep(i as usize)),
+            None => {
+                let kept: Vec<u32> =
+                    (0..self.chunk.rows() as u32).filter(|&i| keep(i as usize)).collect();
+                // A predicate that kept everything leaves the chunk untouched
+                // (no selection allocated on the output side either).
+                if kept.len() < self.chunk.rows() {
+                    self.sel = Some(kept);
+                }
+            }
+        }
+    }
+
+    /// True when selectivity has dropped below the lazy-compaction
+    /// threshold: fewer than one in [`SELECTION_COMPACT_DENOM`] physical
+    /// rows live (and a selection is actually attached).
+    pub fn should_compact(&self) -> bool {
+        match &self.sel {
+            Some(s) => s.len() * SELECTION_COMPACT_DENOM < self.chunk.rows(),
+            None => false,
+        }
+    }
+
+    /// Gathers the live rows into a dense chunk. A fully-live chunk is
+    /// returned as the same `Arc`, untouched.
+    pub fn compact(&self) -> Arc<DataChunk> {
+        match &self.sel {
+            None => Arc::clone(&self.chunk),
+            Some(s) => {
+                let idx: Vec<usize> = s.iter().map(|&i| i as usize).collect();
+                Arc::new(self.chunk.gather(&idx))
+            }
+        }
+    }
+
+    /// Compacts in place: the chunk becomes dense and the selection drops.
+    pub fn compact_in_place(&mut self) {
+        if self.sel.is_some() {
+            self.chunk = self.compact();
+            self.sel = None;
+        }
+    }
+}
+
 /// Splits row-oriented data into [`BATCH_SIZE`]-row chunks.
 pub fn chunk_rows(width: usize, rows: &[Vec<Value>]) -> Vec<DataChunk> {
     rows.chunks(BATCH_SIZE).map(|slice| DataChunk::from_rows(width, slice)).collect()
@@ -746,6 +885,74 @@ mod tests {
         let mut mixed = ColumnArray::from_values(&[Value::Integer(1), Value::text("z")]);
         assert!(matches!(mixed, ColumnArray::Mixed { .. }));
         assert_eq!(mixed.take_at(1), Value::text("z"));
+    }
+
+    fn sel_fixture(n: usize) -> SelChunk {
+        let rows: Vec<Vec<Value>> = (0..n).map(|i| vec![Value::Integer(i as i64)]).collect();
+        SelChunk::all(Arc::new(DataChunk::from_rows(1, &rows)))
+    }
+
+    #[test]
+    fn selection_starts_all_live_and_refines_in_place() {
+        let mut sc = sel_fixture(10);
+        assert!(sc.is_all_live());
+        assert_eq!(sc.live_rows(), 10);
+        assert_eq!(sc.live_iter().collect::<Vec<_>>(), (0..10).collect::<Vec<_>>());
+
+        // A keep-everything refinement must not allocate a selection.
+        sc.refine(|_| true);
+        assert!(sc.is_all_live());
+
+        // First predicate: keep even rows.
+        sc.refine(|i| i % 2 == 0);
+        assert_eq!(sc.live_iter().collect::<Vec<_>>(), vec![0, 2, 4, 6, 8]);
+        // Conjunctive refinement narrows the *same* selection (fused filter).
+        sc.refine(|i| i >= 4);
+        assert_eq!(sc.live_iter().collect::<Vec<_>>(), vec![4, 6, 8]);
+        assert_eq!(sc.live(1), 6);
+        assert_eq!(sc.chunk().rows(), 10, "no physical copy happened");
+    }
+
+    #[test]
+    fn selection_compact_gathers_live_rows_only() {
+        let mut sc = sel_fixture(6);
+        sc.refine(|i| i == 1 || i == 4);
+        let dense = sc.compact();
+        assert_eq!(dense.rows(), 2);
+        assert_eq!(dense.row(0), vec![Value::Integer(1)]);
+        assert_eq!(dense.row(1), vec![Value::Integer(4)]);
+        sc.compact_in_place();
+        assert!(sc.is_all_live());
+        assert_eq!(sc.live_rows(), 2);
+        assert_eq!(sc.chunk().row(1), vec![Value::Integer(4)]);
+
+        // Fully-live compaction is the identity Arc, not a copy.
+        let full = sel_fixture(3);
+        assert!(Arc::ptr_eq(&full.compact(), full.shared()));
+    }
+
+    #[test]
+    fn selection_empty_and_threshold() {
+        let mut sc = sel_fixture(32);
+        assert!(!sc.should_compact());
+        sc.refine(|i| i < 8);
+        // 8/32 live = exactly 1/4 — above the 1/8 threshold.
+        assert!(!sc.should_compact());
+        sc.refine(|i| i < 3);
+        // 3/32 < 1/8: compaction pays for itself now.
+        assert!(sc.should_compact());
+        sc.refine(|_| false);
+        assert_eq!(sc.live_rows(), 0);
+        assert_eq!(sc.live_iter().count(), 0);
+        assert_eq!(sc.compact().rows(), 0);
+    }
+
+    #[test]
+    fn set_selection_replaces_live_set() {
+        let mut sc = sel_fixture(5);
+        sc.set_selection(vec![0, 3]);
+        assert_eq!(sc.live_iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(sc.live_rows(), 2);
     }
 
     #[test]

@@ -6,14 +6,28 @@
 //!
 //! The columnar pipeline reuses the planner verbatim — it executes the same
 //! [`PlanNode`] tree `PlanMode::Optimized` would — and replaces the *data
-//! movement*: scans produce column arrays, filters evaluate predicates with
-//! batch kernels over whole columns, hash joins build and probe over column
-//! slices, and grouping hashes batch-evaluated key columns. Everything the
-//! batch layer cannot express (subqueries, outer-scope references, ambiguous
-//! columns, nested aggregates) falls back *per statement* to the row
-//! machinery in [`crate::exec`], which is shared verbatim with the other two
-//! modes — so fallback semantics are the row path's by construction, and
-//! `columnar_fallbacks` in [`crate::ExecStats`] records every demotion.
+//! movement*: scans produce column arrays, filters refine a [`SelChunk`]
+//! selection vector over shared chunks (a conjunction of predicates fuses
+//! into one selection; survivors are gathered only at pipeline boundaries or
+//! below the [`crate::chunk::SELECTION_COMPACT_DENOM`] selectivity
+//! threshold), hash joins build and probe over compacted column slices, and
+//! grouping folds batch-computed group ids into typed per-aggregate
+//! accumulators (`AggAcc`). Everything the batch layer cannot express
+//! (subqueries, outer-scope references, ambiguous columns, nested
+//! aggregates) falls back *per operator* to the row machinery in
+//! [`crate::exec`], which is shared verbatim with the other two modes — one
+//! row-evaluated predicate or projection no longer demotes the rest of the
+//! statement. `columnar_fallbacks` in [`crate::ExecStats`] counts each
+//! row-bridged operator, and `columnar_partial` counts statements that mixed
+//! batch and row evaluation.
+//!
+//! Batch kernels are selection-unaware: they evaluate every *physical* row
+//! of a chunk, dead rows included, and consumers read only the live ones.
+//! That is safe because every batch-expressible kernel's errors are
+//! value-independent — [`Value::arith`] is total over the four value
+//! classes, scalar-function errors depend only on name and arity, and
+//! `cast_value` is infallible — so a dead row can never surface an error
+//! a live row would not.
 //!
 //! ## Semantics contract
 //!
@@ -34,11 +48,12 @@
 //! docs ([`crate::plan`]).
 
 use std::borrow::Cow;
+use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 use crate::ast::*;
-use crate::chunk::{chunk_rows, ArrayBuilder, ColumnArray, DataChunk, NullBitmap};
+use crate::chunk::{chunk_rows, ArrayBuilder, ColumnArray, DataChunk, NullBitmap, SelChunk};
 use crate::error::{SqlError, SqlResult};
 use crate::exec::{
     agg_over_values, cast_value, order_key_output_column, select_is_grouped, Executor, Rel, Scope,
@@ -54,13 +69,13 @@ use crate::value::{cmp_f64, like_match, ArithOp, Truth, Value};
 /// pass the same `Arc` through untouched.
 type SharedChunk = Arc<DataChunk>;
 
-/// Flattens shared chunks back into row-major form for the row-path
-/// fallback and the nested-loop join bridge.
-fn rows_from_shared(chunks: &[SharedChunk]) -> Vec<Vec<Value>> {
-    let mut out = Vec::with_capacity(chunks.iter().map(|c| c.rows()).sum());
-    for chunk in chunks {
-        for i in 0..chunk.rows() {
-            out.push(chunk.row(i));
+/// Flattens the *live* rows of selection-carrying chunks back into row-major
+/// form for the nested-loop join bridge.
+fn rows_from_live(chunks: &[SelChunk]) -> Vec<Vec<Value>> {
+    let mut out = Vec::with_capacity(chunks.iter().map(|c| c.live_rows()).sum());
+    for sc in chunks {
+        for i in sc.live_iter() {
+            out.push(sc.chunk().row(i));
         }
     }
     out
@@ -221,44 +236,62 @@ fn resolve_batch_column(cols: &[ColInfo], table: &Option<String>, column: &str) 
 /// [`Executor::try_eval_batch`] — callers pre-check once per expression
 /// instead of attempting (and wasting) a batch pass per chunk.
 pub(crate) fn is_batch_evaluable(expr: &Expr, cols: &[ColInfo]) -> bool {
+    is_batch_evaluable_impl(expr, cols, false)
+}
+
+/// [`is_batch_evaluable`] over the finished *group table*, where every
+/// collected [`Expr::Aggregate`] node has a precomputed result column the
+/// batch evaluator can read (so aggregates count as expressible; their
+/// arguments were handled when the columns were built and are not descended
+/// into here).
+fn is_group_batch_evaluable(expr: &Expr, cols: &[ColInfo]) -> bool {
+    is_batch_evaluable_impl(expr, cols, true)
+}
+
+fn is_batch_evaluable_impl(expr: &Expr, cols: &[ColInfo], aggs_ok: bool) -> bool {
     match expr {
         Expr::Literal(_) => true,
         Expr::Column { table, column } => resolve_batch_column(cols, table, column).is_some(),
         Expr::Compare { left, right, .. }
         | Expr::Arith { left, right, .. }
         | Expr::Concat { left, right } => {
-            is_batch_evaluable(left, cols) && is_batch_evaluable(right, cols)
+            is_batch_evaluable_impl(left, cols, aggs_ok)
+                && is_batch_evaluable_impl(right, cols, aggs_ok)
         }
         Expr::And(a, b) | Expr::Or(a, b) => {
-            is_batch_evaluable(a, cols) && is_batch_evaluable(b, cols)
+            is_batch_evaluable_impl(a, cols, aggs_ok) && is_batch_evaluable_impl(b, cols, aggs_ok)
         }
-        Expr::Not(e) | Expr::Neg(e) => is_batch_evaluable(e, cols),
+        Expr::Not(e) | Expr::Neg(e) => is_batch_evaluable_impl(e, cols, aggs_ok),
         Expr::Like { expr, pattern, .. } => {
-            is_batch_evaluable(expr, cols) && is_batch_evaluable(pattern, cols)
+            is_batch_evaluable_impl(expr, cols, aggs_ok)
+                && is_batch_evaluable_impl(pattern, cols, aggs_ok)
         }
-        Expr::IsNull { expr, .. } => is_batch_evaluable(expr, cols),
+        Expr::IsNull { expr, .. } => is_batch_evaluable_impl(expr, cols, aggs_ok),
         Expr::InList { expr, list, .. } => {
-            is_batch_evaluable(expr, cols) && list.iter().all(|e| is_batch_evaluable(e, cols))
+            is_batch_evaluable_impl(expr, cols, aggs_ok)
+                && list.iter().all(|e| is_batch_evaluable_impl(e, cols, aggs_ok))
         }
         Expr::Between { expr, low, high, .. } => {
-            is_batch_evaluable(expr, cols)
-                && is_batch_evaluable(low, cols)
-                && is_batch_evaluable(high, cols)
+            is_batch_evaluable_impl(expr, cols, aggs_ok)
+                && is_batch_evaluable_impl(low, cols, aggs_ok)
+                && is_batch_evaluable_impl(high, cols, aggs_ok)
         }
-        // Subqueries and aggregates need the row machinery (scopes, caches,
-        // decorrelation, group contexts).
-        Expr::InSubquery { .. }
-        | Expr::Exists { .. }
-        | Expr::ScalarSubquery(_)
-        | Expr::Aggregate { .. } => false,
-        Expr::Function { args, .. } => args.iter().all(|e| is_batch_evaluable(e, cols)),
-        Expr::Cast { expr, .. } => is_batch_evaluable(expr, cols),
+        // Subqueries need the row machinery (scopes, caches, decorrelation).
+        Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => false,
+        // Aggregates are expressible only over the group table, where their
+        // result columns are pre-installed.
+        Expr::Aggregate { .. } => aggs_ok,
+        Expr::Function { args, .. } => {
+            args.iter().all(|e| is_batch_evaluable_impl(e, cols, aggs_ok))
+        }
+        Expr::Cast { expr, .. } => is_batch_evaluable_impl(expr, cols, aggs_ok),
         Expr::Case { operand, branches, else_branch } => {
-            operand.as_ref().is_none_or(|e| is_batch_evaluable(e, cols))
-                && branches
-                    .iter()
-                    .all(|(w, t)| is_batch_evaluable(w, cols) && is_batch_evaluable(t, cols))
-                && else_branch.as_ref().is_none_or(|e| is_batch_evaluable(e, cols))
+            operand.as_ref().is_none_or(|e| is_batch_evaluable_impl(e, cols, aggs_ok))
+                && branches.iter().all(|(w, t)| {
+                    is_batch_evaluable_impl(w, cols, aggs_ok)
+                        && is_batch_evaluable_impl(t, cols, aggs_ok)
+                })
+                && else_branch.as_ref().is_none_or(|e| is_batch_evaluable_impl(e, cols, aggs_ok))
         }
     }
 }
@@ -466,6 +499,238 @@ fn arith_batch(op: ArithOp, l: &ColumnArray, r: &ColumnArray) -> SqlResult<Colum
     }
 }
 
+/// MIN/MAX fold step by [`Value::total_cmp`], reproducing
+/// `Iterator::min_by` / `max_by` tie behavior exactly: MIN keeps the first
+/// of ties (replace only on `Greater`), MAX keeps the last (replace on
+/// anything but `Greater`) — which is what makes `MIN([NaN, 5]) = NaN` but
+/// `MIN([5, NaN]) = 5` under `cmp_f64`'s NaN-equals-everything quirk.
+fn minmax_update(slot: &mut Value, new: Value, max: bool) {
+    if slot.is_null() {
+        *slot = new;
+        return;
+    }
+    let ord = slot.total_cmp(&new);
+    let replace = if max { ord != Ordering::Greater } else { ord == Ordering::Greater };
+    if replace {
+        *slot = new;
+    }
+}
+
+/// Per-group accumulator state for one aggregate node: tight typed update
+/// loops for the COUNT/SUM/AVG/MIN/MAX × `Int`/`Real` storage matrix,
+/// null-bitmap-segregated with a no-null fast path, plus coercing loops for
+/// text/mixed storage and a value-collecting form for DISTINCT (which must
+/// dedup before folding). `finish` reproduces [`agg_over_values`] — SUM's
+/// wrapping integer fold, scan-order float summation, and per-group result
+/// class included — so the typed paths can never drift from the row path.
+enum AggAcc {
+    /// COUNT(x): non-NULL rows per group.
+    Count { counts: Vec<i64> },
+    /// SUM/AVG, mirroring `sum_values`: parallel wrapping-integer and
+    /// scan-order float sums, with a per-group "all integers" flag choosing
+    /// the result class (and AVG always landing on `Real`).
+    Sum { avg: bool, counts: Vec<i64>, isum: Vec<i64>, fsum: Vec<f64>, all_int: Vec<bool> },
+    /// MIN/MAX via [`minmax_update`]; `Null` marks a group with no values.
+    MinMax { max: bool, best: Vec<Value> },
+    /// DISTINCT aggregates collect per-group values and defer to
+    /// [`agg_over_values`], whose first-seen dedup picks representatives in
+    /// a way no streaming fold can reproduce.
+    Distinct { kind: AggregateKind, vals: Vec<Vec<Value>> },
+}
+
+impl AggAcc {
+    fn new(kind: AggregateKind, distinct: bool, n_groups: usize) -> AggAcc {
+        if distinct {
+            return AggAcc::Distinct { kind, vals: vec![Vec::new(); n_groups] };
+        }
+        match kind {
+            AggregateKind::Count => AggAcc::Count { counts: vec![0; n_groups] },
+            AggregateKind::Sum | AggregateKind::Avg => AggAcc::Sum {
+                avg: kind == AggregateKind::Avg,
+                counts: vec![0; n_groups],
+                isum: vec![0; n_groups],
+                // -0.0 is the additive identity std's `Sum for f64` folds
+                // from; starting at +0.0 would turn SUM of [-0.0] into +0.0
+                // and diverge from the row path's `.sum()`.
+                fsum: vec![-0.0; n_groups],
+                all_int: vec![true; n_groups],
+            },
+            AggregateKind::Min => AggAcc::MinMax { max: false, best: vec![Value::Null; n_groups] },
+            AggregateKind::Max => AggAcc::MinMax { max: true, best: vec![Value::Null; n_groups] },
+        }
+    }
+
+    /// Folds one chunk's argument column into the per-group state; `gids[i]`
+    /// is the group of the chunk's `i`-th row. Chunks arrive in scan order,
+    /// which the float sum (non-associative) relies on.
+    fn update(&mut self, col: &ColumnArray, gids: &[u32]) {
+        match self {
+            AggAcc::Count { counts } => match col {
+                ColumnArray::Int { nulls, .. }
+                | ColumnArray::Real { nulls, .. }
+                | ColumnArray::Text { nulls, .. } => {
+                    if nulls.any_null() {
+                        for (i, &g) in gids.iter().enumerate() {
+                            if !nulls.is_null(i) {
+                                counts[g as usize] += 1;
+                            }
+                        }
+                    } else {
+                        for &g in gids {
+                            counts[g as usize] += 1;
+                        }
+                    }
+                }
+                ColumnArray::Mixed { values } => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        if !values[i].is_null() {
+                            counts[g as usize] += 1;
+                        }
+                    }
+                }
+            },
+            AggAcc::Sum { counts, isum, fsum, all_int, .. } => match col {
+                ColumnArray::Int { values, nulls } => {
+                    if nulls.any_null() {
+                        for (i, &g) in gids.iter().enumerate() {
+                            if !nulls.is_null(i) {
+                                let g = g as usize;
+                                counts[g] += 1;
+                                isum[g] = isum[g].wrapping_add(values[i]);
+                                fsum[g] += values[i] as f64;
+                            }
+                        }
+                    } else {
+                        for (i, &g) in gids.iter().enumerate() {
+                            let g = g as usize;
+                            counts[g] += 1;
+                            isum[g] = isum[g].wrapping_add(values[i]);
+                            fsum[g] += values[i] as f64;
+                        }
+                    }
+                }
+                ColumnArray::Real { values, nulls } => {
+                    if nulls.any_null() {
+                        for (i, &g) in gids.iter().enumerate() {
+                            if !nulls.is_null(i) {
+                                let g = g as usize;
+                                counts[g] += 1;
+                                fsum[g] += values[i];
+                                all_int[g] = false;
+                            }
+                        }
+                    } else {
+                        for (i, &g) in gids.iter().enumerate() {
+                            let g = g as usize;
+                            counts[g] += 1;
+                            fsum[g] += values[i];
+                            all_int[g] = false;
+                        }
+                    }
+                }
+                // Text and mixed storage coerce per cell, like `sum_values`.
+                _ => {
+                    for (i, &g) in gids.iter().enumerate() {
+                        let v = col.value_at(i);
+                        if v.is_null() {
+                            continue;
+                        }
+                        let g = g as usize;
+                        counts[g] += 1;
+                        match v.coerce_numeric() {
+                            Value::Integer(x) => {
+                                isum[g] = isum[g].wrapping_add(x);
+                                fsum[g] += x as f64;
+                            }
+                            Value::Real(x) => {
+                                fsum[g] += x;
+                                all_int[g] = false;
+                            }
+                            // coerce_numeric maps every non-NULL value to a
+                            // number.
+                            _ => {}
+                        }
+                    }
+                }
+            },
+            AggAcc::MinMax { max, best } => {
+                let mx = *max;
+                match col {
+                    ColumnArray::Int { values, nulls } => {
+                        for (i, &g) in gids.iter().enumerate() {
+                            if !nulls.is_null(i) {
+                                minmax_update(&mut best[g as usize], Value::Integer(values[i]), mx);
+                            }
+                        }
+                    }
+                    ColumnArray::Real { values, nulls } => {
+                        for (i, &g) in gids.iter().enumerate() {
+                            if !nulls.is_null(i) {
+                                minmax_update(&mut best[g as usize], Value::Real(values[i]), mx);
+                            }
+                        }
+                    }
+                    _ => {
+                        for (i, &g) in gids.iter().enumerate() {
+                            if !col.is_null(i) {
+                                minmax_update(&mut best[g as usize], col.value_at(i), mx);
+                            }
+                        }
+                    }
+                }
+            }
+            AggAcc::Distinct { vals, .. } => {
+                for (i, &g) in gids.iter().enumerate() {
+                    if !col.is_null(i) {
+                        vals[g as usize].push(col.value_at(i));
+                    }
+                }
+            }
+        }
+    }
+
+    /// The finished per-group results as one column (one row per group).
+    fn finish(self) -> ColumnArray {
+        match self {
+            AggAcc::Count { counts } => {
+                let n = counts.len();
+                ColumnArray::Int { values: counts, nulls: NullBitmap::new_valid(n) }
+            }
+            AggAcc::Sum { avg, counts, isum, fsum, all_int } => {
+                let mut b = ArrayBuilder::with_capacity(counts.len());
+                for g in 0..counts.len() {
+                    let v = if counts[g] == 0 {
+                        Value::Null
+                    } else if avg {
+                        let total = if all_int[g] { isum[g] as f64 } else { fsum[g] };
+                        Value::Real(total / counts[g] as f64)
+                    } else if all_int[g] {
+                        Value::Integer(isum[g])
+                    } else {
+                        Value::Real(fsum[g])
+                    };
+                    b.push(&v);
+                }
+                b.finish()
+            }
+            AggAcc::MinMax { best, .. } => {
+                let mut b = ArrayBuilder::with_capacity(best.len());
+                for v in &best {
+                    b.push(v);
+                }
+                b.finish()
+            }
+            AggAcc::Distinct { kind, vals } => {
+                let mut b = ArrayBuilder::with_capacity(vals.len());
+                for group_vals in vals {
+                    b.push(&agg_over_values(kind, true, group_vals));
+                }
+                b.finish()
+            }
+        }
+    }
+}
+
 impl<'a> Executor<'a> {
     /// Evaluates `expr` over every row of `chunk` with batch kernels,
     /// returning `None` when the expression needs the row machinery (see
@@ -483,10 +748,25 @@ impl<'a> Executor<'a> {
         chunk: &'c DataChunk,
         cols: &[ColInfo],
     ) -> SqlResult<Option<Cow<'c, ColumnArray>>> {
+        self.try_eval_batch_agg(expr, chunk, cols, None)
+    }
+
+    /// [`Executor::try_eval_batch`] over a *group table*: `aggs` maps
+    /// collected [`Expr::Aggregate`] node addresses to their precomputed
+    /// per-group result columns, which an `Aggregate` node resolves to by
+    /// borrow — the mechanism behind batch-evaluated HAVING, projections,
+    /// and ORDER BY keys in [`Executor::columnar_grouped`].
+    fn try_eval_batch_agg<'c>(
+        &mut self,
+        expr: &Expr,
+        chunk: &'c DataChunk,
+        cols: &[ColInfo],
+        aggs: Option<&'c HashMap<usize, ColumnArray>>,
+    ) -> SqlResult<Option<Cow<'c, ColumnArray>>> {
         let n = chunk.rows();
         macro_rules! batch {
             ($e:expr) => {
-                match self.try_eval_batch($e, chunk, cols)? {
+                match self.try_eval_batch_agg($e, chunk, cols, aggs)? {
                     Some(c) => c,
                     None => return Ok(None),
                 }
@@ -601,10 +881,19 @@ impl<'a> Executor<'a> {
                     }
                 })
             }
-            Expr::InSubquery { .. }
-            | Expr::Exists { .. }
-            | Expr::ScalarSubquery(_)
-            | Expr::Aggregate { .. } => return Ok(None),
+            Expr::InSubquery { .. } | Expr::Exists { .. } | Expr::ScalarSubquery(_) => {
+                return Ok(None)
+            }
+            Expr::Aggregate { .. } => {
+                let Some(map) = aggs else { return Ok(None) };
+                match map.get(&(expr as *const Expr as usize)) {
+                    Some(col) => {
+                        self.stats.evaluations += n as u64;
+                        return Ok(Some(Cow::Borrowed(col)));
+                    }
+                    None => return Ok(None),
+                }
+            }
             Expr::Function { name, args } => {
                 let mut arg_cols = Vec::with_capacity(args.len());
                 for a in args {
@@ -671,70 +960,79 @@ impl<'a> Executor<'a> {
         Ok(Some(Cow::Owned(col)))
     }
 
-    /// Applies one predicate to every chunk, keeping the rows where it is
-    /// true: batch-evaluated when possible, row-at-a-time otherwise (counted
-    /// in `columnar_fallbacks`). Chunks filtered to emptiness are dropped;
-    /// untouched chunks pass through without copying.
+    /// Applies one predicate to every chunk by *refining its selection
+    /// vector* — no rows are moved. A batch-evaluable predicate evaluates
+    /// over all physical rows (dead-row evaluation is safe; see the module
+    /// docs) and intersects the truth column with the live set; anything
+    /// else evaluates row-at-a-time over the live rows only (counted once
+    /// per predicate in `columnar_fallbacks`). Consecutive predicates refine
+    /// the same selection — a fused conjunctive filter. Chunks refined to
+    /// emptiness are dropped, and chunks whose selectivity falls below the
+    /// [`crate::chunk::SELECTION_COMPACT_DENOM`] threshold are compacted
+    /// early so later operators stop paying for dead rows.
     fn filter_chunks(
         &mut self,
-        chunks: Vec<SharedChunk>,
+        chunks: Vec<SelChunk>,
         cols: &[ColInfo],
         pred: &Expr,
         outer: Option<&Scope<'_>>,
-    ) -> SqlResult<Vec<SharedChunk>> {
+    ) -> SqlResult<Vec<SelChunk>> {
         let batch_ok = is_batch_evaluable(pred, cols);
         if !batch_ok {
             self.stats.columnar_fallbacks += 1;
         }
         let mut out = Vec::with_capacity(chunks.len());
-        let mut keep: Vec<usize> = Vec::new();
         let mut rowbuf: Vec<Value> = Vec::new();
-        for chunk in chunks {
-            keep.clear();
+        for mut sc in chunks {
+            let chunk = Arc::clone(sc.shared());
             let col = if batch_ok { self.try_eval_batch(pred, &chunk, cols)? } else { None };
             match col {
-                Some(c) => {
-                    for i in 0..chunk.rows() {
-                        if c.truth_at(i).is_true() {
-                            keep.push(i);
-                        }
-                    }
-                }
+                Some(c) => sc.refine(|i| c.truth_at(i).is_true()),
                 None => {
-                    for i in 0..chunk.rows() {
+                    let mut kept: Vec<u32> = Vec::with_capacity(sc.live_rows());
+                    for i in sc.live_iter() {
                         chunk.read_row_into(i, &mut rowbuf);
                         let scope = Scope { cols, row: &rowbuf, parent: outer };
                         if self.eval(pred, &scope, None)?.to_truth().is_true() {
-                            keep.push(i);
+                            kept.push(i as u32);
                         }
                     }
+                    sc.set_selection(kept);
                 }
             }
-            if keep.len() == chunk.rows() {
-                out.push(chunk);
-            } else if !keep.is_empty() {
-                out.push(Arc::new(chunk.gather(&keep)));
+            if sc.live_rows() == 0 {
+                continue;
             }
+            if sc.should_compact() {
+                sc.compact_in_place();
+            }
+            out.push(sc);
         }
         Ok(out)
     }
 
     /// Tallies the batches flowing out of an operator in
     /// [`crate::ExecStats`] — cached snapshot chunks count on every
-    /// execution, so the counters stay per-statement deterministic.
-    fn count_batches(&mut self, chunks: &[SharedChunk]) {
+    /// execution, so the counters stay per-statement deterministic. Rows are
+    /// counted live (operators emit all-live chunks, so this matches the
+    /// physical count at every call site).
+    fn count_batches(&mut self, chunks: &[SelChunk]) {
         self.stats.batches_built += chunks.len() as u64;
-        self.stats.batch_rows += chunks.iter().map(|c| c.rows() as u64).sum::<u64>();
+        self.stats.batch_rows += chunks.iter().map(|c| c.live_rows() as u64).sum::<u64>();
     }
 
     /// Executes one physical operator columnar-natively, producing the same
-    /// layout and (flattened) rows as [`Executor::exec_plan_node`] with
-    /// identical `rows_scanned` / `index_lookups` / `hash_*` accounting.
+    /// layout and (flattened, live) rows as [`Executor::exec_plan_node`]
+    /// with identical `rows_scanned` / `index_lookups` / `hash_*`
+    /// accounting. Outputs carry selection vectors: scans emit all-live
+    /// chunks, pushed-down filters refine selections, and joins — a
+    /// pipeline boundary — compact their inputs before build/probe and emit
+    /// all-live chunks again.
     fn exec_plan_node_columnar(
         &mut self,
         node: &PlanNode,
         outer: Option<&Scope<'_>>,
-    ) -> SqlResult<(Vec<ColInfo>, Vec<SharedChunk>)> {
+    ) -> SqlResult<(Vec<ColInfo>, Vec<SelChunk>)> {
         match node {
             PlanNode::SeqScan { table, quals, pushed, lookup } => {
                 let t = self.db.table(table)?;
@@ -747,7 +1045,7 @@ impl<'a> Executor<'a> {
                 // Full scans hand out the table's cached columnar snapshot
                 // (`Arc`-shared, built once per table version) — repeated
                 // scans never re-transpose row storage.
-                let mut chunks = match lookup {
+                let shared: Vec<SharedChunk> = match lookup {
                     Some(l) => match t.pk_lookup(&l.value) {
                         Some(row_ids) => {
                             self.stats.index_lookups += 1;
@@ -766,6 +1064,7 @@ impl<'a> Executor<'a> {
                         t.columnar_chunks()
                     }
                 };
+                let mut chunks: Vec<SelChunk> = shared.into_iter().map(SelChunk::all).collect();
                 self.count_batches(&chunks);
                 for pred in pushed {
                     chunks = self.filter_chunks(chunks, &cols, pred, outer)?;
@@ -781,8 +1080,10 @@ impl<'a> Executor<'a> {
                     .iter()
                     .map(|c| ColInfo { quals: quals.clone(), name: c.clone() })
                     .collect();
-                let mut chunks: Vec<SharedChunk> =
-                    chunk_rows(cols.len(), &rs.rows).into_iter().map(Arc::new).collect();
+                let mut chunks: Vec<SelChunk> = chunk_rows(cols.len(), &rs.rows)
+                    .into_iter()
+                    .map(|c| SelChunk::all(Arc::new(c)))
+                    .collect();
                 self.count_batches(&chunks);
                 for pred in pushed {
                     chunks = self.filter_chunks(chunks, &cols, pred, outer)?;
@@ -790,8 +1091,13 @@ impl<'a> Executor<'a> {
                 Ok((cols, chunks))
             }
             PlanNode::HashJoin { left, right, kind, left_key, right_key, on } => {
-                let (lcols, lchunks) = self.exec_plan_node_columnar(left, outer)?;
-                let (rcols, rchunks) = self.exec_plan_node_columnar(right, outer)?;
+                let (lcols, lsel) = self.exec_plan_node_columnar(left, outer)?;
+                let (rcols, rsel) = self.exec_plan_node_columnar(right, outer)?;
+                // Build/probe is a pipeline boundary: gather each input's
+                // survivors into dense chunks (all-live inputs pass their
+                // `Arc` through untouched).
+                let lchunks: Vec<SharedChunk> = lsel.iter().map(SelChunk::compact).collect();
+                let rchunks: Vec<SharedChunk> = rsel.iter().map(SelChunk::compact).collect();
                 let mut cols = lcols.clone();
                 cols.extend(rcols.iter().cloned());
                 let (lwidth, rwidth) = (lcols.len(), rcols.len());
@@ -817,7 +1123,7 @@ impl<'a> Executor<'a> {
                 self.stats.hash_build_rows += rtotal as u64;
 
                 let on_batch = on.as_ref().map(|p| is_batch_evaluable(p, &cols));
-                let mut out_chunks: Vec<SharedChunk> = Vec::new();
+                let mut out_chunks: Vec<SelChunk> = Vec::new();
                 let mut rowbuf: Vec<Value> = Vec::new();
                 for lchunk in &lchunks {
                     // Probe: gather candidate (left, right) pairs — left rows
@@ -911,7 +1217,7 @@ impl<'a> Executor<'a> {
                         }
                     };
                     if !out.is_empty() {
-                        out_chunks.push(Arc::new(out));
+                        out_chunks.push(SelChunk::all(Arc::new(out)));
                     }
                 }
                 self.count_batches(&out_chunks);
@@ -923,16 +1229,18 @@ impl<'a> Executor<'a> {
                 let (lcols, lchunks) = self.exec_plan_node_columnar(left, outer)?;
                 let (rcols, rchunks) = self.exec_plan_node_columnar(right, outer)?;
                 self.stats.columnar_fallbacks += 1;
-                let l = Rel { cols: lcols, rows: rows_from_shared(&lchunks) };
-                let r = Rel { cols: rcols, rows: rows_from_shared(&rchunks) };
+                let l = Rel { cols: lcols, rows: rows_from_live(&lchunks) };
+                let r = Rel { cols: rcols, rows: rows_from_live(&rchunks) };
                 let join = Join {
                     kind: *kind,
                     table: TableRef::Named { table: String::new(), alias: None },
                     on: on.clone(),
                 };
                 let rel = self.join(l, r, &join, outer)?;
-                let chunks: Vec<SharedChunk> =
-                    chunk_rows(rel.cols.len(), &rel.rows).into_iter().map(Arc::new).collect();
+                let chunks: Vec<SelChunk> = chunk_rows(rel.cols.len(), &rel.rows)
+                    .into_iter()
+                    .map(|c| SelChunk::all(Arc::new(c)))
+                    .collect();
                 self.count_batches(&chunks);
                 Ok((rel.cols, chunks))
             }
@@ -947,15 +1255,15 @@ impl<'a> Executor<'a> {
         &mut self,
         stmt: &SelectStatement,
         outer: Option<&Scope<'_>>,
-    ) -> SqlResult<(Vec<ColInfo>, Vec<SharedChunk>)> {
+    ) -> SqlResult<(Vec<ColInfo>, Vec<SelChunk>)> {
         let plan = self.plans.get_or_plan(self.db, stmt, &mut self.stats)?;
         let (cols, mut chunks) = match &plan.root {
             Some(node) => self.exec_plan_node_columnar(node, outer)?,
-            None => (Vec::new(), vec![Arc::new(DataChunk::unit(1))]),
+            None => (Vec::new(), vec![SelChunk::all(Arc::new(DataChunk::unit(1)))]),
         };
         // The row path counts every post-join row as scanned when applying
         // the remnant; mirror that before filtering.
-        self.stats.rows_scanned += chunks.iter().map(|c| c.rows() as u64).sum::<u64>();
+        self.stats.rows_scanned += chunks.iter().map(|c| c.live_rows() as u64).sum::<u64>();
         for pred in &plan.where_remnant {
             chunks = self.filter_chunks(chunks, &cols, pred, outer)?;
         }
@@ -964,45 +1272,57 @@ impl<'a> Executor<'a> {
 
     /// Entry point for [`crate::plan::PlanMode::Columnar`] statements: runs
     /// FROM/JOIN/WHERE over batches, then the vectorized grouped or
-    /// ungrouped tail; if the tail reports the statement is not
-    /// batch-expressible, flattens the (already filtered) batches and
-    /// finishes through the row tail shared with the other modes.
+    /// ungrouped tail. Both tails are total — inexpressible expressions
+    /// bridge to the row machinery per *operator* inside them — so the
+    /// statement as a whole never demotes. A statement whose execution
+    /// raised `columnar_fallbacks` anywhere (nested statements included)
+    /// counts once in `columnar_partial`: it mixed batch and row evaluation.
     pub(crate) fn run_select_columnar(
         &mut self,
         stmt: &SelectStatement,
         outer: Option<&Scope<'_>>,
     ) -> SqlResult<ResultSet> {
+        let fallbacks_before = self.stats.columnar_fallbacks;
+        let result = self.run_select_columnar_inner(stmt, outer);
+        if self.stats.columnar_fallbacks > fallbacks_before {
+            self.stats.columnar_partial += 1;
+        }
+        result
+    }
+
+    fn run_select_columnar_inner(
+        &mut self,
+        stmt: &SelectStatement,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<ResultSet> {
         let (cols, chunks) = self.columnar_from_where(stmt, outer)?;
-        let fast = if select_is_grouped(stmt) {
-            self.columnar_grouped(stmt, &cols, &chunks, outer)?
+        if select_is_grouped(stmt) {
+            // Grouping is a pipeline boundary: gather the filter survivors
+            // into dense chunks so group ids index physical rows directly.
+            let dense: Vec<SharedChunk> = chunks.iter().map(SelChunk::compact).collect();
+            self.columnar_grouped(stmt, &cols, &dense, outer)
         } else {
-            self.columnar_ungrouped(stmt, &cols, &chunks, outer)?
-        };
-        match fast {
-            Some(rs) => Ok(rs),
-            None => {
-                self.stats.columnar_fallbacks += 1;
-                let filtered = rows_from_shared(&chunks);
-                self.run_select_tail(stmt, &cols, filtered, outer)
-            }
+            self.columnar_ungrouped(stmt, &cols, &chunks, outer)
         }
     }
 
     /// Vectorized projection / DISTINCT / ORDER BY / LIMIT for ungrouped
-    /// statements. Returns `Ok(None)` when a projection or ORDER BY key is
-    /// not batch-expressible (subqueries, outer references), demoting the
-    /// statement to the row tail — which is why, unlike the grouped twin,
-    /// this never consults the outer scope itself.
+    /// statements, consuming selection vectors at the output boundary: batch
+    /// kernels evaluate all physical rows and only live rows are assembled
+    /// into output. Projections or ORDER BY keys the batch layer cannot
+    /// express (subqueries, outer references) bridge to the row machinery
+    /// per *expression*, evaluated over live rows only — one row-path
+    /// projection no longer forfeits batch evaluation of its neighbors.
     fn columnar_ungrouped(
         &mut self,
         stmt: &SelectStatement,
         cols: &[ColInfo],
-        chunks: &[SharedChunk],
-        _outer: Option<&Scope<'_>>,
-    ) -> SqlResult<Option<ResultSet>> {
+        chunks: &[SelChunk],
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<ResultSet> {
         let (headers, proj_exprs) = expand_projections(&stmt.projections, cols)?;
         // ORDER BY keys naming output columns (ordinals, aliases) read the
-        // projected row; everything else must be batch-evaluable.
+        // projected row; everything else evaluates over the input relation.
         let order_srcs: Vec<Option<usize>> = stmt
             .order_by
             .iter()
@@ -1016,50 +1336,92 @@ impl<'a> Executor<'a> {
                 )
             })
             .collect();
-        let vectorizable = proj_exprs.iter().all(|e| is_batch_evaluable(e, cols))
-            && stmt
-                .order_by
-                .iter()
-                .zip(&order_srcs)
-                .all(|(item, src)| src.is_some() || is_batch_evaluable(&item.expr, cols));
-        if !vectorizable {
-            return Ok(None);
+        let mut proj_batch = Vec::with_capacity(proj_exprs.len());
+        for e in &proj_exprs {
+            let ok = is_batch_evaluable(e, cols);
+            if !ok {
+                self.stats.columnar_fallbacks += 1;
+            }
+            proj_batch.push(ok);
+        }
+        let mut order_batch = Vec::with_capacity(stmt.order_by.len());
+        for (item, src) in stmt.order_by.iter().zip(&order_srcs) {
+            let ok = src.is_some() || is_batch_evaluable(&item.expr, cols);
+            if !ok {
+                self.stats.columnar_fallbacks += 1;
+            }
+            order_batch.push(ok);
+        }
+
+        /// One projected column of one chunk: batch results index *physical*
+        /// rows, row-bridged results hold one value per *live* row.
+        enum PCol<'c> {
+            Batch(Cow<'c, ColumnArray>),
+            Rows(Vec<Value>),
         }
 
         let n_order = stmt.order_by.len();
         let mut out_rows: Vec<Vec<Value>> = Vec::new();
         // Sort-key values for expression-sourced ORDER BY items, flattened
-        // across chunks in row order.
+        // across chunks in live-row order.
         let mut key_vals: Vec<Vec<Value>> = vec![Vec::new(); n_order];
-        for chunk in chunks {
-            let mut pcols: Vec<Cow<'_, ColumnArray>> = Vec::with_capacity(proj_exprs.len());
-            for e in &proj_exprs {
-                match self.try_eval_batch(e, chunk, cols)? {
-                    Some(c) => pcols.push(c),
-                    None => return Ok(None),
-                }
+        let mut rowbuf: Vec<Value> = Vec::new();
+        for sc in chunks {
+            if sc.live_rows() == 0 {
+                continue;
             }
-            for (k, item) in stmt.order_by.iter().enumerate() {
-                if order_srcs[k].is_none() {
-                    match self.try_eval_batch(&item.expr, chunk, cols)? {
-                        Some(c) => {
-                            for i in 0..chunk.rows() {
-                                key_vals[k].push(c.value_at(i));
-                            }
+            let chunk = sc.chunk();
+            let mut pcols: Vec<PCol<'_>> = Vec::with_capacity(proj_exprs.len());
+            for (e, ok) in proj_exprs.iter().zip(&proj_batch) {
+                let col = if *ok { self.try_eval_batch(e, chunk, cols)? } else { None };
+                match col {
+                    Some(c) => pcols.push(PCol::Batch(c)),
+                    None => {
+                        let mut vals = Vec::with_capacity(sc.live_rows());
+                        for i in sc.live_iter() {
+                            chunk.read_row_into(i, &mut rowbuf);
+                            let scope = Scope { cols, row: &rowbuf, parent: outer };
+                            vals.push(self.eval(e, &scope, None)?);
                         }
-                        None => return Ok(None),
+                        pcols.push(PCol::Rows(vals));
                     }
                 }
             }
-            for i in 0..chunk.rows() {
+            for (k, item) in stmt.order_by.iter().enumerate() {
+                if order_srcs[k].is_some() {
+                    continue;
+                }
+                let col = if order_batch[k] {
+                    self.try_eval_batch(&item.expr, chunk, cols)?
+                } else {
+                    None
+                };
+                match col {
+                    Some(c) => {
+                        for i in sc.live_iter() {
+                            key_vals[k].push(c.value_at(i));
+                        }
+                    }
+                    None => {
+                        for i in sc.live_iter() {
+                            chunk.read_row_into(i, &mut rowbuf);
+                            let scope = Scope { cols, row: &rowbuf, parent: outer };
+                            key_vals[k].push(self.eval(&item.expr, &scope, None)?);
+                        }
+                    }
+                }
+            }
+            for k in 0..sc.live_rows() {
+                let phys = sc.live(k);
                 // Borrowed (pass-through) columns clone the cell; owned
                 // (computed) columns surrender it without a copy.
                 out_rows.push(
                     pcols
                         .iter_mut()
                         .map(|c| match c {
-                            Cow::Borrowed(b) => b.value_at(i),
-                            Cow::Owned(o) => o.take_at(i),
+                            PCol::Batch(Cow::Borrowed(b)) => b.value_at(phys),
+                            PCol::Batch(Cow::Owned(o)) => o.take_at(phys),
+                            PCol::Rows(vals) => std::mem::replace(&mut vals[k], Value::Null),
                         })
                         .collect(),
                 );
@@ -1105,24 +1467,31 @@ impl<'a> Executor<'a> {
         }
 
         apply_limit_offset(stmt, &mut out_rows);
-        Ok(Some(ResultSet { columns: headers, rows: out_rows }))
+        Ok(ResultSet { columns: headers, rows: out_rows })
     }
 
-    /// Vectorized grouped pipeline: batch-evaluates GROUP BY keys and every
-    /// aggregate argument over the filtered batches, then evaluates HAVING,
-    /// projections, and ORDER BY per *group* through the ordinary row
-    /// expression machinery with the aggregate results pre-installed in
-    /// `agg_overrides` (keyed by node address — see [`Executor::eval`]'s
-    /// `Aggregate` arm). Group keys and aggregate arguments must be
-    /// batch-expressible; HAVING/projections need not be, since they run
-    /// once per group, not per row. Returns `Ok(None)` to demote.
+    /// Vectorized grouped pipeline, in five batch passes over dense
+    /// (boundary-compacted) chunks: (1) group ids — one batch evaluation per
+    /// key expression per chunk, folded through [`GroupKeyMap`] into a
+    /// per-row `gids` array (first-seen group order, scan-order membership,
+    /// identical to the row path); (2) aggregate columns — each node's
+    /// argument is batch-evaluated per chunk and folded into a typed
+    /// [`AggAcc`] accumulator, yielding one result column with a row per
+    /// group; (3) a *group table*: one representative (first-member) row
+    /// per group; (4) HAVING, projections, and ORDER BY expression keys
+    /// batch-evaluated over the group table with the aggregate columns
+    /// patched in ([`Executor::try_eval_batch_agg`]); (5) DISTINCT / sort /
+    /// LIMIT over the finished rows. Every pass bridges to the row
+    /// machinery per expression when the batch layer cannot express it
+    /// ([`Executor::eval_rows_to_column`], [`Executor::eval_group_column`]),
+    /// so the pipeline is total — nothing demotes the whole statement.
     fn columnar_grouped(
         &mut self,
         stmt: &SelectStatement,
         cols: &[ColInfo],
         chunks: &[SharedChunk],
         outer: Option<&Scope<'_>>,
-    ) -> SqlResult<Option<ResultSet>> {
+    ) -> SqlResult<ResultSet> {
         let (headers, proj_exprs) = expand_projections(&stmt.projections, cols)?;
         let mut agg_nodes: Vec<&Expr> = Vec::new();
         for e in &proj_exprs {
@@ -1134,16 +1503,6 @@ impl<'a> Executor<'a> {
         for item in &stmt.order_by {
             collect_aggregates(&item.expr, &mut agg_nodes);
         }
-        let vectorizable = stmt.group_by.iter().all(|g| is_batch_evaluable(g, cols))
-            && agg_nodes.iter().all(|a| match a {
-                Expr::Aggregate { arg, .. } => {
-                    arg.as_deref().is_none_or(|e| is_batch_evaluable(e, cols))
-                }
-                _ => unreachable!("collect_aggregates only yields Aggregate nodes"),
-            });
-        if !vectorizable {
-            return Ok(None);
-        }
 
         // Chunk start offsets for global row addressing.
         let mut offsets = Vec::with_capacity(chunks.len());
@@ -1153,20 +1512,37 @@ impl<'a> Executor<'a> {
             total += c.rows();
         }
 
-        // Group membership as global row indices: first-seen group order,
-        // scan-order membership — identical to `Executor::group_rows`.
-        let mut groups: Vec<Vec<usize>> = Vec::new();
+        // --- Pass 1: group ids. `gids[global_row] = group`, plus each
+        // group's size and first member for COUNT(*) and the group table.
+        let mut gids: Vec<u32> = Vec::with_capacity(total);
+        let mut group_sizes: Vec<i64> = Vec::new();
+        let mut group_first: Vec<usize> = Vec::new();
         if stmt.group_by.is_empty() {
-            groups.push((0..total).collect());
+            // One global group — present (possibly empty) even over zero
+            // input rows, like the row path's implicit group.
+            gids.resize(total, 0);
+            group_sizes.push(total as i64);
+            group_first.push(0);
         } else {
+            let mut key_batch = Vec::with_capacity(stmt.group_by.len());
+            for g in &stmt.group_by {
+                let ok = is_batch_evaluable(g, cols);
+                if !ok {
+                    self.stats.columnar_fallbacks += 1;
+                }
+                key_batch.push(ok);
+            }
             let mut map = GroupKeyMap::default();
             let mut key = Vec::with_capacity(stmt.group_by.len());
             for (ci, chunk) in chunks.iter().enumerate() {
-                let mut key_cols = Vec::with_capacity(stmt.group_by.len());
-                for g in &stmt.group_by {
-                    match self.try_eval_batch(g, chunk, cols)? {
+                let mut key_cols: Vec<Cow<'_, ColumnArray>> =
+                    Vec::with_capacity(stmt.group_by.len());
+                for (g, ok) in stmt.group_by.iter().zip(&key_batch) {
+                    let col = if *ok { self.try_eval_batch(g, chunk, cols)? } else { None };
+                    match col {
                         Some(c) => key_cols.push(c),
-                        None => return Ok(None),
+                        None => key_cols
+                            .push(Cow::Owned(self.eval_rows_to_column(g, chunk, cols, outer)?)),
                     }
                 }
                 for i in 0..chunk.rows() {
@@ -1174,91 +1550,127 @@ impl<'a> Executor<'a> {
                     key.extend(key_cols.iter().map(|c| c.value_at(i)));
                     let (gid, new) = map.get_or_insert(&key);
                     if new {
-                        groups.push(Vec::new());
+                        group_sizes.push(0);
+                        group_first.push(offsets[ci] + i);
                     }
-                    groups[gid].push(offsets[ci] + i);
+                    group_sizes[gid] += 1;
+                    gids.push(gid as u32);
                 }
             }
         }
+        let n_groups = group_sizes.len();
 
-        // One global argument column per aggregate node (None for COUNT(*)).
-        let mut agg_cols: Vec<Option<ColumnArray>> = Vec::with_capacity(agg_nodes.len());
+        // --- Pass 2: one result column per aggregate node, keyed by node
+        // address for [`Executor::try_eval_batch_agg`] and the row-bridge
+        // overrides.
+        let mut agg_results: HashMap<usize, ColumnArray> = HashMap::with_capacity(agg_nodes.len());
         for node in &agg_nodes {
-            let Expr::Aggregate { arg, .. } = *node else { unreachable!() };
-            match arg.as_deref() {
-                None => agg_cols.push(None),
-                Some(e) => {
-                    let mut b = ArrayBuilder::with_capacity(total);
-                    for chunk in chunks {
-                        match self.try_eval_batch(e, chunk, cols)? {
-                            Some(c) => b.extend_from(&c),
-                            None => return Ok(None),
-                        }
-                    }
-                    agg_cols.push(Some(b.finish()));
-                }
+            let addr = *node as *const Expr as usize;
+            if agg_results.contains_key(&addr) {
+                continue;
             }
-        }
-
-        let null_row: Vec<Value> = vec![Value::Null; cols.len()];
-        let mut out_rows: Vec<Vec<Value>> = Vec::new();
-        // Per kept group: the materialized context row (None only for the
-        // empty global group) and the aggregate override map, both retained
-        // for ORDER BY expression keys.
-        let mut ctx_rows: Vec<Option<Vec<Value>>> = Vec::new();
-        let mut group_ovs: Vec<HashMap<usize, Value>> = Vec::new();
-        for g in &groups {
-            let mut ov: HashMap<usize, Value> = HashMap::with_capacity(agg_nodes.len());
-            for (node, agg_col) in agg_nodes.iter().zip(&agg_cols) {
-                let Expr::Aggregate { kind, distinct, .. } = *node else { unreachable!() };
-                let v = match agg_col {
-                    // COUNT(*): every group row counts, NULLs included.
-                    None => match kind {
-                        AggregateKind::Count => Value::Integer(g.len() as i64),
-                        other => {
+            let Expr::Aggregate { kind, distinct, arg } = *node else {
+                unreachable!("collect_aggregates only yields Aggregate nodes")
+            };
+            let col = match arg.as_deref() {
+                // COUNT(*): every group row counts, NULLs included.
+                None => match kind {
+                    AggregateKind::Count => ColumnArray::Int {
+                        values: group_sizes.clone(),
+                        nulls: NullBitmap::new_valid(n_groups),
+                    },
+                    other => {
+                        // The row path raises this per group, so zero groups
+                        // produce an empty result instead of an error.
+                        if n_groups > 0 {
                             return Err(SqlError::Execution(format!(
                                 "{} requires an argument",
                                 other.name()
-                            )))
+                            )));
                         }
-                    },
-                    Some(col) => {
-                        let vals: Vec<Value> =
-                            g.iter().map(|&gi| col.value_at(gi)).filter(|v| !v.is_null()).collect();
-                        agg_over_values(*kind, *distinct, vals)
+                        ColumnArray::Int { values: Vec::new(), nulls: NullBitmap::default() }
                     }
-                };
-                ov.insert(*node as *const Expr as usize, v);
+                },
+                Some(e) => {
+                    let arg_ok = is_batch_evaluable(e, cols);
+                    if !arg_ok {
+                        self.stats.columnar_fallbacks += 1;
+                    }
+                    let mut acc = AggAcc::new(*kind, *distinct, n_groups);
+                    for (ci, chunk) in chunks.iter().enumerate() {
+                        let col = if arg_ok { self.try_eval_batch(e, chunk, cols)? } else { None };
+                        let col = match col {
+                            Some(c) => c,
+                            None => Cow::Owned(self.eval_rows_to_column(e, chunk, cols, outer)?),
+                        };
+                        acc.update(&col, &gids[offsets[ci]..offsets[ci] + chunk.rows()]);
+                    }
+                    acc.finish()
+                }
+            };
+            agg_results.insert(addr, col);
+        }
+
+        // --- Pass 3: the group table — one representative (first-member)
+        // row per group, over which per-group expressions batch-evaluate.
+        let mut builders: Vec<ArrayBuilder> =
+            (0..cols.len()).map(|_| ArrayBuilder::with_capacity(n_groups)).collect();
+        for g in 0..n_groups {
+            if group_sizes[g] == 0 {
+                // The empty global group of a zero-row ungrouped aggregate:
+                // bare columns read as NULL, like the row path's null row.
+                for b in &mut builders {
+                    b.push_null();
+                }
+                continue;
             }
-            let first_row = g.first().map(|&gi| row_at_global(chunks, &offsets, gi));
-            let row_ref: &[Value] = first_row.as_deref().unwrap_or(&null_row);
-            let scope = Scope { cols, row: row_ref, parent: outer };
-            let saved = self.agg_overrides.replace(ov);
-            let evaled = self.eval_grouped_outputs(stmt, &proj_exprs, &scope);
-            let ov = std::mem::replace(&mut self.agg_overrides, saved)
-                .expect("columnar override map still installed");
-            if let Some(out) = evaled? {
-                out_rows.push(out);
-                ctx_rows.push(first_row);
-                group_ovs.push(ov);
+            let gi = group_first[g];
+            let k = offsets.partition_point(|&o| o <= gi) - 1;
+            for (ci, b) in builders.iter_mut().enumerate() {
+                b.push_from(&chunks[k].columns[ci], gi - offsets[k]);
+            }
+        }
+        let rep =
+            DataChunk::new(builders.into_iter().map(ArrayBuilder::finish).collect(), n_groups);
+
+        // --- Pass 4: HAVING, then projections, over the group table.
+        // HAVING evaluates every group (as the row path does); projections
+        // and ORDER BY keys row-bridge only for surviving groups, so a
+        // correlated subquery in the projection never runs for a group
+        // HAVING already rejected.
+        let mut keep = vec![true; n_groups];
+        if let Some(h) = &stmt.having {
+            let hcol = self.eval_group_column(h, &rep, cols, &agg_results, None, outer)?;
+            for (g, k) in keep.iter_mut().enumerate() {
+                *k = hcol.truth_at(g).is_true();
+            }
+        }
+        let mut pcols: Vec<ColumnArray> = Vec::with_capacity(proj_exprs.len());
+        for e in &proj_exprs {
+            pcols.push(self.eval_group_column(e, &rep, cols, &agg_results, Some(&keep), outer)?);
+        }
+        let mut out_rows: Vec<Vec<Value>> = Vec::new();
+        let mut kept_gs: Vec<usize> = Vec::new();
+        for (g, kept) in keep.iter().enumerate() {
+            if *kept {
+                out_rows.push(pcols.iter_mut().map(|c| c.take_at(g)).collect());
+                kept_gs.push(g);
             }
         }
 
+        // --- Pass 5: DISTINCT / ORDER BY / LIMIT.
         if stmt.distinct {
             let mut seen = GroupKeyMap::default();
             let mut kept_rows = Vec::new();
-            let mut kept_ctx = Vec::new();
-            let mut kept_ovs = Vec::new();
-            for (i, row) in out_rows.into_iter().enumerate() {
+            let mut kept2 = Vec::new();
+            for (row, g) in out_rows.into_iter().zip(kept_gs.iter().copied()) {
                 if seen.insert_if_new(&row) {
                     kept_rows.push(row);
-                    kept_ctx.push(std::mem::take(&mut ctx_rows[i]));
-                    kept_ovs.push(std::mem::take(&mut group_ovs[i]));
+                    kept2.push(g);
                 }
             }
             out_rows = kept_rows;
-            ctx_rows = kept_ctx;
-            group_ovs = kept_ovs;
+            kept_gs = kept2;
         }
 
         if !stmt.order_by.is_empty() {
@@ -1275,69 +1687,114 @@ impl<'a> Executor<'a> {
                     )
                 })
                 .collect();
+            // Expression keys evaluate over the group table for the final
+            // (HAVING- and DISTINCT-surviving) groups only.
+            let mut final_keep = vec![false; n_groups];
+            for &g in &kept_gs {
+                final_keep[g] = true;
+            }
+            let mut key_cols: Vec<Option<ColumnArray>> = Vec::with_capacity(stmt.order_by.len());
+            for (item, src) in stmt.order_by.iter().zip(&order_srcs) {
+                key_cols.push(match src {
+                    Some(_) => None,
+                    None => Some(self.eval_group_column(
+                        &item.expr,
+                        &rep,
+                        cols,
+                        &agg_results,
+                        Some(&final_keep),
+                        outer,
+                    )?),
+                });
+            }
             let mut sort_keys: Vec<Vec<(Value, bool)>> = Vec::with_capacity(out_rows.len());
-            for i in 0..out_rows.len() {
-                let row_ref: &[Value] = ctx_rows[i].as_deref().unwrap_or(&null_row);
-                let scope = Scope { cols, row: row_ref, parent: outer };
-                let saved = self.agg_overrides.replace(std::mem::take(&mut group_ovs[i]));
-                let keys = self.eval_group_order_keys(stmt, &order_srcs, &out_rows[i], &scope);
-                group_ovs[i] = std::mem::replace(&mut self.agg_overrides, saved)
-                    .expect("columnar override map still installed");
-                sort_keys.push(keys?);
+            for (i, &g) in kept_gs.iter().enumerate() {
+                let keys: Vec<(Value, bool)> = stmt
+                    .order_by
+                    .iter()
+                    .enumerate()
+                    .map(|(k, item)| {
+                        let v = match order_srcs[k] {
+                            Some(p) => out_rows[i][p].clone(),
+                            None => key_cols[k].as_mut().expect("expression key column").take_at(g),
+                        };
+                        (v, item.descending)
+                    })
+                    .collect();
+                sort_keys.push(keys);
             }
             sort_rows_by_keys(&mut out_rows, &sort_keys);
         }
 
         apply_limit_offset(stmt, &mut out_rows);
-        Ok(Some(ResultSet { columns: headers, rows: out_rows }))
+        Ok(ResultSet { columns: headers, rows: out_rows })
     }
 
-    /// HAVING then projections for one group, evaluated through the row
-    /// expression machinery with the group's aggregate overrides installed.
-    /// `None` = group filtered out by HAVING.
-    fn eval_grouped_outputs(
+    /// Evaluates one row-bridged expression over every row of a dense chunk
+    /// through the ordinary row machinery — the per-operator fallback for
+    /// group keys and aggregate arguments the batch layer cannot express.
+    fn eval_rows_to_column(
         &mut self,
-        stmt: &SelectStatement,
-        proj_exprs: &[Expr],
-        scope: &Scope<'_>,
-    ) -> SqlResult<Option<Vec<Value>>> {
-        if let Some(h) = &stmt.having {
-            if !self.eval(h, scope, None)?.to_truth().is_true() {
-                return Ok(None);
+        expr: &Expr,
+        chunk: &DataChunk,
+        cols: &[ColInfo],
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<ColumnArray> {
+        let mut b = ArrayBuilder::with_capacity(chunk.rows());
+        let mut rowbuf: Vec<Value> = Vec::new();
+        for i in 0..chunk.rows() {
+            chunk.read_row_into(i, &mut rowbuf);
+            let scope = Scope { cols, row: &rowbuf, parent: outer };
+            let v = self.eval(expr, &scope, None)?;
+            b.push(&v);
+        }
+        Ok(b.finish())
+    }
+
+    /// Evaluates one per-group expression (HAVING, a projection, an ORDER BY
+    /// key) over the group table: batch-evaluated with the aggregate result
+    /// columns patched in when expressible, otherwise row-bridged per group
+    /// with the group's aggregate values installed in `agg_overrides`
+    /// (counted in `columnar_fallbacks`). `keep` masks groups whose value
+    /// can never be observed (HAVING-rejected): the row bridge skips them —
+    /// a correlated subquery must not run for a rejected group — while the
+    /// batch path evaluates all groups, which is safe because batch-kernel
+    /// errors are value-independent (see the module docs).
+    fn eval_group_column(
+        &mut self,
+        expr: &Expr,
+        rep: &DataChunk,
+        cols: &[ColInfo],
+        aggs: &HashMap<usize, ColumnArray>,
+        keep: Option<&[bool]>,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<ColumnArray> {
+        if is_group_batch_evaluable(expr, cols) {
+            if let Some(c) = self.try_eval_batch_agg(expr, rep, cols, Some(aggs))? {
+                return Ok(c.into_owned());
             }
         }
-        let mut out = Vec::with_capacity(proj_exprs.len());
-        for e in proj_exprs {
-            out.push(self.eval(e, scope, None)?);
+        self.stats.columnar_fallbacks += 1;
+        let mut b = ArrayBuilder::with_capacity(rep.rows());
+        let mut rowbuf: Vec<Value> = Vec::new();
+        for g in 0..rep.rows() {
+            if keep.is_some_and(|k| !k[g]) {
+                b.push_null();
+                continue;
+            }
+            rep.read_row_into(g, &mut rowbuf);
+            let mut ov: HashMap<usize, Value> = HashMap::with_capacity(aggs.len());
+            for (&addr, col) in aggs {
+                ov.insert(addr, col.value_at(g));
+            }
+            let scope = Scope { cols, row: &rowbuf, parent: outer };
+            let saved = self.agg_overrides.replace(ov);
+            let r = self.eval(expr, &scope, None);
+            self.agg_overrides = saved;
+            b.push(&r?);
         }
-        Ok(Some(out))
+        Ok(b.finish())
     }
-
-    /// ORDER BY key values for one grouped output row; aggregate overrides
-    /// must already be installed by the caller.
-    fn eval_group_order_keys(
-        &mut self,
-        stmt: &SelectStatement,
-        order_srcs: &[Option<usize>],
-        out_row: &[Value],
-        scope: &Scope<'_>,
-    ) -> SqlResult<Vec<(Value, bool)>> {
-        let mut keys = Vec::with_capacity(stmt.order_by.len());
-        for (k, item) in stmt.order_by.iter().enumerate() {
-            let v = match order_srcs[k] {
-                Some(p) => out_row[p].clone(),
-                None => self.eval(&item.expr, scope, None)?,
-            };
-            keys.push((v, item.descending));
-        }
-        Ok(keys)
-    }
-}
-
-/// Materializes the global row `gi` out of chunked storage.
-fn row_at_global(chunks: &[SharedChunk], offsets: &[usize], gi: usize) -> Vec<Value> {
-    let k = offsets.partition_point(|&o| o <= gi) - 1;
-    chunks[k].row(gi - offsets[k])
 }
 
 /// Stable permutation sort by per-row key vectors with [`Value::total_cmp`]

@@ -280,13 +280,14 @@ pub(crate) struct Executor<'a> {
     /// Group-join scalar memos per subquery address.
     decorr_memos: HashMap<usize, ScalarMemo>,
     /// Pre-computed aggregate results, keyed by `Expr::Aggregate` node
-    /// address, installed by the columnar grouped pipeline for the duration
-    /// of one group's HAVING/projection/ORDER-BY evaluation ([`crate::
-    /// columnar`]). `eval` consults it before demanding a group context, so
-    /// the row pipeline's scalar machinery evaluates grouped expressions
-    /// unchanged while the aggregates themselves come from batch kernels.
-    /// Saved and restored around nested statements; `None` outside the
-    /// columnar grouped path.
+    /// address, installed by the columnar grouped pipeline's *row bridge*
+    /// for the duration of one group's evaluation when a HAVING, projection,
+    /// or ORDER-BY expression is not batch-expressible over the group table
+    /// ([`crate::columnar`], `eval_group_column`). `eval` consults it before
+    /// demanding a group context, so the row pipeline's scalar machinery
+    /// evaluates grouped expressions unchanged while the aggregates
+    /// themselves come from batch kernels. Saved and restored around nested
+    /// statements; `None` outside the columnar grouped path.
     pub(crate) agg_overrides: Option<HashMap<usize, Value>>,
 }
 

@@ -137,12 +137,20 @@ pub struct ExecStats {
     pub batches_built: u64,
     /// Total rows carried by those batches.
     pub batch_rows: u64,
-    /// Statement stages (or predicate/projection batches) the columnar
-    /// executor handed back to the row-at-a-time pipeline because an
+    /// *Operators* (predicates, join re-checks, group keys, aggregate
+    /// arguments, HAVING, projections, ORDER BY keys) the columnar executor
+    /// bridged to the row-at-a-time expression machinery because the
     /// expression was not batch-evaluable (subqueries, outer references,
-    /// ambiguous columns). Deterministic per query; proves how much of a
-    /// workload is actually vectorized.
+    /// ambiguous columns) — counted once per operator per statement, not
+    /// once per statement: a single opaque predicate no longer forfeits
+    /// columnar execution for everything around it. Deterministic per
+    /// query; proves how much of a workload is actually vectorized.
     pub columnar_fallbacks: u64,
+    /// Statements that *mixed* modes: executed columnar but bridged at
+    /// least one operator to the row machinery (`columnar_fallbacks > 0`
+    /// during that statement's execution, nested subqueries included — a
+    /// nested fallback marks every enclosing statement partial too).
+    pub columnar_partial: u64,
 }
 
 impl ExecStats {
@@ -185,6 +193,7 @@ impl ExecStats {
         self.batches_built += other.batches_built;
         self.batch_rows += other.batch_rows;
         self.columnar_fallbacks += other.columnar_fallbacks;
+        self.columnar_partial += other.columnar_partial;
     }
 }
 
@@ -304,6 +313,7 @@ mod tests {
             batches_built: 4,
             batch_rows: 4096,
             columnar_fallbacks: 1,
+            columnar_partial: 1,
             ..Default::default()
         };
         assert_eq!(a.cost(), ExecStats::default().cost());
@@ -311,12 +321,14 @@ mod tests {
             batches_built: 2,
             batch_rows: 100,
             columnar_fallbacks: 2,
+            columnar_partial: 1,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.batches_built, 6);
         assert_eq!(a.batch_rows, 4196);
         assert_eq!(a.columnar_fallbacks, 3);
+        assert_eq!(a.columnar_partial, 2);
     }
 
     #[test]

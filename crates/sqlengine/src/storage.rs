@@ -360,13 +360,20 @@ pub struct Table {
     rows: Vec<Row>,
     pk_col: Option<usize>,
     pk_index: EqKeyMap,
+    /// Mutation epoch: bumped by [`Table::insert`] — the only mutation path
+    /// (`rows` is private, so every write flows through it). The columnar
+    /// snapshot records the generation it was built at, and
+    /// [`Table::columnar_chunks`] asserts the two still agree at every
+    /// borrow, so a mutation path added without invalidation fails loudly
+    /// instead of serving stale chunks.
+    generation: u64,
     /// Lazily built columnar snapshot of the row store, shared with every
     /// columnar scan ([`Table::columnar_chunks`]). Invalidated by
-    /// [`Table::insert`] — the only mutation path — by swapping in a fresh
-    /// empty cell, so a scan can never observe a stale snapshot. Cloning a
-    /// table (database snapshots) shares the already-built chunks; they are
-    /// immutable, so sharing is sound.
-    chunks: OnceLock<Vec<Arc<DataChunk>>>,
+    /// [`Table::insert`] by swapping in a fresh empty cell, so a scan can
+    /// never observe a stale snapshot; the stored generation pins the
+    /// contract. Cloning a table (database snapshots) shares the
+    /// already-built chunks; they are immutable, so sharing is sound.
+    chunks: OnceLock<(u64, Vec<Arc<DataChunk>>)>,
 }
 
 impl Table {
@@ -385,6 +392,7 @@ impl Table {
             rows: Vec::new(),
             pk_col,
             pk_index: EqKeyMap::default(),
+            generation: 0,
             chunks: OnceLock::new(),
         }
     }
@@ -404,8 +412,15 @@ impl Table {
         }
         self.rows.push(row);
         // Any cached columnar snapshot no longer reflects the row store.
+        self.generation += 1;
         self.chunks = OnceLock::new();
         Ok(())
+    }
+
+    /// The table's mutation epoch — distinct values witness distinct row
+    /// stores. Exposed so tests can pin the snapshot-invalidation contract.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// The table as a columnar snapshot: `BATCH_SIZE`-row [`DataChunk`]s in
@@ -414,14 +429,23 @@ impl Table {
     /// row store is transposed (every cell cloned) only on the first scan
     /// after a write, not on every execution.
     pub fn columnar_chunks(&self) -> Vec<Arc<DataChunk>> {
-        self.chunks
-            .get_or_init(|| {
+        let (built_at, chunks) = self.chunks.get_or_init(|| {
+            (
+                self.generation,
                 chunk_rows(self.schema.columns.len(), &self.rows)
                     .into_iter()
                     .map(Arc::new)
-                    .collect()
-            })
-            .clone()
+                    .collect(),
+            )
+        });
+        // A snapshot surviving a mutation means some write path skipped the
+        // invalidation in `insert` — refuse to serve it.
+        assert_eq!(
+            *built_at, self.generation,
+            "stale columnar snapshot for table {}: built at generation {} but table is at {}",
+            self.schema.name, built_at, self.generation
+        );
+        chunks.clone()
     }
 
     /// The stored rows, in insertion order.
@@ -585,6 +609,26 @@ mod tests {
         let err = db.insert("client", vec![2.into(), "M".into()]).unwrap_err();
         assert!(matches!(err, SqlError::Schema(_)));
         assert_eq!(db.table("client").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn columnar_snapshot_invalidates_on_insert_and_generation_tracks_writes() {
+        let mut db = Database::new("d");
+        db.create_table(client_table()).unwrap();
+        db.insert("client", vec![1.into(), "F".into(), Value::Null]).unwrap();
+        let t = db.table("client").unwrap();
+        assert_eq!(t.generation(), 1);
+        let before = t.columnar_chunks();
+        assert_eq!(before[0].rows(), 1);
+        // Same generation → the snapshot is served by reference, not rebuilt.
+        let again = t.columnar_chunks();
+        assert!(Arc::ptr_eq(&before[0], &again[0]));
+        db.insert("client", vec![2.into(), "M".into(), Value::Null]).unwrap();
+        let t = db.table("client").unwrap();
+        assert_eq!(t.generation(), 2, "every insert bumps the epoch");
+        let after = t.columnar_chunks();
+        assert_eq!(after[0].rows(), 2, "post-insert snapshot sees the new row");
+        assert!(!Arc::ptr_eq(&before[0], &after[0]), "mutation discarded the cached snapshot");
     }
 
     #[test]

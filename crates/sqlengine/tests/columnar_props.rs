@@ -15,7 +15,8 @@
 
 use proptest::prelude::*;
 use seed_sqlengine::{
-    execute_with_stats_mode, ColumnDef, DataType, Database, PlanMode, TableSchema, Value,
+    execute_with_stats_mode, ColumnDef, DataType, Database, PlanMode, PreparedStatement,
+    TableSchema, Value, BATCH_SIZE,
 };
 
 /// Decodes one generator character into a cell. The alphabet deliberately
@@ -150,4 +151,136 @@ proptest! {
             );
         }
     }
+}
+
+/// Asserts a query renders row-identically (headers, order, cell text)
+/// across all three execution modes, returning the columnar result.
+fn assert_three_way(db: &Database, sql: &str) -> Vec<Vec<String>> {
+    let (col, _) = execute_with_stats_mode(db, sql, PlanMode::Columnar)
+        .unwrap_or_else(|e| panic!("columnar failed on {sql}: {e}"));
+    let (opt, _) = execute_with_stats_mode(db, sql, PlanMode::Optimized)
+        .unwrap_or_else(|e| panic!("optimized failed on {sql}: {e}"));
+    let (nl, _) = execute_with_stats_mode(db, sql, PlanMode::NestedLoop)
+        .unwrap_or_else(|e| panic!("nested-loop failed on {sql}: {e}"));
+    assert_eq!(col.columns, opt.columns, "headers on {sql}");
+    assert_eq!(col.columns, nl.columns, "headers on {sql}");
+    let (rc, ro, rn) = (rendered(&col.rows), rendered(&opt.rows), rendered(&nl.rows));
+    assert_eq!(rc, ro, "columnar vs optimized on {sql}");
+    assert_eq!(ro, rn, "optimized vs nested-loop on {sql}");
+    rc
+}
+
+/// A multi-chunk single table for the selection-vector edge cases: `n` rows
+/// where `v` mirrors the row number (a plain column, NOT the primary key, so
+/// equality predicates run through the columnar filter rather than the PK
+/// index), `r` alternates Real/NULL, and `g` cycles through 7 group keys.
+fn boundary_db(n: usize) -> Database {
+    let mut db = Database::new("edge");
+    db.create_table(TableSchema::new(
+        "t",
+        vec![
+            ColumnDef::new("id", DataType::Integer).primary_key(),
+            ColumnDef::new("v", DataType::Integer),
+            ColumnDef::new("r", DataType::Real),
+            ColumnDef::new("g", DataType::Integer),
+        ],
+    ))
+    .unwrap();
+    for i in 0..n {
+        let r = if i % 3 == 0 { Value::Null } else { Value::Real(i as f64 / 2.0) };
+        db.insert(
+            "t",
+            vec![
+                Value::Integer(i as i64),
+                Value::Integer(i as i64),
+                r,
+                Value::Integer((i % 7) as i64),
+            ],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// Empty selection: a filter no row survives must yield zero rows in every
+/// downstream shape (projection, aggregation with and without GROUP BY).
+#[test]
+fn selection_vector_empty_selection() {
+    let db = boundary_db(2 * BATCH_SIZE + 100);
+    assert_eq!(assert_three_way(&db, "SELECT id, v FROM t WHERE v < 0"), Vec::<Vec<String>>::new());
+    assert_eq!(assert_three_way(&db, "SELECT g, COUNT(*) FROM t WHERE v < 0 GROUP BY g").len(), 0);
+    // Ungrouped aggregate over an empty selection still produces its one row.
+    let rows = assert_three_way(&db, "SELECT COUNT(*), SUM(v), MIN(r) FROM t WHERE v < 0");
+    assert_eq!(rows, vec![vec!["0".to_string(), "NULL".to_string(), "NULL".to_string()]]);
+}
+
+/// All-rows selection: a tautological (but not constant-foldable) predicate
+/// keeps every row, exercising the all-live fast path end to end.
+#[test]
+fn selection_vector_all_rows_selection() {
+    let db = boundary_db(2 * BATCH_SIZE + 100);
+    let rows = assert_three_way(&db, "SELECT id FROM t WHERE v >= 0");
+    assert_eq!(rows.len(), 2 * BATCH_SIZE + 100);
+    let rows = assert_three_way(&db, "SELECT g, COUNT(*), SUM(v) FROM t WHERE v >= 0 GROUP BY g");
+    assert_eq!(rows.len(), 7);
+}
+
+/// A single surviving row straddling the chunk boundary: positions
+/// `BATCH_SIZE - 1`, `BATCH_SIZE`, and `BATCH_SIZE + 1` (1023/1024/1025 as
+/// row numbers 1024/1025/1026) each survive alone, through both the bare
+/// projection and a grouped aggregate.
+#[test]
+fn selection_vector_single_survivor_at_chunk_boundary() {
+    let db = boundary_db(2 * BATCH_SIZE + 100);
+    for target in [BATCH_SIZE - 1, BATCH_SIZE, BATCH_SIZE + 1] {
+        let sql = format!("SELECT id, v, g FROM t WHERE v = {target}");
+        let rows = assert_three_way(&db, &sql);
+        assert_eq!(rows.len(), 1, "exactly one survivor for {sql}");
+        assert_eq!(rows[0][0], target.to_string());
+        let sql =
+            format!("SELECT g, COUNT(*), SUM(v), AVG(r) FROM t WHERE v = {target} GROUP BY g");
+        assert_eq!(assert_three_way(&db, &sql).len(), 1);
+    }
+}
+
+/// Wide aggregate lists: at least four aggregates per query over mixed
+/// Int/Real/NULL columns, with conjunctive filters in front so the grouped
+/// pipeline consumes a refined selection.
+#[test]
+fn wide_aggregate_lists_over_mixed_columns() {
+    let db = boundary_db(2 * BATCH_SIZE + 100);
+    for sql in [
+        "SELECT g, COUNT(*), COUNT(r), SUM(v), SUM(r), AVG(r), MIN(r), MAX(v) FROM t GROUP BY g \
+         ORDER BY g",
+        "SELECT g, SUM(v), AVG(v), MIN(v), MAX(r), COUNT(DISTINCT r) FROM t \
+         WHERE v >= 10 AND v < 2000 GROUP BY g HAVING COUNT(*) > 2 ORDER BY g",
+        "SELECT COUNT(*), COUNT(r), SUM(r), AVG(r), MIN(v), MAX(r) FROM t WHERE g <> 3",
+    ] {
+        assert_three_way(&db, sql);
+    }
+}
+
+/// The snapshot-invalidation contract from the executor's point of view: one
+/// prepared statement (stable AST address, cached plans), executed in
+/// columnar mode, must observe rows inserted between two executions.
+#[test]
+fn prepared_statement_sees_mutation_between_executions() {
+    let mut db = boundary_db(BATCH_SIZE + 5);
+    let stmt = PreparedStatement::parse("SELECT g, COUNT(*), SUM(v) FROM t GROUP BY g ORDER BY g")
+        .unwrap();
+    let (before, _) = stmt.execute(&db, PlanMode::Columnar).unwrap();
+    for i in 0..10 {
+        let id = (BATCH_SIZE + 5 + i) as i64;
+        db.insert("t", vec![id.into(), id.into(), Value::Real(id as f64), (id % 7).into()])
+            .unwrap();
+    }
+    let (after, _) = stmt.execute(&db, PlanMode::Columnar).unwrap();
+    assert_ne!(
+        rendered(&before.rows),
+        rendered(&after.rows),
+        "second execution must see the inserted rows, not a stale snapshot"
+    );
+    // And the refreshed result still matches the row-path authority.
+    let (opt, _) = stmt.execute(&db, PlanMode::Optimized).unwrap();
+    assert_eq!(rendered(&after.rows), rendered(&opt.rows));
 }

@@ -246,6 +246,46 @@ fn correlated_subquery_plans_once_and_hits_thereafter() {
     );
 }
 
+/// The checked-in fallback budget: every gold query of both corpora must run
+/// *fully* columnar — zero per-operator row bridges, zero mixed-mode
+/// statements. Measured after the per-operator fallback rework (PR 8): all
+/// 103 gold queries execute with `columnar_fallbacks == 0`, so the budget is
+/// zero across the board. A kernel regression that silently demotes an
+/// operator to the row bridge now fails this test instead of just getting
+/// slower; if a future query class legitimately needs a bridge, raise its
+/// budget here deliberately, in review.
+#[test]
+fn gold_queries_stay_within_columnar_fallback_budget() {
+    let bird = build_bird(&CorpusConfig::tiny());
+    let spider = build_spider(&CorpusConfig::tiny());
+    let budget_for = |_query_id: &str| -> u64 { 0 };
+    let mut checked = 0;
+    for bench in [&bird, &spider] {
+        for q in &bench.questions {
+            let db = bench.database(&q.db_id).unwrap();
+            let (_, stats) = execute_with_stats_mode(db, &q.gold_sql, PlanMode::Columnar).unwrap();
+            let budget = budget_for(&q.id);
+            assert!(
+                stats.columnar_fallbacks <= budget,
+                "{}: {} per-operator fallbacks exceeds budget {} ({})",
+                q.id,
+                stats.columnar_fallbacks,
+                budget,
+                q.gold_sql
+            );
+            if budget == 0 {
+                assert_eq!(
+                    stats.columnar_partial, 0,
+                    "{}: statement mixed modes despite a zero fallback budget ({})",
+                    q.id, q.gold_sql
+                );
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked > 100, "gold corpus shrank: only {checked} queries checked");
+}
+
 #[test]
 fn result_comparison_ignores_projection_order_of_rows_only() {
     let bird = build_bird(&CorpusConfig::tiny());
