@@ -1,8 +1,12 @@
-//! Evidence defect analysis (paper Figure 2 and Table I).
+//! Evidence defect analysis (paper Figure 2 and Table I), plus the
+//! execution-layer health breakdown surfaced alongside it.
 
 use std::collections::BTreeMap;
 
 use seed_datasets::{EvidenceErrorType, EvidenceStatus, Question};
+use seed_sqlengine::ExecStats;
+
+use crate::report::Table;
 
 /// Breakdown of evidence soundness over a question set.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -56,6 +60,54 @@ pub fn analyze_evidence_defects<'a>(
         }
     }
     out
+}
+
+/// Execution-layer health of an eval run, distilled from the run's merged
+/// [`ExecStats`]: how much of the work stayed on the vectorized columnar
+/// path and how often it had to bridge back to the row machinery. Surfaced
+/// in the error-analysis report next to the evidence defect breakdown —
+/// a high fallback share means the serving-mode numbers are really
+/// measuring the row executor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecutionHealth {
+    /// Statements the columnar executor abandoned wholesale for the row
+    /// pipeline (subqueries, outer references, other unvectorized shapes).
+    pub columnar_fallbacks: u64,
+    /// Statements that stayed columnar but bridged individual operators or
+    /// expressions through the row machinery.
+    pub columnar_partial: u64,
+    /// Batches the vectorized operators actually moved.
+    pub batches_built: u64,
+    /// Rows carried inside those batches.
+    pub batch_rows: u64,
+}
+
+impl ExecutionHealth {
+    /// Extracts the columnar-health counters from a run's merged stats.
+    pub fn from_stats(stats: &ExecStats) -> Self {
+        ExecutionHealth {
+            columnar_fallbacks: stats.columnar_fallbacks,
+            columnar_partial: stats.columnar_partial,
+            batches_built: stats.batches_built,
+            batch_rows: stats.batch_rows,
+        }
+    }
+
+    /// True when every statement executed fully vectorized.
+    pub fn fully_vectorized(&self) -> bool {
+        self.columnar_fallbacks == 0 && self.columnar_partial == 0
+    }
+
+    /// Renders the health counters as a report table (one counter per row),
+    /// ready for [`Table::render`] / [`Table::render_markdown`].
+    pub fn table(&self, title: &str) -> Table {
+        let mut t = Table::new(title, &["counter", "value"]);
+        t.row(vec!["columnar_fallbacks".into(), self.columnar_fallbacks.to_string()]);
+        t.row(vec!["columnar_partial".into(), self.columnar_partial.to_string()]);
+        t.row(vec!["batches_built".into(), self.batches_built.to_string()]);
+        t.row(vec!["batch_rows".into(), self.batch_rows.to_string()]);
+        t
+    }
 }
 
 /// Picks sample defective questions, one per error type, for the Table I harness.
@@ -112,5 +164,37 @@ mod tests {
         let b = analyze_evidence_defects(std::iter::empty());
         assert_eq!(b, DefectBreakdown::default());
         assert_eq!(b.correct_rate(), 0.0);
+    }
+
+    #[test]
+    fn execution_health_surfaces_columnar_fallbacks() {
+        use seed_sqlengine::{execute_statement, execute_with_stats_mode, Database, PlanMode};
+        let mut db = Database::new("health");
+        execute_statement(&mut db, "CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)").unwrap();
+        for i in 0..10i64 {
+            execute_statement(&mut db, &format!("INSERT INTO t VALUES ({i}, {i}.5)")).unwrap();
+        }
+        // A vectorizable aggregate stays columnar end to end.
+        let (_, vectorized) =
+            execute_with_stats_mode(&db, "SELECT COUNT(*) FROM t WHERE v > 3", PlanMode::Columnar)
+                .unwrap();
+        let clean = ExecutionHealth::from_stats(&vectorized);
+        assert!(clean.fully_vectorized());
+        assert!(clean.batches_built > 0, "the columnar path actually ran");
+        // A subquery forces the executor off the batch path; the health
+        // breakdown must surface that.
+        let (_, bridged) = execute_with_stats_mode(
+            &db,
+            "SELECT id FROM t WHERE v > (SELECT AVG(v) FROM t)",
+            PlanMode::Columnar,
+        )
+        .unwrap();
+        let health = ExecutionHealth::from_stats(&bridged);
+        assert!(!health.fully_vectorized());
+        assert!(health.columnar_fallbacks + health.columnar_partial > 0);
+        let rendered = health.table("Execution health").render();
+        assert!(rendered.contains("columnar_fallbacks"));
+        assert!(rendered.contains("columnar_partial"));
+        assert!(rendered.contains("batch_rows"));
     }
 }

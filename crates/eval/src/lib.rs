@@ -10,7 +10,7 @@ pub mod metrics;
 pub mod report;
 pub mod runner;
 
-pub use error_analysis::{analyze_evidence_defects, DefectBreakdown};
+pub use error_analysis::{analyze_evidence_defects, DefectBreakdown, ExecutionHealth};
 pub use metrics::{evaluate_pair, evaluate_pair_cached, score_set, PairEval, Scores};
-pub use report::Table;
+pub use report::{columnar_health_line, execution_stats_block, Table};
 pub use runner::{EvidenceSetting, ExperimentRunner, SeedEvidenceCache, SystemScores};

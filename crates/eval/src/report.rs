@@ -1,5 +1,7 @@
 //! Plain-text table rendering for the experiment harnesses.
 
+use seed_sqlengine::ExecStats;
+
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -79,6 +81,26 @@ impl Table {
     }
 }
 
+/// Renders a run's merged [`ExecStats`] as a titled block, one counter per
+/// line via the engine's `Display` impl (every counter in declaration
+/// order, cost last), followed by a one-line columnar-health summary — the
+/// fallback counters an error analysis cares about, called out explicitly.
+pub fn execution_stats_block(title: &str, stats: &ExecStats) -> String {
+    format!("== {title} ==\n{stats}\n{}\n", columnar_health_line(stats))
+}
+
+/// One-line summary of how much of the run left the vectorized path.
+pub fn columnar_health_line(stats: &ExecStats) -> String {
+    if stats.columnar_fallbacks == 0 && stats.columnar_partial == 0 {
+        "columnar: fully vectorized (no fallbacks)".to_string()
+    } else {
+        format!(
+            "columnar: {} full fallback(s), {} partially bridged statement(s)",
+            stats.columnar_fallbacks, stats.columnar_partial
+        )
+    }
+}
+
 /// Formats a metric with the paper's `value (Δ)` convention.
 pub fn delta(value: f64, baseline: f64) -> String {
     let diff = value - baseline;
@@ -120,5 +142,19 @@ mod tests {
     fn delta_formats_both_directions() {
         assert_eq!(delta(56.26, 54.69), "56.26 (↑1.57)");
         assert_eq!(delta(54.11, 54.69), "54.11 (↓0.58)");
+    }
+
+    #[test]
+    fn execution_stats_block_uses_the_engine_display() {
+        let stats = ExecStats { rows_scanned: 7, columnar_fallbacks: 2, ..ExecStats::default() };
+        let block = execution_stats_block("run totals", &stats);
+        assert!(block.contains("== run totals =="));
+        // The engine Display lists every counter by name plus the cost line.
+        assert!(block.contains("rows_scanned"));
+        assert!(block.contains("decorrelated_probes"));
+        assert!(block.contains("cost"));
+        assert!(block.contains("2 full fallback(s)"));
+        let clean = execution_stats_block("clean", &ExecStats::default());
+        assert!(clean.contains("fully vectorized"));
     }
 }

@@ -103,16 +103,42 @@
 //! excluded from `cost()`. The workspace determinism suite
 //! (`tests/serve_determinism.rs`) pins this contract against both gold
 //! corpora at 1, 2, and 8 workers.
+//!
+//! ## Observability
+//!
+//! Every server carries an always-on [`metrics::MetricsRegistry`]:
+//! relaxed-atomic counters, gauges, and log-bucketed latency histograms
+//! keyed by [`metrics::StatementClass`], read back as a consistent
+//! [`metrics::MetricsSnapshot`] via [`Server::metrics_snapshot`] (or as
+//! Prometheus-style text via [`Server::render_metrics`]). Canonical
+//! executions additionally run under the engine's per-operator profiler
+//! (bit-identical rows and [`struct@ExecStats`] to an unprofiled run), and
+//! any execution at or above [`ServeConfig::slow_query_threshold_nanos`]
+//! lands in a bounded **slow-query log** — the
+//! [`ServeConfig::slow_query_log_cap`] worst statements with their SQL,
+//! rendered plan, and per-operator profile ([`Server::slow_queries`]).
+//! None of this feeds back into [`struct@ExecStats`] or its `cost()`:
+//! wall-clock observations live strictly beside the deterministic
+//! counters, never in them, so the determinism contract above is
+//! unaffected.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use seed_sqlengine::{
-    Database, ExecStats, PlanMode, ResultSet, SharedPlanCache, SqlError, SqlResult,
+    Database, ExecStats, PlanMode, QueryProfile, ResultSet, SharedPlanCache, SqlError, SqlResult,
+};
+
+pub mod metrics;
+
+pub use metrics::{
+    ClassLatency, HistogramSnapshot, LatencyHistogram, MetricsRegistry, MetricsSnapshot,
+    StatementClass,
 };
 
 /// Minimum number of result-cache stripes, so even low worker counts get
@@ -156,6 +182,15 @@ pub struct ServeConfig {
     /// Tests that need to drive the cross-thread batch machinery
     /// regardless of host size turn this on.
     pub oversubscribe: bool,
+    /// Canonical executions whose measured wall-clock time reaches this
+    /// many nanoseconds are recorded in the slow-query log (SQL text,
+    /// rendered plan, per-operator profile). `0` records every canonical
+    /// execution. Wall-clock observations never feed [`struct@ExecStats`]
+    /// or its `cost()`, so this threshold cannot affect determinism.
+    pub slow_query_threshold_nanos: u64,
+    /// Maximum entries the slow-query log retains — the N worst statements
+    /// by measured time, slowest first. `0` disables the log.
+    pub slow_query_log_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -166,6 +201,10 @@ impl Default for ServeConfig {
             cache_results: true,
             result_cache_cap: 1024,
             oversubscribe: false,
+            // 50ms: far above anything the in-memory engine serves under
+            // test, so the log is quiet by default; operators lower it.
+            slow_query_threshold_nanos: 50_000_000,
+            slow_query_log_cap: 16,
         }
     }
 }
@@ -186,6 +225,12 @@ impl ServeConfig {
     /// threads. See [`ServeConfig::oversubscribe`].
     pub fn oversubscribed(self) -> Self {
         ServeConfig { oversubscribe: true, ..self }
+    }
+
+    /// Same configuration with a slow-query log keeping the `cap` worst
+    /// statements at or above `threshold_nanos` measured nanoseconds.
+    pub fn with_slow_query_log(self, threshold_nanos: u64, cap: usize) -> Self {
+        ServeConfig { slow_query_threshold_nanos: threshold_nanos, slow_query_log_cap: cap, ..self }
     }
 
     /// The worker count the pool actually runs with: struct-literal zeros
@@ -226,6 +271,69 @@ pub struct ServerStats {
     /// Sum of every served statement's [`ExecStats`], merged without double
     /// counting via [`ExecStats::merge`].
     pub totals: ExecStats,
+    /// Canonical executions recorded by the slow-query log so far (recorded,
+    /// not retained — the log itself keeps only the worst
+    /// [`ServeConfig::slow_query_log_cap`]). Timing-dependent by nature:
+    /// never compared by the determinism suite, and never part of any
+    /// cost accounting.
+    pub slow_queries: u64,
+}
+
+/// One entry of the slow-query log: everything needed to understand a slow
+/// statement after the fact without re-running it.
+#[derive(Debug, Clone)]
+pub struct SlowQuery {
+    /// The statement text as submitted.
+    pub sql: String,
+    /// Measured wall-clock nanoseconds of the canonical execution.
+    pub nanos: u64,
+    /// The execution's deterministic [`ExecStats::cost`], for correlating
+    /// measured time against modeled work.
+    pub cost: f64,
+    /// The statement's rendered physical plan (`EXPLAIN` text) under the
+    /// server's plan mode.
+    pub plan: String,
+    /// The per-operator wall-clock profile of the recorded execution.
+    pub profile: String,
+}
+
+/// Bounded ring of the N worst canonical executions, sorted slowest first.
+struct SlowQueryLog {
+    threshold_nanos: u64,
+    cap: usize,
+    entries: Mutex<Vec<SlowQuery>>,
+    recorded: AtomicU64,
+}
+
+impl SlowQueryLog {
+    fn new(config: &ServeConfig) -> Self {
+        SlowQueryLog {
+            threshold_nanos: config.slow_query_threshold_nanos,
+            cap: config.slow_query_log_cap,
+            entries: Mutex::new(Vec::new()),
+            recorded: AtomicU64::new(0),
+        }
+    }
+
+    fn qualifies(&self, nanos: u64) -> bool {
+        self.cap > 0 && nanos >= self.threshold_nanos
+    }
+
+    fn record(&self, q: SlowQuery) {
+        self.recorded.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock();
+        let pos = entries.iter().position(|e| e.nanos < q.nanos).unwrap_or(entries.len());
+        entries.insert(pos, q);
+        entries.truncate(self.cap);
+    }
+
+    fn snapshot(&self) -> Vec<SlowQuery> {
+        self.entries.lock().clone()
+    }
+
+    fn recorded(&self) -> u64 {
+        self.recorded.load(Ordering::Relaxed)
+    }
 }
 
 /// One cached statement result plus its recency stamp. The stamp is atomic
@@ -406,6 +514,8 @@ struct ServerCore {
     statements: AtomicU64,
     result_hits: AtomicU64,
     totals: Mutex<ExecStats>,
+    metrics: MetricsRegistry,
+    slow_log: SlowQueryLog,
 }
 
 impl ServerCore {
@@ -420,10 +530,36 @@ impl ServerCore {
         self.totals.lock().merge(&tally.totals);
     }
 
+    /// Serves one statement, recording its latency (keyed by statement
+    /// class), result-cache outcome, and — for canonical executions — the
+    /// engine's plan/subquery cache counters into the metrics registry.
+    /// Errors count as result-cache misses.
+    fn serve_one(&self, sql: &str) -> SqlResult<StatementOutcome> {
+        let started = Instant::now();
+        let outcome = self.serve_uncounted(sql);
+        let nanos = started.elapsed().as_nanos() as u64;
+        let hit = matches!(&outcome, Ok(o) if o.from_result_cache);
+        self.metrics.record_statement(StatementClass::of(sql), nanos, hit);
+        if let Ok(o) = &outcome {
+            // Engine counters are billed once per canonical execution;
+            // cache hits replay the canonical stats and must not double
+            // count its planning work.
+            if !o.from_result_cache {
+                self.metrics.record_engine_caches(
+                    o.stats.plan_cache_hits,
+                    o.stats.plan_cache_misses,
+                    o.stats.subquery_result_hits,
+                    o.stats.subquery_result_misses,
+                );
+            }
+        }
+        outcome
+    }
+
     /// Serves one statement through the sharded caches and the in-flight
     /// dedup table. Pure with respect to the aggregate counters (the
     /// caller's tally absorbs the outcome).
-    fn serve_one(&self, sql: &str) -> SqlResult<StatementOutcome> {
+    fn serve_uncounted(&self, sql: &str) -> SqlResult<StatementOutcome> {
         if self.results.stripe_cap == 0 {
             // Caching (and dedup) off: the known-miss path does no cache
             // round-trips at all.
@@ -461,7 +597,10 @@ impl ServerCore {
                     }
                 }
             };
-            match flight.wait() {
+            let wait_started = Instant::now();
+            let waited = flight.wait();
+            self.metrics.record_dedup_wait(wait_started.elapsed().as_nanos() as u64);
+            match waited {
                 Some(Ok(entry)) => return Ok(shard.hit(&entry)),
                 Some(Err(e)) => return Err(e),
                 // Canonical execution unwound: retry admission.
@@ -479,10 +618,13 @@ impl ServerCore {
         flight: &Arc<InFlight>,
     ) -> SqlResult<StatementOutcome> {
         let mut guard = FlightGuard { cache: &self.results, shard: idx, sql, flight, armed: true };
-        let executed = self.plans.execute(&self.db, sql, self.config.mode);
+        // Canonical executions run under the per-operator profiler: rows
+        // and stats are bit-identical to an unprofiled run, and the profile
+        // is what the slow-query log records.
+        let executed = self.plans.execute_profiled(&self.db, sql, self.config.mode);
         let shard = &self.results.shards[idx];
         let published = match &executed {
-            Ok((result, stats)) => {
+            Ok((result, stats, _profile)) => {
                 let entry = Arc::new(CachedResult {
                     result: result.clone(),
                     stats: *stats,
@@ -524,7 +666,32 @@ impl ServerCore {
         };
         guard.armed = false;
         flight.publish(published);
-        executed.map(|(result, stats)| StatementOutcome { result, stats, from_result_cache: false })
+        executed.map(|(result, stats, profile)| {
+            self.note_slow(sql, &stats, &profile);
+            StatementOutcome { result, stats, from_result_cache: false }
+        })
+    }
+
+    /// Records a canonical execution in the slow-query log when its
+    /// measured time reaches the configured threshold.
+    fn note_slow(&self, sql: &str, stats: &ExecStats, profile: &QueryProfile) {
+        if !self.slow_log.qualifies(profile.total_nanos) {
+            return;
+        }
+        // Slow path only: re-rendering the plan replays the shared plan
+        // cache, so no statement is ever re-planned for the log.
+        let plan = self
+            .plans
+            .prepare(self.db.name(), sql)
+            .and_then(|p| p.explain(&self.db, self.config.mode))
+            .unwrap_or_else(|e| format!("(plan unavailable: {e})"));
+        self.slow_log.record(SlowQuery {
+            sql: sql.to_string(),
+            nanos: profile.total_nanos,
+            cost: stats.cost(),
+            plan,
+            profile: profile.render(),
+        });
     }
 }
 
@@ -562,6 +729,7 @@ fn run_batch_tasks(core: &ServerCore, batch: &BatchState) {
     let n = batch.stmts.len();
     let mut tally = Tally::default();
     let mut served = 0usize;
+    core.metrics.worker_started();
     loop {
         let i = batch.cursor.fetch_add(1, Ordering::Relaxed);
         if i >= n {
@@ -572,6 +740,7 @@ fn run_batch_tasks(core: &ServerCore, batch: &BatchState) {
         *batch.slots[i].lock() = Some(outcome);
         served += 1;
     }
+    core.metrics.worker_finished();
     // Fold before counting completion: when `completed` reaches the batch
     // size, every statement's stats are already in the server totals.
     core.fold(tally);
@@ -677,6 +846,8 @@ impl Server {
             statements: AtomicU64::new(0),
             result_hits: AtomicU64::new(0),
             totals: Mutex::new(ExecStats::default()),
+            metrics: MetricsRegistry::new(),
+            slow_log: SlowQueryLog::new(&config),
         });
         let pool = Arc::new(PoolShared {
             job: Mutex::new(JobBoard::default()),
@@ -755,6 +926,7 @@ impl Server {
 
     /// Serves one statement through the shared caches.
     pub fn execute(&self, sql: &str) -> SqlResult<StatementOutcome> {
+        self.core.metrics.record_enqueue(1);
         let outcome = self.core.serve_one(sql);
         let mut tally = Tally::default();
         tally.absorb(&outcome);
@@ -772,6 +944,7 @@ impl Server {
         if stmts.is_empty() {
             return Vec::new();
         }
+        self.core.metrics.record_batch(stmts.len() as u64);
         // Clamp at admission too: a `ServeConfig { workers: 0, .. }` built
         // via struct literal (bypassing `with_workers`) serves serially.
         let workers = self.core.config.effective_workers().min(stmts.len());
@@ -785,6 +958,7 @@ impl Server {
             if self.core.config.oversubscribe { workers } else { workers.min(self.hardware) };
         if fanout <= 1 || self.workers.is_empty() {
             let mut tally = Tally::default();
+            self.core.metrics.worker_started();
             let outcomes: Vec<SqlResult<StatementOutcome>> = stmts
                 .iter()
                 .map(|sql| {
@@ -793,6 +967,7 @@ impl Server {
                     outcome
                 })
                 .collect();
+            self.core.metrics.worker_finished();
             self.core.fold(tally);
             return outcomes;
         }
@@ -833,7 +1008,28 @@ impl Server {
             result_cache_hits: self.core.result_hits.load(Ordering::Relaxed),
             prepared_statements: self.core.plans.len(),
             totals: *self.core.totals.lock(),
+            slow_queries: self.core.slow_log.recorded(),
         }
+    }
+
+    /// A consistent point-in-time view of the serve metrics registry:
+    /// throughput, cache hit/miss counters and ratios, dedup waits, queue
+    /// depth, worker utilization, and per-class latency histograms
+    /// (p50/p95/p99 via [`HistogramSnapshot::quantile`]).
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.core.metrics.snapshot()
+    }
+
+    /// [`Server::metrics_snapshot`] rendered as Prometheus-style text.
+    pub fn render_metrics(&self) -> String {
+        self.core.metrics.snapshot().render_prometheus()
+    }
+
+    /// The worst canonical executions recorded so far, slowest first —
+    /// at most [`ServeConfig::slow_query_log_cap`] entries, each with the
+    /// statement's SQL, rendered plan, and per-operator profile.
+    pub fn slow_queries(&self) -> Vec<SlowQuery> {
+        self.core.slow_log.snapshot()
     }
 }
 
@@ -1140,6 +1336,78 @@ mod tests {
         }
         assert_eq!(server.result_cache_len(), 0, "errors never become ready entries");
         assert_eq!(server.snapshot_stats().result_cache_hits, 0);
+    }
+
+    #[test]
+    fn metrics_registry_tracks_hits_latency_and_queue() {
+        let server = Server::new(snapshot(), ServeConfig::serial());
+        let stmts = workload();
+        server.execute_batch(&stmts);
+        let m = server.metrics_snapshot();
+        assert_eq!(m.statements, stmts.len() as u64);
+        assert_eq!(m.result_cache_hits, stmts.len() as u64 - 4);
+        assert_eq!(m.result_cache_misses, 4);
+        let expected_ratio = (stmts.len() as f64 - 4.0) / stmts.len() as f64;
+        assert!((m.result_cache_hit_ratio() - expected_ratio).abs() < 1e-9);
+        assert_eq!(m.queue_depth, 0, "every admitted statement was served");
+        assert_eq!(m.workers_busy, 0, "no batch is draining");
+        assert_eq!(m.batches, 1);
+        assert_eq!(m.overall_latency().total(), stmts.len() as u64);
+        // The workload holds COUNT(*), a SUM/GROUP BY join (aggregate wins
+        // classification precedence), one subquery, and one plain DISTINCT
+        // scan — each repeated three times.
+        assert_eq!(m.class_latency(StatementClass::Aggregate).total(), 6);
+        assert_eq!(m.class_latency(StatementClass::Subquery).total(), 3);
+        assert_eq!(m.class_latency(StatementClass::Simple).total(), 3);
+        assert_eq!(m.class_latency(StatementClass::Join).total(), 0);
+        assert!(m.overall_latency().p99() >= m.overall_latency().p50());
+        // Canonical executions billed the engine caches; the subquery
+        // statement's uncorrelated (SELECT AVG...) runs through the
+        // engine's subquery result cache.
+        assert!(m.plan_cache_hits + m.plan_cache_misses > 0);
+        assert!(m.worker_utilization() > 0.0);
+        let text = server.render_metrics();
+        assert!(text.contains(&format!("serve_statements_total {}", stmts.len())));
+        assert!(text.contains("serve_statement_latency_nanoseconds_count{class=\"aggregate\"} 6"));
+    }
+
+    #[test]
+    fn slow_query_log_keeps_the_worst_canonical_executions() {
+        // Threshold 0 records every canonical execution; cap 2 retains the
+        // two slowest. Cache hits never record.
+        let config = ServeConfig::serial().with_slow_query_log(0, 2);
+        let server = Server::new(snapshot(), config);
+        let stmts = workload();
+        server.execute_batch(&stmts);
+        assert_eq!(
+            server.snapshot_stats().slow_queries,
+            4,
+            "one recording per canonical execution, none per cache hit"
+        );
+        let slow = server.slow_queries();
+        assert_eq!(slow.len(), 2, "log retains only the cap");
+        assert!(slow[0].nanos >= slow[1].nanos, "slowest first");
+        for q in &slow {
+            assert!(q.plan.starts_with("Plan mode:"), "plan render present: {}", q.plan);
+            assert!(q.profile.starts_with("total time:"), "profile present: {}", q.profile);
+            assert!(q.profile.contains("rows="), "per-operator lines present");
+            assert!(q.cost > 0.0);
+        }
+        server.execute(&stmts[0]).unwrap();
+        assert_eq!(server.snapshot_stats().slow_queries, 4, "hit did not record");
+    }
+
+    #[test]
+    fn slow_query_log_is_quiet_by_default_and_disableable() {
+        // The default 50ms threshold is far above these statements.
+        let server = Server::new(snapshot(), ServeConfig::serial());
+        server.execute_batch(&workload());
+        assert_eq!(server.snapshot_stats().slow_queries, 0);
+        assert!(server.slow_queries().is_empty());
+        // Cap 0 disables recording even at threshold 0.
+        let off = Server::new(snapshot(), ServeConfig::serial().with_slow_query_log(0, 0));
+        off.execute_batch(&workload());
+        assert_eq!(off.snapshot_stats().slow_queries, 0);
     }
 
     #[test]

@@ -1,0 +1,141 @@
+//! Property tests for the serve metrics histograms
+//! (`seed_serve::metrics`): bucket boundaries partition the u64 range,
+//! merging is associative/commutative/loss-free, and every quantile read
+//! back from the log-bucketed histogram is within one bucket of the exact
+//! sorted-sample quantile.
+//!
+//! The vendored proptest stub generates strings, so numeric samples are
+//! decoded from hex strings: consecutive hex-digit pairs `(m, e)` become
+//! the sample `m << (e * 4)` — mantissa-times-power-of-16, which sweeps
+//! values across many histogram buckets instead of clustering in the low
+//! ones.
+
+use proptest::prelude::*;
+use seed_serve::metrics::{
+    bucket_index, bucket_lower_bound, bucket_upper_bound, HistogramSnapshot, LatencyHistogram,
+    HISTOGRAM_BUCKETS,
+};
+
+/// Decodes hex-digit pairs into spread-out u64 samples (see module docs).
+fn decode_samples(s: &str) -> Vec<u64> {
+    let digits: Vec<u64> = s.chars().filter_map(|c| c.to_digit(16).map(u64::from)).collect();
+    digits.chunks_exact(2).map(|pair| pair[0] << (pair[1] * 4)).collect()
+}
+
+/// Builds a histogram snapshot from raw samples.
+fn histogram_of(samples: &[u64]) -> HistogramSnapshot {
+    let h = LatencyHistogram::default();
+    for &n in samples {
+        h.record(n);
+    }
+    h.snapshot()
+}
+
+/// The exact quantile of a sample set: the value of rank `ceil(q × n)`
+/// (1-based) in sorted order — the oracle the histogram approximates.
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[test]
+fn bucket_bounds_partition_the_u64_range() {
+    // Exhaustive over buckets: bounds are contiguous, ordered, and every
+    // bound maps back into its own bucket.
+    assert_eq!(bucket_lower_bound(0), 0);
+    assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+    for i in 0..HISTOGRAM_BUCKETS {
+        let lo = bucket_lower_bound(i);
+        let hi = bucket_upper_bound(i);
+        assert!(lo <= hi, "bucket {i} bounds ordered");
+        assert_eq!(bucket_index(lo.max(1)), i, "lower bound lands in its bucket");
+        if i < HISTOGRAM_BUCKETS - 1 {
+            assert_eq!(bucket_index(hi), i, "upper bound lands in its bucket");
+            assert_eq!(bucket_lower_bound(i + 1), hi + 1, "buckets are contiguous");
+        }
+    }
+}
+
+proptest! {
+    /// Every sample lands in exactly the bucket whose bounds bracket it.
+    #[test]
+    fn samples_land_between_their_buckets_bounds(s in "[0-9a-f]{0,64}") {
+        for n in decode_samples(&s) {
+            let i = bucket_index(n);
+            prop_assert!(i < HISTOGRAM_BUCKETS);
+            prop_assert!(n <= bucket_upper_bound(i), "{n} above bucket {i}");
+            prop_assert!(n >= bucket_lower_bound(i), "{n} below bucket {i}");
+        }
+    }
+
+    /// Merging histograms is associative and commutative, and a merge of
+    /// any split loses no samples: (A ∪ B) ∪ C = A ∪ (B ∪ C) = the
+    /// histogram of all samples at once.
+    #[test]
+    fn merge_is_associative_and_loss_free(
+        a in "[0-9a-f]{0,40}",
+        b in "[0-9a-f]{0,40}",
+        c in "[0-9a-f]{0,40}",
+    ) {
+        let (sa, sb, sc) = (decode_samples(&a), decode_samples(&b), decode_samples(&c));
+        let (ha, hb, hc) = (histogram_of(&sa), histogram_of(&sb), histogram_of(&sc));
+
+        // Left-associated: (A ∪ B) ∪ C.
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // Right-associated: A ∪ (B ∪ C).
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right, "associativity");
+
+        // Commuted: C ∪ B ∪ A.
+        let mut swapped = hc.clone();
+        swapped.merge(&hb);
+        swapped.merge(&ha);
+        prop_assert_eq!(&left, &swapped, "commutativity");
+
+        // Loss-free: equal to recording every sample into one histogram.
+        let mut all = sa.clone();
+        all.extend(&sb);
+        all.extend(&sc);
+        prop_assert_eq!(&left, &histogram_of(&all), "merge loses or invents samples");
+        prop_assert_eq!(left.total(), all.len() as u64);
+    }
+
+    /// p50/p95/p99 (and a sweep of other quantiles) read back from the
+    /// histogram equal the upper bound of the bucket holding the exact
+    /// sorted-sample quantile — i.e. the approximation error is bounded by
+    /// one power-of-two bucket, never more.
+    #[test]
+    fn quantiles_are_within_one_bucket_of_the_sorted_oracle(s in "[0-9a-f]{2,64}") {
+        // The `{2,64}` generator guarantees at least one hex-digit pair,
+        // so the sample set is never empty.
+        let mut samples = decode_samples(&s);
+        prop_assert!(!samples.is_empty());
+        let snap = histogram_of(&samples);
+        samples.sort_unstable();
+        for q in [0.01, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0] {
+            let exact = exact_quantile(&samples, q);
+            let approx = snap.quantile(q);
+            prop_assert_eq!(
+                approx,
+                bucket_upper_bound(bucket_index(exact)),
+                "q={} exact={} approx={}",
+                q,
+                exact,
+                approx
+            );
+            // The bracket the equality implies, stated directly: the exact
+            // quantile is never above the reported one, and the reported
+            // one is inside the exact value's own bucket.
+            prop_assert!(exact <= approx);
+            prop_assert!(approx <= bucket_upper_bound(bucket_index(exact)));
+        }
+        prop_assert_eq!(snap.p50(), snap.quantile(0.50));
+        prop_assert_eq!(snap.p95(), snap.quantile(0.95));
+        prop_assert_eq!(snap.p99(), snap.quantile(0.99));
+    }
+}

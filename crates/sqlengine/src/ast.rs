@@ -10,6 +10,16 @@ pub enum Statement {
     Select(SelectStatement),
     CreateTable(CreateTableStatement),
     Insert(InsertStatement),
+    Explain(ExplainStatement),
+}
+
+/// `EXPLAIN [ANALYZE] <select>`: render the physical plan for a query
+/// (ANALYZE additionally executes it and annotates measured per-operator
+/// profiles). See [`crate::explain`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainStatement {
+    pub analyze: bool,
+    pub query: SelectStatement,
 }
 
 /// `CREATE TABLE` definition.

@@ -244,7 +244,7 @@ pub(crate) fn is_batch_evaluable(expr: &Expr, cols: &[ColInfo]) -> bool {
 /// batch evaluator can read (so aggregates count as expressible; their
 /// arguments were handled when the columns were built and are not descended
 /// into here).
-fn is_group_batch_evaluable(expr: &Expr, cols: &[ColInfo]) -> bool {
+pub(crate) fn is_group_batch_evaluable(expr: &Expr, cols: &[ColInfo]) -> bool {
     is_batch_evaluable_impl(expr, cols, true)
 }
 
@@ -303,7 +303,7 @@ fn is_batch_evaluable_impl(expr: &Expr, cols: &[ColInfo], aggs_ok: bool) -> bool
 /// into an aggregate's argument (a nested aggregate is not batch-computable,
 /// which [`is_batch_evaluable`] then reports, demoting the statement to the
 /// row path and its error).
-fn collect_aggregates<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
+pub(crate) fn collect_aggregates<'e>(expr: &'e Expr, out: &mut Vec<&'e Expr>) {
     match expr {
         Expr::Aggregate { .. } => out.push(expr),
         Expr::Literal(_) | Expr::Column { .. } => {}
@@ -1029,6 +1029,38 @@ impl<'a> Executor<'a> {
     /// pipeline boundary — compact their inputs before build/probe and emit
     /// all-live chunks again.
     fn exec_plan_node_columnar(
+        &mut self,
+        node: &PlanNode,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<(Vec<ColInfo>, Vec<SelChunk>)> {
+        if self.profiler.is_none() {
+            return self.exec_plan_node_columnar_inner(node, outer);
+        }
+        // Inclusive timing, same keying as the row path: children recurse
+        // back through this wrapper, and `EXPLAIN ANALYZE` looks entries up
+        // by plan-node address.
+        let started = std::time::Instant::now();
+        let result = self.exec_plan_node_columnar_inner(node, outer);
+        let nanos = started.elapsed().as_nanos() as u64;
+        let (rows_out, batches) = result
+            .as_ref()
+            .map(|(_, chunks)| {
+                (chunks.iter().map(|c| c.live_rows() as u64).sum::<u64>(), chunks.len() as u64)
+            })
+            .unwrap_or((0, 0));
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(
+                node as *const PlanNode as usize,
+                || crate::plan::node_label(node),
+                rows_out,
+                batches,
+                nanos,
+            );
+        }
+        result
+    }
+
+    fn exec_plan_node_columnar_inner(
         &mut self,
         node: &PlanNode,
         outer: Option<&Scope<'_>>,

@@ -45,6 +45,7 @@ use crate::decorrelate::{
 use crate::error::{SqlError, SqlResult};
 use crate::functions::eval_scalar_function;
 use crate::plan::{expand_projections, is_uncorrelated, PlanCache, PlanMode, PlanNode};
+use crate::profile::{Profiler, QueryProfile};
 use crate::result::{ExecStats, ResultSet};
 use crate::schema::{ColumnDef, DataType, ForeignKey, TableSchema};
 use crate::storage::{Database, EqKeyMap, GroupKeyMap};
@@ -61,14 +62,22 @@ pub fn execute_with_stats(db: &Database, sql: &str) -> SqlResult<(ResultSet, Exe
     execute_with_stats_mode(db, sql, PlanMode::default())
 }
 
-/// Executes a SQL string under an explicit plan mode.
+/// Executes a SQL string under an explicit plan mode. `EXPLAIN [ANALYZE]`
+/// is accepted here too (it is read-only, like SELECT): the rendering comes
+/// back as the result set and the reported stats stay at their default —
+/// explaining a statement must never perturb cost accounting.
 pub fn execute_with_stats_mode(
     db: &Database,
     sql: &str,
     mode: PlanMode,
 ) -> SqlResult<(ResultSet, ExecStats)> {
-    let stmt = crate::parser::parse_select(sql)?;
-    execute_select_with_stats_mode(db, &stmt, mode)
+    match crate::parser::parse_statement(sql)? {
+        Statement::Explain(ex) => {
+            Ok((crate::explain::explain_statement(db, &ex, mode)?, ExecStats::default()))
+        }
+        Statement::Select(stmt) => execute_select_with_stats_mode(db, &stmt, mode),
+        other => Err(SqlError::Parse(format!("expected SELECT, parsed {other:?}"))),
+    }
 }
 
 /// Executes an already-parsed SELECT statement.
@@ -117,6 +126,27 @@ pub fn execute_select_with_plan_cache(
     let mut exec = Executor::new(db, mode, plans);
     let rs = exec.run_select(stmt, None)?;
     Ok((rs, exec.stats, exec.plans))
+}
+
+/// Like [`execute_select_with_plan_cache`], but additionally records a
+/// per-operator wall-clock [`QueryProfile`].
+///
+/// The profile travels *next to* the deterministic `ExecStats`, never
+/// inside it: stats, result rows, and [`ExecStats::cost`] are bit-identical
+/// to an unprofiled run of the same statement (the determinism guard in
+/// `tests/explain_golden.rs` pins this). This is what `EXPLAIN ANALYZE` and
+/// the serve layer's always-on profiling run through.
+pub fn execute_select_profiled(
+    db: &Database,
+    stmt: &SelectStatement,
+    mode: PlanMode,
+    plans: PlanCache,
+) -> SqlResult<(ResultSet, ExecStats, PlanCache, QueryProfile)> {
+    let mut exec = Executor::new(db, mode, plans);
+    exec.profiler = Some(Profiler::new());
+    let rs = exec.run_select(stmt, None);
+    let profile = exec.profiler.take().map(Profiler::finish).unwrap_or_default();
+    Ok((rs?, exec.stats, exec.plans, profile))
 }
 
 /// Executes any supported statement, applying DDL/DML to the database.
@@ -179,6 +209,7 @@ pub fn execute_statement(db: &mut Database, sql: &str) -> SqlResult<ResultSet> {
             rs.rows.push(vec![Value::Integer(count as i64)]);
             Ok(rs)
         }
+        Statement::Explain(ex) => crate::explain::explain_statement(db, &ex, PlanMode::default()),
     }
 }
 
@@ -289,6 +320,12 @@ pub(crate) struct Executor<'a> {
     /// themselves come from batch kernels. Saved and restored around nested
     /// statements; `None` outside the columnar grouped path.
     pub(crate) agg_overrides: Option<HashMap<usize, Value>>,
+    /// Wall-clock per-operator profiler, installed only by
+    /// [`execute_select_profiled`]. `None` (the default) keeps the plain
+    /// execution paths free of timing syscalls; when present, the operator
+    /// entry points record inclusive nanos keyed by node address. Never
+    /// feeds [`ExecStats`].
+    pub(crate) profiler: Option<Profiler>,
 }
 
 impl<'a> Executor<'a> {
@@ -303,6 +340,7 @@ impl<'a> Executor<'a> {
             decorr_builds: HashMap::new(),
             decorr_memos: HashMap::new(),
             agg_overrides: None,
+            profiler: None,
         }
     }
 
@@ -664,12 +702,12 @@ impl<'a> Executor<'a> {
         outer: Option<&Scope<'_>>,
     ) -> SqlResult<(Rel, Vec<Vec<Value>>)> {
         let mut rel = match &stmt.from {
-            Some(t) => self.load_table_ref(t, outer)?,
+            Some(t) => self.load_table_ref_profiled(t, outer)?,
             None => Rel { cols: vec![], rows: vec![vec![]] },
         };
         for join in &stmt.joins {
-            let right = self.load_table_ref(&join.table, outer)?;
-            rel = self.join(rel, right, join, outer)?;
+            let right = self.load_table_ref_profiled(&join.table, outer)?;
+            rel = self.join_profiled(rel, right, join, outer)?;
         }
         let mut keep = Vec::new();
         for row in std::mem::take(&mut rel.rows) {
@@ -722,7 +760,36 @@ impl<'a> Executor<'a> {
     }
 
     /// Executes one physical operator, producing a materialized relation.
+    ///
+    /// When a profiler is installed, the invocation is timed inclusively
+    /// (children recurse back through this wrapper) and recorded under the
+    /// node's address — the same key `EXPLAIN ANALYZE` uses to attach
+    /// measurements to rendered plan lines.
     fn exec_plan_node(&mut self, node: &PlanNode, outer: Option<&Scope<'_>>) -> SqlResult<Rel> {
+        if self.profiler.is_none() {
+            return self.exec_plan_node_inner(node, outer);
+        }
+        let started = std::time::Instant::now();
+        let result = self.exec_plan_node_inner(node, outer);
+        let nanos = started.elapsed().as_nanos() as u64;
+        let rows_out = result.as_ref().map(|rel| rel.rows.len() as u64).unwrap_or(0);
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(
+                node as *const PlanNode as usize,
+                || crate::plan::node_label(node),
+                rows_out,
+                0,
+                nanos,
+            );
+        }
+        result
+    }
+
+    fn exec_plan_node_inner(
+        &mut self,
+        node: &PlanNode,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<Rel> {
         match node {
             PlanNode::SeqScan { table, quals, pushed, lookup } => {
                 let t = self.db.table(table)?;
@@ -850,6 +917,61 @@ impl<'a> Executor<'a> {
             }
         }
         Ok(keep)
+    }
+
+    /// [`Self::load_table_ref`] with optional profiling, keyed by the AST
+    /// reference's address. Nested-loop mode has no `PlanNode` tree, so its
+    /// `EXPLAIN ANALYZE` attaches measurements to AST nodes instead.
+    fn load_table_ref_profiled(
+        &mut self,
+        tref: &TableRef,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<Rel> {
+        if self.profiler.is_none() {
+            return self.load_table_ref(tref, outer);
+        }
+        let started = std::time::Instant::now();
+        let result = self.load_table_ref(tref, outer);
+        let nanos = started.elapsed().as_nanos() as u64;
+        let rows_out = result.as_ref().map(|rel| rel.rows.len() as u64).unwrap_or(0);
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(
+                tref as *const TableRef as usize,
+                || legacy_ref_label(tref),
+                rows_out,
+                0,
+                nanos,
+            );
+        }
+        result
+    }
+
+    /// [`Self::join`] with optional profiling, keyed by the `Join` AST
+    /// node's address (see [`Self::load_table_ref_profiled`]).
+    fn join_profiled(
+        &mut self,
+        left: Rel,
+        right: Rel,
+        join: &Join,
+        outer: Option<&Scope<'_>>,
+    ) -> SqlResult<Rel> {
+        if self.profiler.is_none() {
+            return self.join(left, right, join, outer);
+        }
+        let started = std::time::Instant::now();
+        let result = self.join(left, right, join, outer);
+        let nanos = started.elapsed().as_nanos() as u64;
+        let rows_out = result.as_ref().map(|rel| rel.rows.len() as u64).unwrap_or(0);
+        if let Some(p) = self.profiler.as_mut() {
+            p.record(
+                join as *const Join as usize,
+                || format!("NestedLoopJoin ({:?})", join.kind),
+                rows_out,
+                0,
+                nanos,
+            );
+        }
+        result
     }
 
     /// Loads a named table or derived subquery into a relation.
@@ -1310,6 +1432,16 @@ pub(crate) fn select_is_grouped(stmt: &SelectStatement) -> bool {
             _ => false,
         })
         || stmt.having.as_ref().is_some_and(|h| h.contains_aggregate())
+}
+
+/// Operator label for a nested-loop-mode relation source, matching the
+/// labels `EXPLAIN` renders for the legacy tree so `EXPLAIN ANALYZE`
+/// measurements line up with the rendered plan.
+pub(crate) fn legacy_ref_label(tref: &TableRef) -> String {
+    match tref {
+        TableRef::Named { table, .. } => format!("SeqScan {table}"),
+        TableRef::Derived { alias, .. } => format!("SubqueryScan {alias}"),
+    }
 }
 
 /// Combines already-evaluated, non-NULL argument values into an aggregate

@@ -98,10 +98,12 @@ pub mod columnar;
 pub mod decorrelate;
 pub mod error;
 pub mod exec;
+pub mod explain;
 pub mod functions;
 pub mod parser;
 pub mod plan;
 pub mod prepared;
+pub mod profile;
 pub mod result;
 pub mod schema;
 pub mod storage;
@@ -112,12 +114,17 @@ pub use chunk::{ArrayBuilder, ColumnArray, DataChunk, NullBitmap, BATCH_SIZE};
 pub use decorrelate::{decorrelate, DecorrelatedKind, DecorrelatedSubquery, SubqueryPosition};
 pub use error::{SqlError, SqlResult};
 pub use exec::{
-    execute, execute_select, execute_select_with_plan_cache, execute_select_with_stats,
-    execute_select_with_stats_mode, execute_statement, execute_with_stats, execute_with_stats_mode,
+    execute, execute_select, execute_select_profiled, execute_select_with_plan_cache,
+    execute_select_with_stats, execute_select_with_stats_mode, execute_statement,
+    execute_with_stats, execute_with_stats_mode,
 };
+pub use explain::{explain_analyze_text, explain_sql, explain_statement, explain_text};
 pub use parser::{parse_select, parse_statement};
-pub use plan::{is_uncorrelated, plan_select, PhysicalPlan, PlanCache, PlanMode, PlanNode};
+pub use plan::{
+    is_uncorrelated, node_label, plan_select, PhysicalPlan, PlanCache, PlanMode, PlanNode,
+};
 pub use prepared::{PreparedStatement, SharedPlanCache};
+pub use profile::{format_nanos, OpProfile, QueryProfile};
 pub use result::{ExecStats, ResultSet};
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
 pub use storage::{Database, EqKeyMap, GroupKeyMap, ProbeHits, Row, Table};

@@ -111,6 +111,10 @@ impl Parser {
             Ok(Statement::CreateTable(self.parse_create_table()?))
         } else if self.check_keyword("INSERT") {
             Ok(Statement::Insert(self.parse_insert()?))
+        } else if self.check_keyword("EXPLAIN") {
+            self.advance();
+            let analyze = self.eat_keyword("ANALYZE");
+            Ok(Statement::Explain(ExplainStatement { analyze, query: self.parse_select()? }))
         } else {
             Err(SqlError::Parse(format!("unsupported statement start: {:?}", self.peek())))
         }

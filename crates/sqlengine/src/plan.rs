@@ -159,10 +159,17 @@ pub struct PhysicalPlan {
 impl PhysicalPlan {
     /// Renders the operator tree, EXPLAIN-style.
     pub fn explain(&self) -> String {
+        self.explain_annotated(&|_| String::new())
+    }
+
+    /// Renders the operator tree with a per-node annotation suffix —
+    /// `EXPLAIN ANALYZE` passes a closure mapping each node to its measured
+    /// profile (empty string ⇒ no suffix).
+    pub fn explain_annotated(&self, annotate: &dyn Fn(&PlanNode) -> String) -> String {
         let mut out = String::new();
         match &self.root {
             None => out.push_str("Result (no FROM)\n"),
-            Some(node) => explain_node(node, 0, &mut out),
+            Some(node) => explain_node(node, 0, annotate, &mut out),
         }
         if !self.where_remnant.is_empty() {
             out.push_str(&format!("Filter: {} post-join conjunct(s)\n", self.where_remnant.len()));
@@ -196,42 +203,84 @@ impl PhysicalPlan {
     }
 }
 
-fn explain_node(node: &PlanNode, depth: usize, out: &mut String) {
-    let pad = "  ".repeat(depth);
+/// The one-line `EXPLAIN` label for a physical operator — the single source
+/// of truth shared by the plan renderer and the per-operator profiler, so
+/// `EXPLAIN ANALYZE` annotations always match the rendered tree.
+pub fn node_label(node: &PlanNode) -> String {
     match node {
         PlanNode::SeqScan { table, pushed, lookup, .. } => {
-            out.push_str(&pad);
-            match lookup {
-                Some(l) => out.push_str(&format!(
-                    "IndexLookup {table} (pk #{} = {})",
-                    l.column,
-                    l.value.render()
-                )),
-                None => out.push_str(&format!("SeqScan {table}")),
-            }
+            let mut s = match lookup {
+                Some(l) => {
+                    format!("IndexLookup {table} (pk #{} = {})", l.column, l.value.render())
+                }
+                None => format!("SeqScan {table}"),
+            };
             if !pushed.is_empty() {
-                out.push_str(&format!(" [{} pushed predicate(s)]", pushed.len()));
+                s.push_str(&format!(" [{} pushed predicate(s)]", pushed.len()));
             }
-            out.push('\n');
+            s
         }
         PlanNode::SubqueryScan { alias, pushed, .. } => {
-            out.push_str(&format!("{pad}SubqueryScan {alias}"));
+            let mut s = format!("SubqueryScan {alias}");
             if !pushed.is_empty() {
-                out.push_str(&format!(" [{} pushed predicate(s)]", pushed.len()));
+                s.push_str(&format!(" [{} pushed predicate(s)]", pushed.len()));
             }
-            out.push('\n');
+            s
         }
-        PlanNode::HashJoin { left, right, kind, left_key, right_key, .. } => {
-            out.push_str(&format!(
-                "{pad}HashJoin ({kind:?}) probe=#{left_key} build=#{right_key}\n"
-            ));
-            explain_node(left, depth + 1, out);
-            explain_node(right, depth + 1, out);
+        PlanNode::HashJoin { kind, left_key, right_key, .. } => {
+            format!("HashJoin ({kind:?}) probe=#{left_key} build=#{right_key}")
         }
-        PlanNode::NestedLoopJoin { left, right, kind, .. } => {
-            out.push_str(&format!("{pad}NestedLoopJoin ({kind:?})\n"));
-            explain_node(left, depth + 1, out);
-            explain_node(right, depth + 1, out);
+        PlanNode::NestedLoopJoin { kind, .. } => format!("NestedLoopJoin ({kind:?})"),
+    }
+}
+
+fn explain_node(
+    node: &PlanNode,
+    depth: usize,
+    annotate: &dyn Fn(&PlanNode) -> String,
+    out: &mut String,
+) {
+    let pad = "  ".repeat(depth);
+    out.push_str(&pad);
+    out.push_str(&node_label(node));
+    let suffix = annotate(node);
+    if !suffix.is_empty() {
+        out.push(' ');
+        out.push_str(&suffix);
+    }
+    out.push('\n');
+    match node {
+        PlanNode::HashJoin { left, right, .. } | PlanNode::NestedLoopJoin { left, right, .. } => {
+            explain_node(left, depth + 1, annotate, out);
+            explain_node(right, depth + 1, annotate, out);
+        }
+        PlanNode::SeqScan { .. } | PlanNode::SubqueryScan { .. } => {}
+    }
+}
+
+/// Static column layout of one plan node's output relation, mirroring what
+/// executing the node materializes. Used by `EXPLAIN`'s columnar-bridge
+/// analysis to evaluate batch-expressibility per operator without running
+/// anything.
+pub(crate) fn node_layout(db: &Database, node: &PlanNode) -> SqlResult<Vec<ColMeta>> {
+    match node {
+        PlanNode::SeqScan { table, quals, .. } => {
+            let t = db.table(table)?;
+            Ok(t.schema
+                .columns
+                .iter()
+                .map(|c| ColMeta { quals: quals.clone(), name: c.name.clone() })
+                .collect())
+        }
+        PlanNode::SubqueryScan { query, alias, .. } => {
+            let headers = select_headers(db, query)?;
+            let quals = vec![alias.to_ascii_lowercase()];
+            Ok(headers.into_iter().map(|name| ColMeta { quals: quals.clone(), name }).collect())
+        }
+        PlanNode::HashJoin { left, right, .. } | PlanNode::NestedLoopJoin { left, right, .. } => {
+            let mut cols = node_layout(db, left)?;
+            cols.extend(node_layout(db, right)?);
+            Ok(cols)
         }
     }
 }
@@ -529,6 +578,15 @@ impl PlanCache {
         let plan = Arc::new(plan_select(db, stmt)?);
         self.plans.insert(key, CachedPlan { plan: Arc::clone(&plan), shape: stmt_shape(stmt) });
         Ok(plan)
+    }
+
+    /// Returns the already-cached plan for `stmt` without planning on miss.
+    /// `EXPLAIN ANALYZE` uses this to render the exact plan object an
+    /// execution just ran (operator profile entries are keyed by node
+    /// address, so the rendering must walk the *same* allocation).
+    pub fn cached_plan(&self, stmt: &SelectStatement) -> Option<Arc<PhysicalPlan>> {
+        let key = stmt as *const SelectStatement as usize;
+        self.plans.get(&key).map(|c| Arc::clone(&c.plan))
     }
 
     /// Returns the memoized decorrelation rewrite for the subquery `stmt`,

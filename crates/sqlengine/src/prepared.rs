@@ -46,8 +46,9 @@ use parking_lot::{Mutex, RwLock};
 
 use crate::ast::SelectStatement;
 use crate::error::SqlResult;
-use crate::exec::execute_select_with_plan_cache;
+use crate::exec::{execute_select_profiled, execute_select_with_plan_cache};
 use crate::plan::{PlanCache, PlanMode};
+use crate::profile::QueryProfile;
 use crate::result::{ExecStats, ResultSet};
 use crate::storage::Database;
 
@@ -105,6 +106,28 @@ impl PreparedStatement {
         let (rs, stats, updated) = execute_select_with_plan_cache(db, &self.stmt, mode, snapshot)?;
         self.plans.lock().merge(&updated);
         Ok((rs, stats))
+    }
+
+    /// [`Self::execute`] plus a per-operator wall-clock [`QueryProfile`].
+    /// Result rows and stats are bit-identical to an unprofiled execution;
+    /// the serve layer runs every canonical execution through this so the
+    /// slow-query log always has a profile to record.
+    pub fn execute_profiled(
+        &self,
+        db: &Database,
+        mode: PlanMode,
+    ) -> SqlResult<(ResultSet, ExecStats, QueryProfile)> {
+        let snapshot = self.plans.lock().clone();
+        let (rs, stats, updated, profile) =
+            execute_select_profiled(db, &self.stmt, mode, snapshot)?;
+        self.plans.lock().merge(&updated);
+        Ok((rs, stats, profile))
+    }
+
+    /// Static `EXPLAIN` rendering of this statement under `mode` (plans but
+    /// never executes; see [`crate::explain::explain_text`]).
+    pub fn explain(&self, db: &Database, mode: PlanMode) -> SqlResult<String> {
+        crate::explain::explain_text(db, &self.stmt, mode)
     }
 }
 
@@ -198,6 +221,17 @@ impl SharedPlanCache {
         mode: PlanMode,
     ) -> SqlResult<(ResultSet, ExecStats)> {
         self.prepare(db.name(), sql)?.execute(db, mode)
+    }
+
+    /// [`Self::execute`] plus the per-operator wall-clock profile (see
+    /// [`PreparedStatement::execute_profiled`]).
+    pub fn execute_profiled(
+        &self,
+        db: &Database,
+        sql: &str,
+        mode: PlanMode,
+    ) -> SqlResult<(ResultSet, ExecStats, QueryProfile)> {
+        self.prepare(db.name(), sql)?.execute_profiled(db, mode)
     }
 
     /// Number of prepared statements currently pinned, across all stripes.

@@ -195,6 +195,46 @@ impl ExecStats {
         self.columnar_fallbacks += other.columnar_fallbacks;
         self.columnar_partial += other.columnar_partial;
     }
+
+    /// Every counter as a `(name, value)` pair, in struct declaration
+    /// order. The single enumeration point behind [`ExecStats`]'s `Display`
+    /// and the eval/serve reporting tables, so a newly added counter only
+    /// needs listing here to appear everywhere.
+    pub fn counters(&self) -> [(&'static str, u64); 16] {
+        [
+            ("rows_scanned", self.rows_scanned),
+            ("evaluations", self.evaluations),
+            ("index_lookups", self.index_lookups),
+            ("hash_build_rows", self.hash_build_rows),
+            ("hash_probes", self.hash_probes),
+            ("plan_cache_hits", self.plan_cache_hits),
+            ("plan_cache_misses", self.plan_cache_misses),
+            ("subquery_result_hits", self.subquery_result_hits),
+            ("subquery_result_misses", self.subquery_result_misses),
+            ("decorrelated_subqueries", self.decorrelated_subqueries),
+            ("decorrelated_probes", self.decorrelated_probes),
+            ("decorrelated_memo_hits", self.decorrelated_memo_hits),
+            ("batches_built", self.batches_built),
+            ("batch_rows", self.batch_rows),
+            ("columnar_fallbacks", self.columnar_fallbacks),
+            ("columnar_partial", self.columnar_partial),
+        ]
+    }
+}
+
+impl std::fmt::Display for ExecStats {
+    /// Human-readable summary table: one aligned `name  value` line per
+    /// counter (zero counters included, so diffs line up), then the derived
+    /// VES cost. Used by `eval::report`, `EXPLAIN ANALYZE`, and the serve
+    /// slow-query log.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let counters = self.counters();
+        let width = counters.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+        for (name, value) in counters {
+            writeln!(f, "{name:width$}  {value}")?;
+        }
+        write!(f, "{:width$}  {:.1}", "cost", self.cost())
+    }
 }
 
 #[cfg(test)]
@@ -329,6 +369,22 @@ mod tests {
         assert_eq!(a.batch_rows, 4196);
         assert_eq!(a.columnar_fallbacks, 3);
         assert_eq!(a.columnar_partial, 2);
+    }
+
+    #[test]
+    fn exec_stats_display_lists_every_counter_and_cost() {
+        let stats = ExecStats { rows_scanned: 42, hash_probes: 7, ..Default::default() };
+        let rendered = stats.to_string();
+        for (name, value) in stats.counters() {
+            assert!(
+                rendered.contains(name) && rendered.contains(&value.to_string()),
+                "Display missing {name}={value}:\n{rendered}"
+            );
+        }
+        assert_eq!(stats.counters().len(), 16);
+        assert!(rendered.contains("cost"));
+        assert!(rendered.contains(&format!("{:.1}", stats.cost())));
+        assert!(!rendered.ends_with('\n'));
     }
 
     #[test]
