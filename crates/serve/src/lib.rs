@@ -6,16 +6,30 @@
 //! persistent worker pool against an `Arc`-shared, read-only
 //! [`Database`] snapshot.
 //!
-//! ## Snapshot / borrow model
+//! ## Snapshot / write model
 //!
 //! The engine executes reads through `&Database` — no executor mutates
 //! storage — so any number of worker threads may run queries against one
-//! snapshot simultaneously. A [`Server`] takes `Arc<Database>` at
-//! construction: holding the snapshot behind `Arc` means *nobody* can
-//! obtain `&mut Database` while the server lives, which is exactly the
-//! freeze that makes the shared caches sound. Writes (DDL/DML) stay on the
-//! engine's exclusive `&mut Database` path ([`seed_sqlengine::execute_statement`])
-//! and happen before a snapshot is served, never through a server.
+//! snapshot simultaneously. A [`Server`] holds the **currently published
+//! snapshot** behind `RwLock<Arc<Database>>`; every read pins an `Arc` of
+//! some snapshot for its duration, so nothing a reader touches can change
+//! underneath it. Writes (`INSERT`/`UPDATE`/`DELETE`/`CREATE`) run through
+//! the engine's copy-on-write commit path
+//! ([`seed_sqlengine::commit_statement`]): one writer at a time (the commit
+//! gate) clones the database — cheap, tables are `Arc`-shared — mutates
+//! only the touched table's copy, and publishes the new snapshot
+//! atomically. In-flight readers keep serving their pinned version;
+//! publishes never block reads.
+//!
+//! [`Server::session`] opens a [`Session`] that **pins** the snapshot
+//! current at open time: every read the session makes sees that one
+//! version, regardless of concurrent commits, until the session itself
+//! commits — its own writes re-pin it to the snapshot they published
+//! (read-your-writes). Mixed batches are split into **read runs** —
+//! consecutive reads served in parallel by the worker pool against the
+//! snapshot current at run start — separated by writes, each committed
+//! serially in submission order. That structure makes a mixed batch's
+//! per-statement results and final snapshot identical at any worker count.
 //!
 //! ## Shared caches
 //!
@@ -27,21 +41,31 @@
 //!
 //! * **Plans** — one process-wide [`SharedPlanCache`] per server, striped
 //!   internally: a repeated statement parses and plans once, then every
-//!   execution (any worker, any session) replays the pinned plan. Reuse is
+//!   execution (any worker, any session) replays the pinned plan. Plans
+//!   depend only on the schema, so they survive commits untouched. Reuse is
 //!   visible as `plan_cache_hits` in each statement's [`ExecStats`].
-//! * **Results** — because the snapshot is immutable, a statement's result
-//!   is a pure function of its text. With [`ServeConfig::cache_results`]
-//!   on (the default), each distinct statement *executes exactly once*:
-//!   an **in-flight execution table** (one slot per stripe entry) makes
-//!   concurrent submissions of the same statement block on the one
-//!   canonical execution instead of racing it, then serves them its
-//!   result. That makes `result_cache_hits` exact — `statements −
-//!   distinct statements` at any worker count — not merely
+//! * **Results** — a statement's result is a pure function of its text
+//!   *and the versions of the tables it reads*. Entries are therefore
+//!   keyed two-level: the statement's **dependency fingerprint**
+//!   ([`seed_sqlengine::Database::dependency_fingerprint`] over its
+//!   referenced tables' generations), then its text. A commit that touches
+//!   a statement's tables changes the fingerprint — the old entry simply
+//!   stops being probed — while entries for statements over *untouched*
+//!   tables keep hitting across snapshots. With
+//!   [`ServeConfig::cache_results`] on (the default), each distinct
+//!   (fingerprint, statement) pair *executes exactly once*: an **in-flight
+//!   execution table** (one slot per stripe entry) makes concurrent
+//!   submissions of the same statement block on the one canonical
+//!   execution instead of racing it, then serves them its result. That
+//!   makes `result_cache_hits` exact — `statements − distinct statements`
+//!   at any worker count on a quiescent snapshot — not merely
 //!   scheduling-dependently close. Each stripe is its own bounded LRU
 //!   segment: at most `ceil(result_cache_cap / stripes)` (minimum 1)
-//!   entries live per stripe, with least-recently-served eviction, so a
-//!   long-lived server's memory stays bounded and eviction scans stay
-//!   per-stripe. In-flight slots are transient and never evicted.
+//!   entries live per stripe, with least-recently-served eviction across
+//!   all fingerprints (stale-fingerprint entries age out like any other
+//!   cold entry), so a long-lived server's memory stays bounded and
+//!   eviction scans stay per-stripe. In-flight slots are transient and
+//!   never evicted.
 //!
 //! ### In-flight dedup state machine
 //!
@@ -131,7 +155,8 @@ use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, RwLock};
 use seed_sqlengine::{
-    Database, ExecStats, PlanMode, QueryProfile, ResultSet, SharedPlanCache, SqlError, SqlResult,
+    commit_statement, is_write_statement, Database, ExecStats, MutationKind, PlanMode,
+    PreparedStatement, QueryProfile, ResultSet, SharedPlanCache, SqlError, SqlResult,
 };
 
 pub mod metrics;
@@ -397,9 +422,13 @@ enum Slot {
     InFlight(Arc<InFlight>),
 }
 
-/// One lock stripe of the sharded result cache.
+/// One lock stripe of the sharded result cache. The map is two-level —
+/// dependency fingerprint (the versions of the tables the statement
+/// reads), then SQL text — so the hot path probes with a borrowed `&str`
+/// and a commit to a statement's tables retires its entries by changing
+/// which fingerprint is probed, never by scanning.
 struct ResultShard {
-    slots: RwLock<HashMap<String, Slot>>,
+    slots: RwLock<HashMap<u64, HashMap<String, Slot>>>,
     /// Monotonic recency clock for this stripe's LRU.
     tick: AtomicU64,
 }
@@ -417,7 +446,12 @@ impl ResultShard {
     }
 
     fn ready_len(&self) -> usize {
-        self.slots.read().values().filter(|s| matches!(s, Slot::Ready(_))).count()
+        self.slots
+            .read()
+            .values()
+            .flat_map(HashMap::values)
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
     }
 }
 
@@ -460,6 +494,7 @@ impl ShardedResultCache {
 struct FlightGuard<'a> {
     cache: &'a ShardedResultCache,
     shard: usize,
+    vkey: u64,
     sql: &'a str,
     flight: &'a Arc<InFlight>,
     armed: bool,
@@ -472,9 +507,14 @@ impl Drop for FlightGuard<'_> {
         }
         let shard = &self.cache.shards[self.shard];
         let mut slots = shard.slots.write();
-        if let Some(Slot::InFlight(f)) = slots.get(self.sql) {
-            if Arc::ptr_eq(f, self.flight) {
-                slots.remove(self.sql);
+        if let Some(by_sql) = slots.get_mut(&self.vkey) {
+            if let Some(Slot::InFlight(f)) = by_sql.get(self.sql) {
+                if Arc::ptr_eq(f, self.flight) {
+                    by_sql.remove(self.sql);
+                }
+            }
+            if by_sql.is_empty() {
+                slots.remove(&self.vkey);
             }
         }
         drop(slots);
@@ -503,11 +543,18 @@ impl Tally {
     }
 }
 
-/// Everything workers share: the snapshot, both sharded caches, and the
-/// aggregate counters. Lives behind `Arc` so the persistent pool threads
-/// can hold it without borrowing the `Server`.
+/// Everything workers share: the published snapshot, both sharded caches,
+/// and the aggregate counters. Lives behind `Arc` so the persistent pool
+/// threads can hold it without borrowing the `Server`.
 struct ServerCore {
-    db: Arc<Database>,
+    /// The currently published snapshot. Readers clone the `Arc` out (a
+    /// refcount bump under a read lock) and serve from their pinned copy;
+    /// the commit path swaps in the next snapshot under the write lock.
+    snapshot: RwLock<Arc<Database>>,
+    /// Write admission: one committing writer at a time, so commits
+    /// serialize (each plans against the snapshot its predecessor
+    /// published) without ever blocking readers.
+    commit_gate: Mutex<()>,
     config: ServeConfig,
     plans: SharedPlanCache,
     results: ShardedResultCache,
@@ -519,6 +566,34 @@ struct ServerCore {
 }
 
 impl ServerCore {
+    /// Pins the currently published snapshot.
+    fn snapshot(&self) -> Arc<Database> {
+        Arc::clone(&self.snapshot.read())
+    }
+
+    /// Commits one mutation statement: plan against the latest snapshot,
+    /// apply copy-on-write, publish the result. Serialized by the commit
+    /// gate; never blocks readers (they keep their pinned snapshots).
+    fn commit_one(&self, sql: &str) -> SqlResult<StatementOutcome> {
+        let _gate = self.commit_gate.lock();
+        let base = self.snapshot();
+        let outcome = commit_statement(&base, sql)?;
+        let version = outcome.db.version();
+        let affected = outcome.rows_affected as u64;
+        let (ins, upd, del) = match outcome.kind {
+            MutationKind::Insert => (affected, 0, 0),
+            MutationKind::Update => (0, affected, 0),
+            MutationKind::Delete => (0, 0, affected),
+            MutationKind::CreateTable => (0, 0, 0),
+        };
+        *self.snapshot.write() = Arc::new(outcome.db);
+        self.metrics.record_commit(ins, upd, del, version);
+        Ok(StatementOutcome {
+            result: outcome.result,
+            stats: ExecStats::default(),
+            from_result_cache: false,
+        })
+    }
     /// Folds one worker's batch tally into the server aggregates — the
     /// only totals-lock acquisition a worker makes per batch.
     fn fold(&self, tally: Tally) {
@@ -530,13 +605,19 @@ impl ServerCore {
         self.totals.lock().merge(&tally.totals);
     }
 
-    /// Serves one statement, recording its latency (keyed by statement
-    /// class), result-cache outcome, and — for canonical executions — the
-    /// engine's plan/subquery cache counters into the metrics registry.
-    /// Errors count as result-cache misses.
-    fn serve_one(&self, sql: &str) -> SqlResult<StatementOutcome> {
+    /// Serves one statement against the pinned snapshot `db`, recording its
+    /// latency (keyed by statement class), result-cache outcome, and — for
+    /// canonical executions — the engine's plan/subquery cache counters
+    /// into the metrics registry. Mutation statements route to the commit
+    /// path (which always targets the *latest* snapshot, not `db`). Errors
+    /// count as result-cache misses.
+    fn serve_one(&self, db: &Arc<Database>, sql: &str) -> SqlResult<StatementOutcome> {
         let started = Instant::now();
-        let outcome = self.serve_uncounted(sql);
+        let outcome = if is_write_statement(sql) {
+            self.commit_one(sql)
+        } else {
+            self.serve_uncounted(db, sql)
+        };
         let nanos = started.elapsed().as_nanos() as u64;
         let hit = matches!(&outcome, Ok(o) if o.from_result_cache);
         self.metrics.record_statement(StatementClass::of(sql), nanos, hit);
@@ -556,21 +637,27 @@ impl ServerCore {
         outcome
     }
 
-    /// Serves one statement through the sharded caches and the in-flight
-    /// dedup table. Pure with respect to the aggregate counters (the
-    /// caller's tally absorbs the outcome).
-    fn serve_uncounted(&self, sql: &str) -> SqlResult<StatementOutcome> {
+    /// Serves one read statement against the pinned snapshot `db` through
+    /// the sharded caches and the in-flight dedup table. Pure with respect
+    /// to the aggregate counters (the caller's tally absorbs the outcome).
+    fn serve_uncounted(&self, db: &Arc<Database>, sql: &str) -> SqlResult<StatementOutcome> {
         if self.results.stripe_cap == 0 {
             // Caching (and dedup) off: the known-miss path does no cache
             // round-trips at all.
-            let (result, stats) = self.plans.execute(&self.db, sql, self.config.mode)?;
+            let (result, stats) = self.plans.execute(db, sql, self.config.mode)?;
             return Ok(StatementOutcome { result, stats, from_result_cache: false });
         }
+        // The cache key's data-dependency half: the versions (generations)
+        // of every table the statement reads, under the pinned snapshot.
+        // Two executions sharing a vkey see identical table states, so a
+        // cached result is valid for both even across different snapshots.
+        let prepared = self.plans.prepare(db.name(), sql)?;
+        let vkey = db.dependency_fingerprint(prepared.referenced_tables());
         let idx = self.results.shard_of(sql);
         let shard = &self.results.shards[idx];
         loop {
             // Fast path: per-stripe read lock only.
-            let flight = match shard.slots.read().get(sql) {
+            let flight = match shard.slots.read().get(&vkey).and_then(|m| m.get(sql)) {
                 Some(Slot::Ready(entry)) => return Ok(shard.hit(entry)),
                 Some(Slot::InFlight(f)) => Some(Arc::clone(f)),
                 None => None,
@@ -581,7 +668,7 @@ impl ServerCore {
                     // Admission: one write lock decides the canonical
                     // executor among racing duplicates.
                     let mut slots = shard.slots.write();
-                    match slots.get(sql) {
+                    match slots.get(&vkey).and_then(|m| m.get(sql)) {
                         Some(Slot::Ready(entry)) => {
                             let entry = Arc::clone(entry);
                             drop(slots);
@@ -590,9 +677,12 @@ impl ServerCore {
                         Some(Slot::InFlight(f)) => Arc::clone(f),
                         None => {
                             let f = Arc::new(InFlight::new());
-                            slots.insert(sql.to_string(), Slot::InFlight(Arc::clone(&f)));
+                            slots
+                                .entry(vkey)
+                                .or_default()
+                                .insert(sql.to_string(), Slot::InFlight(Arc::clone(&f)));
                             drop(slots);
-                            return self.run_canonical(idx, sql, &f);
+                            return self.run_canonical(db, &prepared, idx, vkey, sql, &f);
                         }
                     }
                 }
@@ -613,15 +703,19 @@ impl ServerCore {
     /// publishes the outcome to the stripe and to every waiter.
     fn run_canonical(
         &self,
+        db: &Arc<Database>,
+        prepared: &PreparedStatement,
         idx: usize,
+        vkey: u64,
         sql: &str,
         flight: &Arc<InFlight>,
     ) -> SqlResult<StatementOutcome> {
-        let mut guard = FlightGuard { cache: &self.results, shard: idx, sql, flight, armed: true };
+        let mut guard =
+            FlightGuard { cache: &self.results, shard: idx, vkey, sql, flight, armed: true };
         // Canonical executions run under the per-operator profiler: rows
         // and stats are bit-identical to an unprofiled run, and the profile
         // is what the slow-query log records.
-        let executed = self.plans.execute_profiled(&self.db, sql, self.config.mode);
+        let executed = prepared.execute_profiled(db, self.config.mode);
         let shard = &self.results.shards[idx];
         let published = match &executed {
             Ok((result, stats, _profile)) => {
@@ -633,57 +727,86 @@ impl ServerCore {
                 let mut slots = shard.slots.write();
                 // Reclaim the admission-time key so publishing a result does
                 // not re-allocate the statement text.
-                let key =
-                    slots.remove_entry(sql).map(|(key, _)| key).unwrap_or_else(|| sql.to_string());
+                let key = slots
+                    .get_mut(&vkey)
+                    .and_then(|m| m.remove_entry(sql))
+                    .map(|(key, _)| key)
+                    .unwrap_or_else(|| sql.to_string());
                 // Per-stripe LRU admission: evict the least-recently-served
-                // ready entries until the newcomer fits. In-flight slots are
+                // ready entries — across every fingerprint, so entries keyed
+                // by versions no one probes anymore age out like any other
+                // cold entry — until the newcomer fits. In-flight slots are
                 // never evicted. The O(stripe len) scans are bounded by the
                 // stripe cap, not the whole cache.
-                while slots.values().filter(|s| matches!(s, Slot::Ready(_))).count()
+                while slots
+                    .values()
+                    .flat_map(HashMap::values)
+                    .filter(|s| matches!(s, Slot::Ready(_)))
+                    .count()
                     >= self.results.stripe_cap
                 {
                     let coldest = slots
                         .iter()
-                        .filter_map(|(k, s)| match s {
-                            Slot::Ready(e) => Some((k, e.last_used.load(Ordering::Relaxed))),
-                            Slot::InFlight(_) => None,
+                        .flat_map(|(vk, m)| {
+                            m.iter().filter_map(move |(k, s)| match s {
+                                Slot::Ready(e) => {
+                                    Some((*vk, k.clone(), e.last_used.load(Ordering::Relaxed)))
+                                }
+                                Slot::InFlight(_) => None,
+                            })
                         })
-                        .min_by_key(|(_, used)| *used)
-                        .map(|(k, _)| k.clone())
+                        .min_by_key(|(_, _, used)| *used)
+                        .map(|(vk, k, _)| (vk, k))
                         .expect("stripe cap > 0, so a full stripe has a coldest ready entry");
-                    slots.remove(&coldest);
+                    if let Some(m) = slots.get_mut(&coldest.0) {
+                        m.remove(&coldest.1);
+                        if m.is_empty() {
+                            slots.remove(&coldest.0);
+                        }
+                    }
                     self.results.evictions.fetch_add(1, Ordering::Relaxed);
                 }
-                slots.insert(key, Slot::Ready(Arc::clone(&entry)));
+                slots.entry(vkey).or_default().insert(key, Slot::Ready(Arc::clone(&entry)));
                 Ok(entry)
             }
             Err(e) => {
                 // Errors are deterministic but never cached: remove the
                 // slot so later submissions re-report through the engine.
-                shard.slots.write().remove(sql);
+                let mut slots = shard.slots.write();
+                if let Some(m) = slots.get_mut(&vkey) {
+                    m.remove(sql);
+                    if m.is_empty() {
+                        slots.remove(&vkey);
+                    }
+                }
                 Err(e.clone())
             }
         };
         guard.armed = false;
         flight.publish(published);
         executed.map(|(result, stats, profile)| {
-            self.note_slow(sql, &stats, &profile);
+            self.note_slow(db, prepared, sql, &stats, &profile);
             StatementOutcome { result, stats, from_result_cache: false }
         })
     }
 
     /// Records a canonical execution in the slow-query log when its
     /// measured time reaches the configured threshold.
-    fn note_slow(&self, sql: &str, stats: &ExecStats, profile: &QueryProfile) {
+    fn note_slow(
+        &self,
+        db: &Arc<Database>,
+        prepared: &PreparedStatement,
+        sql: &str,
+        stats: &ExecStats,
+        profile: &QueryProfile,
+    ) {
         if !self.slow_log.qualifies(profile.total_nanos) {
             return;
         }
         // Slow path only: re-rendering the plan replays the shared plan
         // cache, so no statement is ever re-planned for the log.
-        let plan = self
-            .plans
-            .prepare(self.db.name(), sql)
-            .and_then(|p| p.explain(&self.db, self.config.mode))
+        let plan = prepared
+            .explain(db, self.config.mode)
             .unwrap_or_else(|e| format!("(plan unavailable: {e})"));
         self.slow_log.record(SlowQuery {
             sql: sql.to_string(),
@@ -695,9 +818,14 @@ impl ServerCore {
     }
 }
 
-/// One batch moving through the worker pool: statements in, outcome slots
-/// out, a shared work-stealing cursor in between.
+/// One read run moving through the worker pool: statements in, outcome
+/// slots out, a shared work-stealing cursor in between, all served against
+/// one pinned snapshot.
 struct BatchState {
+    /// The snapshot every statement of this run executes against, pinned at
+    /// run start. Workers serve from this `Arc`, so a commit publishing a
+    /// newer snapshot mid-run cannot change what the run sees.
+    db: Arc<Database>,
     stmts: Vec<String>,
     slots: Vec<Mutex<Option<SqlResult<StatementOutcome>>>>,
     /// Next unclaimed statement index — the work-stealing cursor.
@@ -709,9 +837,10 @@ struct BatchState {
 }
 
 impl BatchState {
-    fn new(stmts: Vec<String>) -> Self {
+    fn new(db: Arc<Database>, stmts: Vec<String>) -> Self {
         let slots = stmts.iter().map(|_| Mutex::new(None)).collect();
         BatchState {
+            db,
             stmts,
             slots,
             cursor: AtomicUsize::new(0),
@@ -735,7 +864,7 @@ fn run_batch_tasks(core: &ServerCore, batch: &BatchState) {
         if i >= n {
             break;
         }
-        let outcome = core.serve_one(&batch.stmts[i]);
+        let outcome = core.serve_one(&batch.db, &batch.stmts[i]);
         tally.absorb(&outcome);
         *batch.slots[i].lock() = Some(outcome);
         served += 1;
@@ -826,9 +955,9 @@ pub struct Server {
 }
 
 impl Server {
-    /// Creates a server over a snapshot. The `Arc` is the freeze: as long
-    /// as the server (or any clone of the `Arc`) is alive, no `&mut
-    /// Database` can exist, so every cache entry stays valid.
+    /// Creates a server over an initial snapshot. The server owns snapshot
+    /// publication from here on: reads pin the currently published version,
+    /// writes commit copy-on-write and publish the next one.
     pub fn new(db: Arc<Database>, config: ServeConfig) -> Self {
         let workers = config.effective_workers();
         let hardware = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -838,8 +967,10 @@ impl Server {
         // configured count stays the ceiling the same config reaches on
         // bigger hardware.
         let spawned = if config.oversubscribe { workers } else { workers.min(hardware) };
+        let initial_version = db.version();
         let core = Arc::new(ServerCore {
-            db,
+            snapshot: RwLock::new(db),
+            commit_gate: Mutex::new(()),
             config,
             plans: SharedPlanCache::with_shards(workers.max(MIN_RESULT_SHARDS)),
             results: ShardedResultCache::new(workers, &config),
@@ -849,6 +980,7 @@ impl Server {
             metrics: MetricsRegistry::new(),
             slow_log: SlowQueryLog::new(&config),
         });
+        core.metrics.set_snapshot_version(initial_version);
         let pool = Arc::new(PoolShared {
             job: Mutex::new(JobBoard::default()),
             available: Condvar::new(),
@@ -908,9 +1040,15 @@ impl Server {
         self.core.results.evictions.load(Ordering::Relaxed)
     }
 
-    /// The served snapshot.
-    pub fn database(&self) -> &Database {
-        &self.core.db
+    /// The currently published snapshot, pinned: the returned `Arc` keeps
+    /// serving this exact version even as later commits publish newer ones.
+    pub fn database(&self) -> Arc<Database> {
+        self.core.snapshot()
+    }
+
+    /// The version of the currently published snapshot.
+    pub fn snapshot_version(&self) -> u64 {
+        self.core.snapshot().version()
     }
 
     /// The server configuration.
@@ -918,16 +1056,21 @@ impl Server {
         self.core.config
     }
 
-    /// Opens a session: a lightweight per-client handle that accumulates
-    /// its own statistics on top of the shared server state.
+    /// Opens a session: a lightweight per-client handle that **pins** the
+    /// currently published snapshot for its lifetime. Every read the
+    /// session makes sees that one version regardless of concurrent
+    /// commits; the session's own writes re-pin it to the snapshot they
+    /// published (read-your-writes).
     pub fn session(&self) -> Session<'_> {
-        Session { server: self, stats: ExecStats::default(), executed: 0 }
+        Session { server: self, db: self.core.snapshot(), stats: ExecStats::default(), executed: 0 }
     }
 
-    /// Serves one statement through the shared caches.
+    /// Serves one statement through the shared caches: reads against the
+    /// currently published snapshot, writes through the commit path.
     pub fn execute(&self, sql: &str) -> SqlResult<StatementOutcome> {
         self.core.metrics.record_enqueue(1);
-        let outcome = self.core.serve_one(sql);
+        let db = self.core.snapshot();
+        let outcome = self.core.serve_one(&db, sql);
         let mut tally = Tally::default();
         tally.absorb(&outcome);
         self.core.fold(tally);
@@ -935,16 +1078,76 @@ impl Server {
     }
 
     /// Executes a batch, returning one outcome per statement **in
-    /// submission order**. With more than one worker the batch is
-    /// published to the persistent pool and the calling thread joins in;
-    /// all workers pull statements off a shared work-stealing cursor, so
-    /// skewed batches stay balanced and the output order never depends on
-    /// scheduling.
+    /// submission order**. The batch is split into **read runs** —
+    /// maximal stretches of consecutive reads, each served in parallel by
+    /// the worker pool against the snapshot current at run start —
+    /// separated by writes, each committed serially in submission order
+    /// (and visible to every later statement of the batch). This structure
+    /// makes a mixed batch's per-statement results and final snapshot
+    /// identical at any worker count.
     pub fn execute_batch(&self, stmts: &[String]) -> Vec<SqlResult<StatementOutcome>> {
+        self.batch_segmented(None, stmts)
+    }
+
+    /// The shared mixed-batch driver. With `pin` set (session batches) read
+    /// runs execute against the caller's pinned snapshot and the pin
+    /// advances past each of the caller's own commits; without it (server
+    /// batches) each read run pins the latest published snapshot.
+    fn batch_segmented(
+        &self,
+        mut pin: Option<&mut Arc<Database>>,
+        stmts: &[String],
+    ) -> Vec<SqlResult<StatementOutcome>> {
         if stmts.is_empty() {
             return Vec::new();
         }
         self.core.metrics.record_batch(stmts.len() as u64);
+        let mut out = Vec::with_capacity(stmts.len());
+        let mut i = 0;
+        while i < stmts.len() {
+            if is_write_statement(&stmts[i]) {
+                let db = self.core.snapshot();
+                let outcome = self.core.serve_one(&db, &stmts[i]);
+                let mut tally = Tally::default();
+                tally.absorb(&outcome);
+                self.core.fold(tally);
+                if let Some(p) = pin.as_deref_mut() {
+                    // Read-your-writes: the session's pin advances to the
+                    // snapshot its own commit just published.
+                    *p = self.core.snapshot();
+                }
+                out.push(outcome);
+                i += 1;
+            } else {
+                let end = stmts[i..]
+                    .iter()
+                    .position(|s| is_write_statement(s))
+                    .map(|p| i + p)
+                    .unwrap_or(stmts.len());
+                let db = match pin.as_deref() {
+                    Some(p) => Arc::clone(p),
+                    None => self.core.snapshot(),
+                };
+                out.extend(self.run_read_segment(db, &stmts[i..end]));
+                i = end;
+            }
+        }
+        out
+    }
+
+    /// Serves one all-read run with the worker pool against one pinned
+    /// snapshot. With more than one worker the run is published to the
+    /// persistent pool and the calling thread joins in; all workers pull
+    /// statements off a shared work-stealing cursor, so skewed runs stay
+    /// balanced and the output order never depends on scheduling.
+    fn run_read_segment(
+        &self,
+        db: Arc<Database>,
+        stmts: &[String],
+    ) -> Vec<SqlResult<StatementOutcome>> {
+        if stmts.is_empty() {
+            return Vec::new();
+        }
         // Clamp at admission too: a `ServeConfig { workers: 0, .. }` built
         // via struct literal (bypassing `with_workers`) serves serially.
         let workers = self.core.config.effective_workers().min(stmts.len());
@@ -962,7 +1165,7 @@ impl Server {
             let outcomes: Vec<SqlResult<StatementOutcome>> = stmts
                 .iter()
                 .map(|sql| {
-                    let outcome = self.core.serve_one(sql);
+                    let outcome = self.core.serve_one(&db, sql);
                     tally.absorb(&outcome);
                     outcome
                 })
@@ -972,7 +1175,7 @@ impl Server {
             return outcomes;
         }
         let _gate = self.batch_gate.lock();
-        let batch = Arc::new(BatchState::new(stmts.to_vec()));
+        let batch = Arc::new(BatchState::new(db, stmts.to_vec()));
         {
             let mut job = self.pool.job.lock();
             job.generation += 1;
@@ -1043,18 +1246,34 @@ impl Drop for Server {
     }
 }
 
-/// A per-client handle over a [`Server`]: shares the server's snapshot and
-/// caches, accumulates its own totals.
+/// A per-client handle over a [`Server`]: shares the server's caches,
+/// accumulates its own totals, and **pins one snapshot** for its lifetime.
+/// Reads see the pinned version no matter what concurrent sessions commit;
+/// the session's own writes re-pin it to the snapshot they published, so a
+/// session always reads its own writes.
 pub struct Session<'s> {
     server: &'s Server,
+    /// The snapshot this session serves reads from. Advanced only by the
+    /// session's own commits.
+    db: Arc<Database>,
     stats: ExecStats,
     executed: u64,
 }
 
 impl Session<'_> {
-    /// Serves one statement, folding its stats into the session totals.
+    /// Serves one statement — reads against the pinned snapshot, writes
+    /// through the commit path (re-pinning on success) — folding its stats
+    /// into the session totals.
     pub fn execute(&mut self, sql: &str) -> SqlResult<StatementOutcome> {
-        let outcome = self.server.execute(sql);
+        self.server.core.metrics.record_enqueue(1);
+        let write = is_write_statement(sql);
+        let outcome = self.server.core.serve_one(&self.db, sql);
+        if write && outcome.is_ok() {
+            self.db = self.server.core.snapshot();
+        }
+        let mut tally = Tally::default();
+        tally.absorb(&outcome);
+        self.server.core.fold(tally);
         self.executed += 1;
         if let Ok(o) = &outcome {
             self.stats.merge(&o.stats);
@@ -1062,15 +1281,27 @@ impl Session<'_> {
         outcome
     }
 
-    /// Serves a batch with the server's worker pool, folding every
+    /// Serves a batch with the server's worker pool — read runs against
+    /// the session's pinned snapshot, writes committed serially in
+    /// submission order with the pin advancing past each — folding every
     /// successful statement's stats into the session totals.
     pub fn execute_batch(&mut self, stmts: &[String]) -> Vec<SqlResult<StatementOutcome>> {
-        let outcomes = self.server.execute_batch(stmts);
+        let outcomes = self.server.batch_segmented(Some(&mut self.db), stmts);
         self.executed += outcomes.len() as u64;
         for o in outcomes.iter().flatten() {
             self.stats.merge(&o.stats);
         }
         outcomes
+    }
+
+    /// The snapshot this session is pinned to.
+    pub fn database(&self) -> Arc<Database> {
+        Arc::clone(&self.db)
+    }
+
+    /// The version of the session's pinned snapshot.
+    pub fn snapshot_version(&self) -> u64 {
+        self.db.version()
     }
 
     /// Statements this session has submitted.
@@ -1291,7 +1522,7 @@ mod tests {
         assert_eq!(server.result_cache_evictions(), 2);
         // Correctness is cache-independent: the re-executed statement
         // returns the same rows it did before eviction.
-        let before = execute_with_stats(server.database(), b).unwrap().0;
+        let before = execute_with_stats(&server.database(), b).unwrap().0;
         assert_eq!(server.execute(b).unwrap().result.rows, before.rows);
     }
 

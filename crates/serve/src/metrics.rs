@@ -151,6 +151,9 @@ impl HistogramSnapshot {
 /// statement text alone (this module never parses SQL).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum StatementClass {
+    /// A mutation: INSERT, UPDATE, DELETE, or CREATE. Served through the
+    /// commit path, never through the result cache.
+    Write,
     /// Contains a parenthesized subquery.
     Subquery,
     /// Grouped or aggregated (GROUP BY or an aggregate function).
@@ -163,17 +166,23 @@ pub enum StatementClass {
 
 impl StatementClass {
     /// Every class, in rendering order.
-    pub const ALL: [StatementClass; 4] = [
+    pub const ALL: [StatementClass; 5] = [
+        StatementClass::Write,
         StatementClass::Subquery,
         StatementClass::Aggregate,
         StatementClass::Join,
         StatementClass::Simple,
     ];
 
-    /// Classifies a statement by text, first match wins: subquery, then
-    /// aggregate, then join. Deliberately syntactic — the same statement
-    /// always lands in the same class, which is all a latency key needs.
+    /// Classifies a statement by text, first match wins: write, then
+    /// subquery, then aggregate, then join. Deliberately syntactic — the
+    /// same statement always lands in the same class, which is all a
+    /// latency key needs.
     pub fn of(sql: &str) -> StatementClass {
+        let first = sql.split_whitespace().next().unwrap_or("");
+        if ["INSERT", "UPDATE", "DELETE", "CREATE"].iter().any(|k| first.eq_ignore_ascii_case(k)) {
+            return StatementClass::Write;
+        }
         let upper = sql.to_ascii_uppercase();
         if upper.contains("(SELECT") || upper.contains("( SELECT") {
             StatementClass::Subquery
@@ -191,6 +200,7 @@ impl StatementClass {
     /// Stable lowercase label (Prometheus `class` tag value).
     pub fn name(self) -> &'static str {
         match self {
+            StatementClass::Write => "write",
             StatementClass::Subquery => "subquery",
             StatementClass::Aggregate => "aggregate",
             StatementClass::Join => "join",
@@ -201,10 +211,11 @@ impl StatementClass {
     /// Position in [`StatementClass::ALL`].
     pub fn index(self) -> usize {
         match self {
-            StatementClass::Subquery => 0,
-            StatementClass::Aggregate => 1,
-            StatementClass::Join => 2,
-            StatementClass::Simple => 3,
+            StatementClass::Write => 0,
+            StatementClass::Subquery => 1,
+            StatementClass::Aggregate => 2,
+            StatementClass::Join => 3,
+            StatementClass::Simple => 4,
         }
     }
 }
@@ -230,7 +241,12 @@ pub struct MetricsRegistry {
     queue_served: AtomicU64,
     workers_busy: AtomicU64,
     worker_busy_nanos: AtomicU64,
-    latency: [LatencyHistogram; 4],
+    commits: AtomicU64,
+    rows_inserted: AtomicU64,
+    rows_updated: AtomicU64,
+    rows_deleted: AtomicU64,
+    snapshot_version: AtomicU64,
+    latency: [LatencyHistogram; StatementClass::ALL.len()],
 }
 
 impl Default for MetricsRegistry {
@@ -251,6 +267,11 @@ impl Default for MetricsRegistry {
             queue_served: AtomicU64::new(0),
             workers_busy: AtomicU64::new(0),
             worker_busy_nanos: AtomicU64::new(0),
+            commits: AtomicU64::new(0),
+            rows_inserted: AtomicU64::new(0),
+            rows_updated: AtomicU64::new(0),
+            rows_deleted: AtomicU64::new(0),
+            snapshot_version: AtomicU64::new(0),
             latency: std::array::from_fn(|_| LatencyHistogram::default()),
         }
     }
@@ -309,6 +330,23 @@ impl MetricsRegistry {
         self.queue_enqueued.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records one committed mutation — its per-kind row counts and the
+    /// snapshot version the commit published. Plain numbers, so this module
+    /// stays engine-independent.
+    pub fn record_commit(&self, inserted: u64, updated: u64, deleted: u64, version: u64) {
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.rows_inserted.fetch_add(inserted, Ordering::Relaxed);
+        self.rows_updated.fetch_add(updated, Ordering::Relaxed);
+        self.rows_deleted.fetch_add(deleted, Ordering::Relaxed);
+        self.snapshot_version.store(version, Ordering::Relaxed);
+    }
+
+    /// Sets the snapshot-version gauge without recording a commit (server
+    /// construction publishes the initial snapshot's version this way).
+    pub fn set_snapshot_version(&self, version: u64) {
+        self.snapshot_version.store(version, Ordering::Relaxed);
+    }
+
     /// A worker began draining work (busy-gauge increment).
     pub fn worker_started(&self) {
         self.workers_busy.fetch_add(1, Ordering::Relaxed);
@@ -339,6 +377,11 @@ impl MetricsRegistry {
                 .saturating_sub(self.queue_served.load(Ordering::Relaxed)),
             workers_busy: self.workers_busy.load(Ordering::Relaxed),
             worker_busy_nanos: self.worker_busy_nanos.load(Ordering::Relaxed),
+            commits: self.commits.load(Ordering::Relaxed),
+            rows_inserted: self.rows_inserted.load(Ordering::Relaxed),
+            rows_updated: self.rows_updated.load(Ordering::Relaxed),
+            rows_deleted: self.rows_deleted.load(Ordering::Relaxed),
+            snapshot_version: self.snapshot_version.load(Ordering::Relaxed),
             classes: StatementClass::ALL
                 .iter()
                 .map(|&class| ClassLatency {
@@ -390,6 +433,16 @@ pub struct MetricsSnapshot {
     pub workers_busy: u64,
     /// Total worker time spent serving statements.
     pub worker_busy_nanos: u64,
+    /// Mutations committed (each publishing a new snapshot).
+    pub commits: u64,
+    /// Rows inserted across all commits.
+    pub rows_inserted: u64,
+    /// Rows updated across all commits.
+    pub rows_updated: u64,
+    /// Rows deleted across all commits.
+    pub rows_deleted: u64,
+    /// Version of the currently published snapshot (gauge).
+    pub snapshot_version: u64,
     /// Per-class latency histograms, in [`StatementClass::ALL`] order.
     pub classes: Vec<ClassLatency>,
 }
@@ -490,11 +543,20 @@ impl MetricsSnapshot {
             "Worker time spent serving statements",
             self.worker_busy_nanos,
         );
+        counter("serve_commits_total", "Mutations committed", self.commits);
+        counter("serve_rows_inserted_total", "Rows inserted by commits", self.rows_inserted);
+        counter("serve_rows_updated_total", "Rows updated by commits", self.rows_updated);
+        counter("serve_rows_deleted_total", "Rows deleted by commits", self.rows_deleted);
         let mut gauge = |name: &str, help: &str, value: u64| {
             out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"));
         };
         gauge("serve_queue_depth", "Statements admitted but not yet served", self.queue_depth);
         gauge("serve_workers_busy", "Workers currently draining a batch", self.workers_busy);
+        gauge(
+            "serve_snapshot_version",
+            "Version of the currently published snapshot",
+            self.snapshot_version,
+        );
         out.push_str("# HELP serve_statement_latency_nanoseconds Statement latency by class\n");
         out.push_str("# TYPE serve_statement_latency_nanoseconds histogram\n");
         for c in &self.classes {
@@ -575,6 +637,10 @@ mod tests {
             StatementClass::of("SELECT id FROM t WHERE v > (SELECT AVG(v) FROM t)"),
             StatementClass::Subquery
         );
+        assert_eq!(StatementClass::of("INSERT INTO t VALUES (1)"), StatementClass::Write);
+        assert_eq!(StatementClass::of("  update t set a = 1 where id = 2"), StatementClass::Write);
+        assert_eq!(StatementClass::of("DELETE FROM t"), StatementClass::Write);
+        assert_eq!(StatementClass::of("create table x (a INTEGER)"), StatementClass::Write);
         for class in StatementClass::ALL {
             assert_eq!(StatementClass::ALL[class.index()], class);
         }

@@ -43,7 +43,7 @@ fn hammer(server: &Server, stmts: &[String], rounds: usize) {
                         // Different threads visit in different orders.
                         let sql = &stmts[(i * (t + 1) + r) % stmts.len()];
                         let outcome = server.execute(sql).unwrap();
-                        let (direct, _) = execute_with_stats(server.database(), sql).unwrap();
+                        let (direct, _) = execute_with_stats(&server.database(), sql).unwrap();
                         assert_eq!(outcome.result.rows, direct.rows, "{sql}");
                         for (stripe, len) in server.result_cache_shard_lens().iter().enumerate() {
                             assert!(

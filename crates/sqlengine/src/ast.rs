@@ -10,7 +10,24 @@ pub enum Statement {
     Select(SelectStatement),
     CreateTable(CreateTableStatement),
     Insert(InsertStatement),
+    Update(UpdateStatement),
+    Delete(DeleteStatement),
     Explain(ExplainStatement),
+}
+
+impl Statement {
+    /// True for statements that mutate database state (`INSERT`, `UPDATE`,
+    /// `DELETE`, `CREATE TABLE`) — the statements the snapshot commit path
+    /// admits; `SELECT`/`EXPLAIN` run against a pinned snapshot instead.
+    pub fn is_mutation(&self) -> bool {
+        matches!(
+            self,
+            Statement::Insert(_)
+                | Statement::Update(_)
+                | Statement::Delete(_)
+                | Statement::CreateTable(_)
+        )
+    }
 }
 
 /// `EXPLAIN [ANALYZE] <select>`: render the physical plan for a query
@@ -36,6 +53,26 @@ pub struct InsertStatement {
     pub table: String,
     pub columns: Vec<String>,
     pub rows: Vec<Vec<Expr>>,
+}
+
+/// `UPDATE <table> SET col = expr, ... [WHERE predicate]`.
+///
+/// Assignment right-hand sides and the WHERE predicate are full expressions
+/// (including subqueries); every RHS is evaluated against the *pre-update*
+/// row, per standard SQL semantics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStatement {
+    pub table: String,
+    /// `(column, value expression)` pairs, in source order.
+    pub assignments: Vec<(String, Expr)>,
+    pub where_clause: Option<Expr>,
+}
+
+/// `DELETE FROM <table> [WHERE predicate]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStatement {
+    pub table: String,
+    pub where_clause: Option<Expr>,
 }
 
 /// A full `SELECT` statement.
@@ -81,6 +118,84 @@ impl SelectStatement {
                 out.push(table.clone());
             }
         }
+        out
+    }
+
+    /// Every base-table name this query can read, *including* tables reached
+    /// only through derived tables and subqueries in any clause — the
+    /// dependency set version-keyed caches invalidate by. Names are
+    /// lowercased, sorted, and deduplicated so the result is a stable cache
+    /// key regardless of query spelling.
+    pub fn all_referenced_tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        fn table_ref(r: &TableRef, out: &mut Vec<String>) {
+            match r {
+                TableRef::Named { table, .. } => out.push(table.to_ascii_lowercase()),
+                TableRef::Derived { query, .. } => query.collect_tables(out),
+            }
+        }
+        if let Some(f) = &self.from {
+            table_ref(f, out);
+        }
+        for j in &self.joins {
+            table_ref(&j.table, out);
+            if let Some(on) = &j.on {
+                on.collect_tables(out);
+            }
+        }
+        for p in &self.projections {
+            if let Projection::Expr { expr, .. } = p {
+                expr.collect_tables(out);
+            }
+        }
+        for e in self
+            .where_clause
+            .iter()
+            .chain(&self.group_by)
+            .chain(&self.having)
+            .chain(self.order_by.iter().map(|o| &o.expr))
+        {
+            e.collect_tables(out);
+        }
+    }
+}
+
+impl UpdateStatement {
+    /// The dependency set of the statement: the target table plus every
+    /// table reachable from assignment and WHERE expressions (lowercased,
+    /// sorted, deduplicated).
+    pub fn all_referenced_tables(&self) -> Vec<String> {
+        let mut out = vec![self.table.to_ascii_lowercase()];
+        for (_, e) in &self.assignments {
+            e.collect_tables(&mut out);
+        }
+        if let Some(w) = &self.where_clause {
+            w.collect_tables(&mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+impl DeleteStatement {
+    /// The dependency set of the statement: the target table plus every
+    /// table reachable from the WHERE expression (lowercased, sorted,
+    /// deduplicated).
+    pub fn all_referenced_tables(&self) -> Vec<String> {
+        let mut out = vec![self.table.to_ascii_lowercase()];
+        if let Some(w) = &self.where_clause {
+            w.collect_tables(&mut out);
+        }
+        out.sort_unstable();
+        out.dedup();
         out
     }
 }
@@ -450,6 +565,71 @@ impl Expr {
                 operand.as_ref().is_some_and(|e| e.contains_function())
                     || branches.iter().any(|(w, t)| w.contains_function() || t.contains_function())
                     || else_branch.as_ref().is_some_and(|e| e.contains_function())
+            }
+        }
+    }
+
+    /// Collects every base-table name reachable from subqueries inside the
+    /// expression tree (lowercased, in discovery order) into `out`. The
+    /// building block of [`SelectStatement::all_referenced_tables`].
+    pub(crate) fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::InSubquery { expr, query, .. } => {
+                expr.collect_tables(out);
+                query.collect_tables(out);
+            }
+            Expr::Exists { query, .. } => query.collect_tables(out),
+            Expr::ScalarSubquery(q) => q.collect_tables(out),
+            Expr::Literal(_) | Expr::Column { .. } => {}
+            Expr::Compare { left, right, .. }
+            | Expr::Arith { left, right, .. }
+            | Expr::Concat { left, right } => {
+                left.collect_tables(out);
+                right.collect_tables(out);
+            }
+            Expr::And(a, b) | Expr::Or(a, b) => {
+                a.collect_tables(out);
+                b.collect_tables(out);
+            }
+            Expr::Not(e) | Expr::Neg(e) => e.collect_tables(out),
+            Expr::Like { expr, pattern, .. } => {
+                expr.collect_tables(out);
+                pattern.collect_tables(out);
+            }
+            Expr::IsNull { expr, .. } => expr.collect_tables(out),
+            Expr::InList { expr, list, .. } => {
+                expr.collect_tables(out);
+                for e in list {
+                    e.collect_tables(out);
+                }
+            }
+            Expr::Between { expr, low, high, .. } => {
+                expr.collect_tables(out);
+                low.collect_tables(out);
+                high.collect_tables(out);
+            }
+            Expr::Aggregate { arg, .. } => {
+                if let Some(a) = arg {
+                    a.collect_tables(out);
+                }
+            }
+            Expr::Function { args, .. } => {
+                for a in args {
+                    a.collect_tables(out);
+                }
+            }
+            Expr::Cast { expr, .. } => expr.collect_tables(out),
+            Expr::Case { operand, branches, else_branch } => {
+                if let Some(o) = operand {
+                    o.collect_tables(out);
+                }
+                for (w, t) in branches {
+                    w.collect_tables(out);
+                    t.collect_tables(out);
+                }
+                if let Some(e) = else_branch {
+                    e.collect_tables(out);
+                }
             }
         }
     }

@@ -209,6 +209,14 @@ pub fn execute_statement(db: &mut Database, sql: &str) -> SqlResult<ResultSet> {
             rs.rows.push(vec![Value::Integer(count as i64)]);
             Ok(rs)
         }
+        Statement::Update(_) | Statement::Delete(_) => {
+            // Plan against the current state, then apply in place through
+            // the same table-level maintenance the commit path uses.
+            let planned = crate::mutate::plan_mutation(db, &stmt)?;
+            let outcome = crate::mutate::apply_planned(db, planned)?;
+            *db = outcome.db;
+            Ok(outcome.result)
+        }
         Statement::Explain(ex) => crate::explain::explain_statement(db, &ex, PlanMode::default()),
     }
 }
@@ -329,7 +337,7 @@ pub(crate) struct Executor<'a> {
 }
 
 impl<'a> Executor<'a> {
-    fn new(db: &'a Database, mode: PlanMode, plans: PlanCache) -> Self {
+    pub(crate) fn new(db: &'a Database, mode: PlanMode, plans: PlanCache) -> Self {
         Executor {
             db,
             stats: ExecStats::default(),

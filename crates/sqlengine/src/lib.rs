@@ -100,6 +100,7 @@ pub mod error;
 pub mod exec;
 pub mod explain;
 pub mod functions;
+pub mod mutate;
 pub mod parser;
 pub mod plan;
 pub mod prepared;
@@ -119,6 +120,10 @@ pub use exec::{
     execute_with_stats, execute_with_stats_mode,
 };
 pub use explain::{explain_analyze_text, explain_sql, explain_statement, explain_text};
+pub use mutate::{
+    commit_statement, commit_statement_rebuild, is_write_statement, statement_dependencies,
+    CommitOutcome, MutationKind, PlannedMutation,
+};
 pub use parser::{parse_select, parse_statement};
 pub use plan::{
     is_uncorrelated, node_label, plan_select, PhysicalPlan, PlanCache, PlanMode, PlanNode,
@@ -127,5 +132,5 @@ pub use prepared::{PreparedStatement, SharedPlanCache};
 pub use profile::{format_nanos, OpProfile, QueryProfile};
 pub use result::{ExecStats, ResultSet};
 pub use schema::{ColumnDef, DataType, DatabaseSchema, ForeignKey, TableSchema};
-pub use storage::{Database, EqKeyMap, GroupKeyMap, ProbeHits, Row, Table};
+pub use storage::{ColumnTextIndex, Database, EqKeyMap, GroupKeyMap, ProbeHits, Row, Table};
 pub use value::{like_match, ArithOp, Truth, Value};

@@ -111,6 +111,10 @@ impl Parser {
             Ok(Statement::CreateTable(self.parse_create_table()?))
         } else if self.check_keyword("INSERT") {
             Ok(Statement::Insert(self.parse_insert()?))
+        } else if self.check_keyword("UPDATE") {
+            Ok(Statement::Update(self.parse_update()?))
+        } else if self.check_keyword("DELETE") {
+            Ok(Statement::Delete(self.parse_delete()?))
         } else if self.check_keyword("EXPLAIN") {
             self.advance();
             let analyze = self.eat_keyword("ANALYZE");
@@ -233,6 +237,31 @@ impl Parser {
             }
         }
         Ok(InsertStatement { table, columns, rows })
+    }
+
+    fn parse_update(&mut self) -> SqlResult<UpdateStatement> {
+        self.expect_keyword("UPDATE")?;
+        let table = self.expect_identifier()?;
+        self.expect_keyword("SET")?;
+        let mut assignments = Vec::new();
+        loop {
+            let column = self.expect_identifier()?;
+            self.expect_symbol(Symbol::Eq)?;
+            assignments.push((column, self.parse_expr()?));
+            if !self.skip_symbol(Symbol::Comma) {
+                break;
+            }
+        }
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(UpdateStatement { table, assignments, where_clause })
+    }
+
+    fn parse_delete(&mut self) -> SqlResult<DeleteStatement> {
+        self.expect_keyword("DELETE")?;
+        self.expect_keyword("FROM")?;
+        let table = self.expect_identifier()?;
+        let where_clause = if self.eat_keyword("WHERE") { Some(self.parse_expr()?) } else { None };
+        Ok(DeleteStatement { table, where_clause })
     }
 
     fn parse_identifier_list(&mut self) -> SqlResult<Vec<String>> {

@@ -60,6 +60,12 @@ pub struct PreparedStatement {
     /// `Box` keeps the AST's address stable for the life of the entry — the
     /// invariant the address-keyed [`PlanCache`] depends on.
     stmt: Box<SelectStatement>,
+    /// Every base table the statement can read (lowercased, sorted,
+    /// deduplicated; subqueries at any depth included), computed once at
+    /// parse. This is the statement's data-dependency set — what
+    /// version-keyed caches fingerprint via
+    /// [`Database::dependency_fingerprint`].
+    referenced_tables: Vec<String>,
     plans: Mutex<PlanCache>,
 }
 
@@ -69,6 +75,7 @@ impl PreparedStatement {
         let stmt = crate::parser::parse_select(sql)?;
         Ok(PreparedStatement {
             sql: sql.to_string(),
+            referenced_tables: stmt.all_referenced_tables(),
             stmt: Box::new(stmt),
             plans: Mutex::new(PlanCache::default()),
         })
@@ -77,6 +84,14 @@ impl PreparedStatement {
     /// The original SQL text.
     pub fn sql(&self) -> &str {
         &self.sql
+    }
+
+    /// Every base table the statement can read — lowercased, sorted,
+    /// deduplicated, subqueries at any depth included. Computed once at
+    /// parse, so serving layers can fingerprint a statement's data
+    /// dependencies per execution without re-walking the AST.
+    pub fn referenced_tables(&self) -> &[String] {
+        &self.referenced_tables
     }
 
     /// The parsed statement.

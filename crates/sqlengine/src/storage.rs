@@ -5,7 +5,10 @@ use std::collections::{BTreeMap, HashMap};
 use std::ops::Deref;
 use std::sync::{Arc, OnceLock};
 
-use crate::chunk::{chunk_rows, DataChunk};
+use parking_lot::Mutex;
+use seed_retrieval::bm25::{Bm25Index, SearchHit};
+
+use crate::chunk::{chunk_rows, DataChunk, BATCH_SIZE};
 use crate::error::{SqlError, SqlResult};
 use crate::schema::{DatabaseSchema, TableSchema};
 use crate::value::Value;
@@ -91,35 +94,155 @@ fn num_key_bits(x: f64) -> u64 {
     }
 }
 
+/// Inserts `row` into an ascending position list, preserving order. Appends
+/// in O(1) when `row` is past the current tail (the scan-order bulk-load
+/// case); mid-list insertions (incremental UPDATE maintenance) binary-search
+/// for the slot.
+fn push_sorted(rows: &mut Vec<usize>, row: usize) {
+    match rows.last() {
+        Some(&last) if last >= row => {
+            let i = rows.partition_point(|&r| r < row);
+            rows.insert(i, row);
+        }
+        _ => rows.push(row),
+    }
+}
+
+/// Removes one occurrence of `row` from an ascending position list.
+fn drop_sorted(rows: &mut Vec<usize>, row: usize) {
+    if let Ok(i) = rows.binary_search(&row) {
+        rows.remove(i);
+    }
+}
+
+/// Rewrites an ascending position list through a compaction map (`None`
+/// drops the entry). Compaction maps are monotonic, so ascending order is
+/// preserved.
+fn remap_sorted(rows: &mut Vec<usize>, old_to_new: &[Option<usize>]) {
+    let mut keep = 0;
+    for i in 0..rows.len() {
+        if let Some(new) = old_to_new[rows[i]] {
+            rows[keep] = new;
+            keep += 1;
+        }
+    }
+    rows.truncate(keep);
+}
+
 impl EqKeyMap {
     /// Records `row` under key `v`. `NULL` keys are dropped (they can never
-    /// match). Rows must be inserted in ascending position order for probes
-    /// to preserve scan order.
+    /// match). Rows may be inserted at any position; every internal list is
+    /// kept in ascending row order so probes preserve scan order.
     pub fn insert(&mut self, v: &Value, row: usize) {
         match v {
             Value::Null => return,
             Value::Integer(i) => {
-                self.num.entry(num_key_bits(*i as f64)).or_default().push(row);
-                self.all_num_rows.push(row);
+                push_sorted(self.num.entry(num_key_bits(*i as f64)).or_default(), row);
+                push_sorted(&mut self.all_num_rows, row);
             }
             Value::Real(r) => {
                 if r.is_nan() {
-                    self.nan_num_rows.push(row);
+                    push_sorted(&mut self.nan_num_rows, row);
                 } else {
-                    self.num.entry(num_key_bits(*r)).or_default().push(row);
+                    push_sorted(self.num.entry(num_key_bits(*r)).or_default(), row);
                 }
-                self.all_num_rows.push(row);
+                push_sorted(&mut self.all_num_rows, row);
             }
             Value::Text(s) => {
-                self.text.entry(s.clone()).or_default().push(row);
+                push_sorted(self.text.entry(s.clone()).or_default(), row);
                 match s.parse::<f64>() {
-                    Ok(x) if x.is_nan() => self.nan_text_rows.push(row),
-                    Ok(x) => self.numeric_texts.push((x, row)),
+                    Ok(x) if x.is_nan() => push_sorted(&mut self.nan_text_rows, row),
+                    Ok(x) => {
+                        let i = self.numeric_texts.partition_point(|&(_, r)| r < row);
+                        self.numeric_texts.insert(i, (x, row));
+                    }
                     Err(_) => {}
                 }
             }
         }
         self.len += 1;
+    }
+
+    /// Removes the entry recorded for `(v, row)` — the exact inverse of
+    /// [`EqKeyMap::insert`] with the same arguments. `NULL` keys were never
+    /// stored, so removing one is a no-op. The incremental UPDATE path uses
+    /// remove + insert to move a row between buckets without rebuilding the
+    /// map.
+    pub fn remove(&mut self, v: &Value, row: usize) {
+        match v {
+            Value::Null => return,
+            Value::Integer(i) => {
+                let key = num_key_bits(*i as f64);
+                if let Some(b) = self.num.get_mut(&key) {
+                    drop_sorted(b, row);
+                    if b.is_empty() {
+                        self.num.remove(&key);
+                    }
+                }
+                drop_sorted(&mut self.all_num_rows, row);
+            }
+            Value::Real(r) => {
+                if r.is_nan() {
+                    drop_sorted(&mut self.nan_num_rows, row);
+                } else {
+                    let key = num_key_bits(*r);
+                    if let Some(b) = self.num.get_mut(&key) {
+                        drop_sorted(b, row);
+                        if b.is_empty() {
+                            self.num.remove(&key);
+                        }
+                    }
+                }
+                drop_sorted(&mut self.all_num_rows, row);
+            }
+            Value::Text(s) => {
+                if let Some(b) = self.text.get_mut(s) {
+                    drop_sorted(b, row);
+                    if b.is_empty() {
+                        self.text.remove(s);
+                    }
+                }
+                match s.parse::<f64>() {
+                    Ok(x) if x.is_nan() => drop_sorted(&mut self.nan_text_rows, row),
+                    Ok(_) => {
+                        if let Some(i) = self.numeric_texts.iter().position(|&(_, r)| r == row) {
+                            self.numeric_texts.remove(i);
+                        }
+                    }
+                    Err(_) => {}
+                }
+            }
+        }
+        self.len -= 1;
+    }
+
+    /// Rewrites every stored row position through a monotonic compaction map
+    /// (`old_to_new[old] = Some(new)` keeps a row at its shifted position,
+    /// `None` drops it) — the incremental DELETE maintenance path. One O(n)
+    /// pass over the stored entries; no key is rehashed and no text is
+    /// recloned, which is what makes this cheaper than rebuilding.
+    pub fn remap(&mut self, old_to_new: &[Option<usize>]) {
+        for b in self.num.values_mut() {
+            remap_sorted(b, old_to_new);
+        }
+        self.num.retain(|_, b| !b.is_empty());
+        remap_sorted(&mut self.all_num_rows, old_to_new);
+        remap_sorted(&mut self.nan_num_rows, old_to_new);
+        for b in self.text.values_mut() {
+            remap_sorted(b, old_to_new);
+        }
+        self.text.retain(|_, b| !b.is_empty());
+        self.numeric_texts.retain_mut(|e| match old_to_new[e.1] {
+            Some(new) => {
+                e.1 = new;
+                true
+            }
+            None => false,
+        });
+        remap_sorted(&mut self.nan_text_rows, old_to_new);
+        // Every non-NULL entry lives in exactly one of the numeric or text
+        // stores, so the surviving count is recomputable from those two.
+        self.len = self.all_num_rows.len() + self.text.values().map(Vec::len).sum::<usize>();
     }
 
     /// Number of (non-NULL) entries stored.
@@ -348,32 +471,128 @@ impl GroupKeyMap {
     }
 }
 
-/// An in-memory table: schema, row store, and (when the schema declares a
-/// single-column primary key) a hash index over that key, maintained on
-/// every insert.
+/// A BM25 index over one column's text cells, with doc-id → row-position
+/// mapping. Built (and incrementally maintained) by [`Table::text_index`];
+/// NULLs and non-text cells are skipped, so document ids are dense over the
+/// column's text rows and `row_of` translates them back to table positions.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnTextIndex {
+    index: Bm25Index,
+    row_of: Vec<usize>,
+}
+
+impl ColumnTextIndex {
+    fn build(col: usize, rows: &[Row]) -> Self {
+        let mut out = ColumnTextIndex::default();
+        out.extend(col, rows, 0);
+        out
+    }
+
+    /// Indexes the text cells of `rows[from..]` — exactly what a fresh build
+    /// does for the whole store, so incremental append maintenance is
+    /// state-identical to a rebuild by construction.
+    fn extend(&mut self, col: usize, rows: &[Row], from: usize) {
+        for (pos, row) in rows.iter().enumerate().skip(from) {
+            if let Value::Text(s) = &row[col] {
+                self.index.add_document(s.clone());
+                self.row_of.push(pos);
+            }
+        }
+    }
+
+    /// The underlying BM25 index (doc ids are dense text-row ordinals).
+    pub fn bm25(&self) -> &Bm25Index {
+        &self.index
+    }
+
+    /// Number of indexed documents (text cells).
+    pub fn len(&self) -> usize {
+        self.row_of.len()
+    }
+
+    /// True when the column holds no text cells.
+    pub fn is_empty(&self) -> bool {
+        self.row_of.is_empty()
+    }
+
+    /// Top-`k` BM25 search translated to `(row position, score)` pairs,
+    /// best first.
+    pub fn search(&self, query: &str, k: usize) -> Vec<(usize, f64)> {
+        self.index
+            .search(query, k)
+            .into_iter()
+            .map(|SearchHit { doc_id, score }| (self.row_of[doc_id], score))
+            .collect()
+    }
+}
+
+/// A cached per-column text index plus the table state it reflects.
 #[derive(Debug, Clone)]
+struct TextIndexEntry {
+    /// Table generation the index was last synchronized at.
+    built_at: u64,
+    /// Number of table rows consumed (text or not) when synchronized.
+    rows_seen: usize,
+    index: Arc<ColumnTextIndex>,
+}
+
+/// An in-memory table: schema, row store, and (when the schema declares a
+/// single-column primary key) a hash index over that key, maintained
+/// incrementally on every mutation.
+#[derive(Debug)]
 pub struct Table {
     pub schema: TableSchema,
     /// Row store. Private so every mutation flows through [`Table::insert`],
-    /// which keeps the PK hash index in sync; read access is via
-    /// [`Table::rows`].
+    /// [`Table::update_rows`], or [`Table::delete_rows`], which keep the PK
+    /// hash index, the columnar snapshot, and the text indexes in sync; read
+    /// access is via [`Table::rows`].
     rows: Vec<Row>,
     pk_col: Option<usize>,
     pk_index: EqKeyMap,
-    /// Mutation epoch: bumped by [`Table::insert`] — the only mutation path
-    /// (`rows` is private, so every write flows through it). The columnar
+    /// Mutation epoch: bumped once by every mutation entry point (`rows` is
+    /// private, so every write flows through one). This is the table's
+    /// *version* for snapshot bookkeeping — serve-side caches key entries by
+    /// it, and distinct values witness distinct row stores. The columnar
     /// snapshot records the generation it was built at, and
     /// [`Table::columnar_chunks`] asserts the two still agree at every
-    /// borrow, so a mutation path added without invalidation fails loudly
+    /// borrow, so a mutation path added without maintenance fails loudly
     /// instead of serving stale chunks.
     generation: u64,
+    /// Generation of the most recent *non-append* mutation (UPDATE/DELETE).
+    /// Text indexes built at or after this point can catch up by indexing
+    /// only appended rows; older ones must rebuild (BM25 has no removal).
+    reshaped_at: u64,
     /// Lazily built columnar snapshot of the row store, shared with every
-    /// columnar scan ([`Table::columnar_chunks`]). Invalidated by
-    /// [`Table::insert`] by swapping in a fresh empty cell, so a scan can
-    /// never observe a stale snapshot; the stored generation pins the
-    /// contract. Cloning a table (database snapshots) shares the
-    /// already-built chunks; they are immutable, so sharing is sound.
+    /// columnar scan ([`Table::columnar_chunks`]). Mutations maintain it
+    /// *incrementally* when it exists — inserts re-transpose only the
+    /// trailing partial chunk, updates only the chunks containing changed
+    /// rows, deletes only the suffix from the first deleted position — and
+    /// re-stamp it with the new generation, so a prepared statement cached
+    /// across a commit re-snapshots instead of panicking. Cloning a table
+    /// (database snapshots) shares the already-built chunks; they are
+    /// immutable, so sharing is sound.
     chunks: OnceLock<(u64, Vec<Arc<DataChunk>>)>,
+    /// Lazily built BM25 indexes per text column ([`Table::text_index`]),
+    /// extended incrementally while mutations stay append-only and rebuilt
+    /// per column otherwise.
+    text_indexes: Mutex<HashMap<usize, TextIndexEntry>>,
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            pk_col: self.pk_col,
+            pk_index: self.pk_index.clone(),
+            generation: self.generation,
+            reshaped_at: self.reshaped_at,
+            chunks: self.chunks.clone(),
+            // Entries hold Arc'd immutable indexes; sharing them is sound
+            // (each copy revalidates against its own generation).
+            text_indexes: Mutex::new(self.text_indexes.lock().clone()),
+        }
+    }
 }
 
 impl Table {
@@ -393,11 +612,15 @@ impl Table {
             pk_col,
             pk_index: EqKeyMap::default(),
             generation: 0,
+            reshaped_at: 0,
             chunks: OnceLock::new(),
+            text_indexes: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Appends a row, validating arity and maintaining the PK index.
+    /// Appends a row, validating arity and maintaining the PK index. If a
+    /// columnar snapshot exists, only the trailing partial chunk is
+    /// re-transposed; full chunks before it are shared untouched.
     pub fn insert(&mut self, row: Row) -> SqlResult<()> {
         if row.len() != self.schema.columns.len() {
             return Err(SqlError::Schema(format!(
@@ -411,10 +634,183 @@ impl Table {
             self.pk_index.insert(&row[pk], self.rows.len());
         }
         self.rows.push(row);
-        // Any cached columnar snapshot no longer reflects the row store.
         self.generation += 1;
-        self.chunks = OnceLock::new();
+        self.rechunk_suffix(self.rows.len() - 1);
         Ok(())
+    }
+
+    /// Replaces whole rows in place: `changes` maps row positions to their
+    /// new contents (each arity-validated). Positions are unchanged, so PK
+    /// maintenance is a per-row remove + insert and only the chunks
+    /// containing changed rows are re-transposed. Bumps the generation once
+    /// per (non-empty) call.
+    pub fn update_rows(&mut self, changes: Vec<(usize, Row)>) -> SqlResult<()> {
+        if changes.is_empty() {
+            return Ok(());
+        }
+        for (pos, row) in &changes {
+            if *pos >= self.rows.len() {
+                return Err(SqlError::Schema(format!(
+                    "update position {pos} out of range for {} ({} rows)",
+                    self.schema.name,
+                    self.rows.len()
+                )));
+            }
+            if row.len() != self.schema.columns.len() {
+                return Err(SqlError::Schema(format!(
+                    "update of {} expected {} values, got {}",
+                    self.schema.name,
+                    self.schema.columns.len(),
+                    row.len()
+                )));
+            }
+        }
+        let dirty: Vec<usize> = changes.iter().map(|(p, _)| *p).collect();
+        for (pos, row) in changes {
+            if let Some(pk) = self.pk_col {
+                self.pk_index.remove(&self.rows[pos][pk], pos);
+                self.pk_index.insert(&row[pk], pos);
+            }
+            self.rows[pos] = row;
+        }
+        self.generation += 1;
+        self.reshaped_at = self.generation;
+        self.rechunk_at(&dirty);
+        Ok(())
+    }
+
+    /// Deletes the rows at `positions` (strictly ascending, in range),
+    /// compacting the row store. The PK index is remapped through the
+    /// compaction in one pass — no key is rehashed — and the columnar
+    /// snapshot is re-transposed only from the chunk containing the first
+    /// deleted position. Bumps the generation once per (non-empty) call.
+    pub fn delete_rows(&mut self, positions: &[usize]) -> SqlResult<()> {
+        if positions.is_empty() {
+            return Ok(());
+        }
+        for w in positions.windows(2) {
+            if w[0] >= w[1] {
+                return Err(SqlError::Schema(format!(
+                    "delete positions for {} must be strictly ascending",
+                    self.schema.name
+                )));
+            }
+        }
+        if *positions.last().expect("non-empty") >= self.rows.len() {
+            return Err(SqlError::Schema(format!(
+                "delete position {} out of range for {} ({} rows)",
+                positions.last().expect("non-empty"),
+                self.schema.name,
+                self.rows.len()
+            )));
+        }
+        let mut old_to_new: Vec<Option<usize>> = Vec::with_capacity(self.rows.len());
+        let mut doomed = positions.iter().copied().peekable();
+        let mut kept = 0usize;
+        for old in 0..self.rows.len() {
+            if doomed.peek() == Some(&old) {
+                doomed.next();
+                old_to_new.push(None);
+            } else {
+                old_to_new.push(Some(kept));
+                kept += 1;
+            }
+        }
+        let mut i = 0;
+        self.rows.retain(|_| {
+            let keep = old_to_new[i].is_some();
+            i += 1;
+            keep
+        });
+        self.pk_index.remap(&old_to_new);
+        self.generation += 1;
+        self.reshaped_at = self.generation;
+        self.rechunk_suffix(positions[0]);
+        Ok(())
+    }
+
+    /// Maintains the columnar snapshot after a mutation that left rows
+    /// before `first_dirty_row` untouched at their positions: chunks fully
+    /// below it are shared as-is, everything from its chunk on is
+    /// re-transposed from the (already mutated) row store. Without a built
+    /// snapshot this is a plain invalidation. Must run *after* the
+    /// generation bump — the rebuilt snapshot is stamped with the new
+    /// generation.
+    fn rechunk_suffix(&mut self, first_dirty_row: usize) {
+        let fresh = OnceLock::new();
+        if let Some((_, old)) = self.chunks.get() {
+            let keep = first_dirty_row / BATCH_SIZE;
+            let mut chunks: Vec<Arc<DataChunk>> = old.iter().take(keep).cloned().collect();
+            chunks.extend(
+                chunk_rows(self.schema.columns.len(), &self.rows[keep * BATCH_SIZE..])
+                    .into_iter()
+                    .map(Arc::new),
+            );
+            let _ = fresh.set((self.generation, chunks));
+        }
+        self.chunks = fresh;
+    }
+
+    /// Maintains the columnar snapshot after in-place updates: only the
+    /// chunks containing a dirty row are re-transposed; row count (and thus
+    /// chunk layout) is unchanged. Must run after the generation bump.
+    fn rechunk_at(&mut self, dirty_rows: &[usize]) {
+        let fresh = OnceLock::new();
+        if let Some((_, old)) = self.chunks.get() {
+            let mut chunks = old.clone();
+            let mut dirty: Vec<usize> = dirty_rows.iter().map(|p| p / BATCH_SIZE).collect();
+            dirty.sort_unstable();
+            dirty.dedup();
+            let width = self.schema.columns.len();
+            for c in dirty {
+                let lo = c * BATCH_SIZE;
+                let hi = (lo + BATCH_SIZE).min(self.rows.len());
+                let rebuilt = chunk_rows(width, &self.rows[lo..hi]);
+                chunks[c] = Arc::new(rebuilt.into_iter().next().expect("non-empty chunk range"));
+            }
+            let _ = fresh.set((self.generation, chunks));
+        }
+        self.chunks = fresh;
+    }
+
+    /// The BM25 text index over `column`, built lazily and cached per table
+    /// state. While the table only sees appends, a cached index catches up
+    /// by indexing just the appended rows (`add_document` is exactly how a
+    /// fresh build ingests, so the result is state-identical to a rebuild);
+    /// after an UPDATE/DELETE the column's index is rebuilt from scratch —
+    /// BM25 corpus statistics have no removal path, and a rebuild is the
+    /// only representation the differential oracle accepts.
+    pub fn text_index(&self, column: &str) -> SqlResult<Arc<ColumnTextIndex>> {
+        let col = self
+            .schema
+            .column_index(column)
+            .ok_or_else(|| SqlError::UnknownColumn(format!("{}.{}", self.schema.name, column)))?;
+        let mut cache = self.text_indexes.lock();
+        if let Some(e) = cache.get_mut(&col) {
+            if e.built_at == self.generation {
+                return Ok(e.index.clone());
+            }
+            if e.built_at >= self.reshaped_at {
+                // Append-only since the index was built: extend a copy with
+                // the new rows and re-cache.
+                let mut idx = (*e.index).clone();
+                idx.extend(col, &self.rows, e.rows_seen);
+                e.index = Arc::new(idx);
+                e.built_at = self.generation;
+                e.rows_seen = self.rows.len();
+                return Ok(e.index.clone());
+            }
+        }
+        let built = Arc::new(ColumnTextIndex::build(col, &self.rows));
+        cache.insert(
+            col,
+            TextIndexEntry {
+                built_at: self.generation,
+                rows_seen: self.rows.len(),
+                index: built.clone(),
+            },
+        );
+        Ok(built)
     }
 
     /// The table's mutation epoch — distinct values witness distinct row
@@ -503,25 +899,37 @@ impl Table {
 
 /// An in-memory database: a named collection of tables plus the schema-level
 /// metadata (foreign keys, descriptions).
+///
+/// Tables are held behind [`Arc`], which makes `Database::clone` a
+/// *snapshot* operation: the schema and the table map are copied, but every
+/// table's row store, indexes, and columnar chunks are shared. A commit
+/// clones the database, mutates only the touched tables through
+/// [`Database::table_mut`] (copy-on-write via [`Arc::make_mut`]), and
+/// publishes the clone — readers holding the original see nothing change.
 #[derive(Debug, Clone)]
 pub struct Database {
     schema: DatabaseSchema,
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
+    /// Snapshot epoch: bumped once per committed mutation batch by the
+    /// commit path ([`Database::bump_version`]). Orthogonal to per-table
+    /// generations — caches that want per-table invalidation key by
+    /// [`Table::generation`] instead.
+    version: u64,
 }
 
 impl Database {
     /// Creates an empty database with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Database { schema: DatabaseSchema::new(name), tables: BTreeMap::new() }
+        Database { schema: DatabaseSchema::new(name), tables: BTreeMap::new(), version: 0 }
     }
 
     /// Creates a database from a pre-built schema, with empty tables.
     pub fn from_schema(schema: DatabaseSchema) -> Self {
         let mut tables = BTreeMap::new();
         for t in &schema.tables {
-            tables.insert(t.name.to_ascii_lowercase(), Table::new(t.clone()));
+            tables.insert(t.name.to_ascii_lowercase(), Arc::new(Table::new(t.clone())));
         }
-        Database { schema, tables }
+        Database { schema, tables, version: 0 }
     }
 
     /// The database name.
@@ -534,10 +942,43 @@ impl Database {
         &self.schema
     }
 
+    /// The snapshot epoch: how many commits produced this state. Stays 0 for
+    /// databases mutated directly (bulk loads); the commit path bumps it.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Advances the snapshot epoch by one, returning the new value. Called
+    /// by the commit path when publishing a new snapshot.
+    pub fn bump_version(&mut self) -> u64 {
+        self.version += 1;
+        self.version
+    }
+
+    /// A stable fingerprint of the current versions (generations) of the
+    /// named tables: equal fingerprints witness that every listed table is
+    /// at the same version in both snapshots. Version-keyed caches use this
+    /// as the data-dependency component of their keys, so entries keep
+    /// hitting across snapshots that did not touch a statement's tables and
+    /// miss as soon as one did. Unknown tables hash as a sentinel (a later
+    /// `CREATE TABLE` changes the fingerprint).
+    pub fn dependency_fingerprint(&self, tables: &[String]) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for name in tables {
+            name.hash(&mut h);
+            match self.table(name) {
+                Ok(t) => t.generation().hash(&mut h),
+                Err(_) => u64::MAX.hash(&mut h),
+            }
+        }
+        h.finish()
+    }
+
     /// Registers a new (empty) table.
     pub fn create_table(&mut self, schema: TableSchema) -> SqlResult<()> {
         self.schema.add_table(schema.clone())?;
-        self.tables.insert(schema.name.to_ascii_lowercase(), Table::new(schema));
+        self.tables.insert(schema.name.to_ascii_lowercase(), Arc::new(Table::new(schema)));
         Ok(())
     }
 
@@ -550,13 +991,28 @@ impl Database {
     pub fn table(&self, name: &str) -> SqlResult<&Table> {
         self.tables
             .get(&name.to_ascii_lowercase())
+            .map(|t| t.as_ref())
             .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
     }
 
-    /// Mutable access to a table by case-insensitive name.
+    /// The shared handle of a table by case-insensitive name. `Arc::ptr_eq`
+    /// on two snapshots' handles witnesses whether the table was
+    /// copy-on-write-cloned between them — the COW-granularity contract the
+    /// snapshot proptests pin.
+    pub fn table_arc(&self, name: &str) -> SqlResult<&Arc<Table>> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable access to a table by case-insensitive name. On a snapshot
+    /// whose table is shared with other snapshots this is the copy-on-write
+    /// point: the table (rows, indexes) is deep-cloned once, leaving every
+    /// other snapshot untouched.
     pub fn table_mut(&mut self, name: &str) -> SqlResult<&mut Table> {
         self.tables
             .get_mut(&name.to_ascii_lowercase())
+            .map(Arc::make_mut)
             .ok_or_else(|| SqlError::UnknownTable(name.to_string()))
     }
 

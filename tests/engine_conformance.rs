@@ -6,8 +6,8 @@
 
 use seed_repro::datasets::{bird::build_bird, spider::build_spider, CorpusConfig};
 use seed_repro::sqlengine::{
-    execute, execute_select_with_plan_cache, execute_with_stats, execute_with_stats_mode,
-    parse_select, plan_select, PlanCache, PlanMode,
+    commit_statement, execute, execute_select_with_plan_cache, execute_with_stats,
+    execute_with_stats_mode, parse_select, plan_select, PlanCache, PlanMode,
 };
 
 #[test]
@@ -284,6 +284,88 @@ fn gold_queries_stay_within_columnar_fallback_budget() {
         }
     }
     assert!(checked > 100, "gold corpus shrank: only {checked} queries checked");
+}
+
+/// Mutate-then-query conformance: after committing writes against a gold
+/// corpus database through the copy-on-write commit path, every gold query
+/// of that database must still be row-identical (order included) across all
+/// three plan modes — and still run *fully* columnar. Incrementally
+/// maintained PK indexes and restamped chunks must be indistinguishable
+/// from freshly built ones, fallback budget included.
+#[test]
+fn gold_queries_stay_conformant_and_fully_columnar_after_commits() {
+    let bird = build_bird(&CorpusConfig::tiny());
+    for base in &bird.databases {
+        let mut db = base.clone();
+        // One mutation of each kind against every table, committed through
+        // successive snapshots.
+        for name in db.table_names() {
+            let table = db.table(&name).unwrap();
+            let width = table.schema.columns.len();
+            let Some(pk) = table.primary_key_column() else { continue };
+            let max_id = table
+                .rows()
+                .iter()
+                .filter_map(|r| match &r[pk] {
+                    seed_repro::sqlengine::Value::Integer(i) => Some(*i),
+                    _ => None,
+                })
+                .max()
+                .unwrap_or(0);
+            for sql in [
+                format!(
+                    "INSERT INTO {name} ({}) VALUES ({})",
+                    table.schema.columns[pk].name,
+                    max_id + 1
+                ),
+                format!(
+                    "DELETE FROM {name} WHERE {} = {}",
+                    table.schema.columns[pk].name,
+                    max_id + 1
+                ),
+            ]
+            .iter()
+            .chain(
+                // Update a non-PK column to itself on a slice of rows:
+                // contents unchanged, but the COW/update machinery (PK
+                // remove+insert, chunk restamp, BM25 extension) fully runs.
+                (width > 1)
+                    .then(|| {
+                        let col = &table.schema.columns[if pk == 0 { 1 } else { 0 }].name;
+                        format!(
+                            "UPDATE {name} SET {col} = {col} WHERE {} <= {}",
+                            table.schema.columns[pk].name,
+                            max_id / 2
+                        )
+                    })
+                    .iter(),
+            ) {
+                let outcome = commit_statement(&db, sql)
+                    .unwrap_or_else(|e| panic!("{}: commit failed: {e:?} ({sql})", base.name()));
+                db = outcome.db;
+            }
+        }
+        // Every gold query of this database: three-way identical, zero
+        // fallbacks, no mixed-mode statements.
+        let mut checked = 0usize;
+        for q in bird.questions.iter().filter(|q| q.db_id == base.name()) {
+            let (col, stats) = execute_with_stats_mode(&db, &q.gold_sql, PlanMode::Columnar)
+                .unwrap_or_else(|e| panic!("{}: columnar failed post-commit: {e:?}", q.id));
+            let (opt, _) = execute_with_stats_mode(&db, &q.gold_sql, PlanMode::Optimized).unwrap();
+            let (legacy, _) =
+                execute_with_stats_mode(&db, &q.gold_sql, PlanMode::NestedLoop).unwrap();
+            assert_eq!(col.rows, opt.rows, "{}: columnar diverged post-commit", q.id);
+            assert_eq!(opt.rows, legacy.rows, "{}: optimized diverged post-commit", q.id);
+            assert_eq!(
+                stats.columnar_fallbacks, 0,
+                "{}: commits must not demote operators to the row bridge ({})",
+                q.id, q.gold_sql
+            );
+            assert_eq!(stats.columnar_partial, 0, "{}: mixed-mode post-commit", q.id);
+            checked += 1;
+        }
+        assert!(checked > 0, "{}: no gold queries exercised", base.name());
+    }
 }
 
 #[test]
